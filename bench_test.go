@@ -1,0 +1,150 @@
+// Package repro's root benchmark harness: one testing.B benchmark per table
+// and figure in the paper, each regenerating the artifact end-to-end.
+//
+// By default the simulation figures run at a laptop-friendly scale that
+// preserves every qualitative shape; set REPRO_FULL=1 to run at the paper's
+// 1000-peer, 128 MB scale:
+//
+//	go test -bench=. -benchmem                 # fast scale
+//	REPRO_FULL=1 go test -bench=Figure4 -benchtime=1x
+package repro
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+func benchScale() experiment.Scale {
+	if os.Getenv("REPRO_FULL") != "" {
+		return experiment.FullScale()
+	}
+	return experiment.TestScale()
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	scale := benchScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiment.Run(name, scale, io.Discard, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Analytical artifacts (Section IV).
+
+// BenchmarkTable1 regenerates Table I's equilibrium download rates.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFigure2 regenerates the idealized fairness/efficiency ranking.
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "figure2") }
+
+// BenchmarkFigure3 regenerates the piece-availability exchange
+// probabilities and their efficiency re-ranking.
+func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }
+
+// BenchmarkTable2 regenerates the flash-crowd bootstrap probabilities,
+// including the paper's example column.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkLemma3 regenerates the expected bootstrap-time curves.
+func BenchmarkLemma3(b *testing.B) { benchExperiment(b, "lemma3") }
+
+// BenchmarkTable3 regenerates the free-riding exposure table.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkProposition3 regenerates the reputation-skew sweep.
+func BenchmarkProposition3(b *testing.B) { benchExperiment(b, "prop3") }
+
+// Simulation figures (Section V).
+
+// BenchmarkFigure4 regenerates the compliant-swarm comparison (efficiency,
+// fairness, bootstrapping: Figures 4a-4c).
+func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "figure4") }
+
+// BenchmarkFigure5 regenerates the 20%-free-rider comparison
+// (susceptibility, efficiency, fairness: Figures 5a-5c).
+func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "figure5") }
+
+// BenchmarkFigure6 regenerates the large-view-exploit comparison
+// (Figures 6a-6c).
+func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "figure6") }
+
+// Ablations (design choices called out in DESIGN.md).
+
+// BenchmarkAblationAlphaBT sweeps BitTorrent's optimistic-unchoke share.
+func BenchmarkAblationAlphaBT(b *testing.B) { benchExperiment(b, "ablation-alphabt") }
+
+// BenchmarkAblationNBT sweeps BitTorrent's reciprocity slot count.
+func BenchmarkAblationNBT(b *testing.B) { benchExperiment(b, "ablation-nbt") }
+
+// BenchmarkAblationSeeder sweeps seeder capacity.
+func BenchmarkAblationSeeder(b *testing.B) { benchExperiment(b, "ablation-seeder") }
+
+// BenchmarkAblationLargeView sweeps neighbor-set size against the exploit.
+func BenchmarkAblationLargeView(b *testing.B) { benchExperiment(b, "ablation-largeview") }
+
+// BenchmarkAblationWhitewash sweeps the whitewashing interval.
+func BenchmarkAblationWhitewash(b *testing.B) { benchExperiment(b, "ablation-whitewash") }
+
+// BenchmarkAblationFalsePraise contrasts passive free-riding with
+// false-praise collusion against the reputation algorithm.
+func BenchmarkAblationFalsePraise(b *testing.B) { benchExperiment(b, "ablation-praise") }
+
+// BenchmarkAblationIndirect isolates T-Chain's indirect-reciprocity
+// bootstrapping advantage.
+func BenchmarkAblationIndirect(b *testing.B) { benchExperiment(b, "ablation-indirect") }
+
+// BenchmarkSimulationPerAlgorithm measures one raw swarm run per mechanism
+// (no report rendering), reporting simulated seconds per wall second.
+func BenchmarkSimulationPerAlgorithm(b *testing.B) {
+	for _, a := range algo.All() {
+		b.Run(a.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var simulated float64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.Default(a, 100, 48)
+				cfg.Seed = int64(i + 1)
+				cfg.Horizon = 900
+				swarm, err := sim.NewSwarm(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := swarm.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				simulated += res.Duration
+			}
+			b.ReportMetric(simulated/b.Elapsed().Seconds(), "simsec/sec")
+		})
+	}
+}
+
+// Model-vs-simulator cross-validations (beyond the paper).
+
+// BenchmarkValidateAvailability regenerates the Eq. 4-7 vs simulator
+// comparison.
+func BenchmarkValidateAvailability(b *testing.B) { benchExperiment(b, "validate-availability") }
+
+// BenchmarkValidateBootstrap regenerates the Table II dynamics vs Figure 4c
+// comparison.
+func BenchmarkValidateBootstrap(b *testing.B) { benchExperiment(b, "validate-bootstrap") }
+
+// BenchmarkValidateFluid regenerates the fluid-model baseline comparison.
+func BenchmarkValidateFluid(b *testing.B) { benchExperiment(b, "validate-fluid") }
+
+// BenchmarkAblationChurn regenerates the failure-injection sweep.
+func BenchmarkAblationChurn(b *testing.B) { benchExperiment(b, "ablation-churn") }
+
+// BenchmarkAblationPropShare regenerates the BitTorrent-vs-PropShare sweep.
+func BenchmarkAblationPropShare(b *testing.B) { benchExperiment(b, "ablation-propshare") }
+
+// BenchmarkAblationArrival regenerates the arrival-process comparison.
+func BenchmarkAblationArrival(b *testing.B) { benchExperiment(b, "ablation-arrival") }

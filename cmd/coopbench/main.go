@@ -1,0 +1,69 @@
+// Command coopbench regenerates the paper's simulation figures (4, 5, 6)
+// and the ablation studies, printing summary tables and writing the
+// underlying time-series CSVs.
+//
+// Usage:
+//
+//	coopbench                          # figures 4-6 at test scale
+//	coopbench -full                    # the paper's 1000-peer, 128 MB scale
+//	coopbench -only figure5 -out out/  # one figure, with CSV artifacts
+//	coopbench -ablations               # run the ablation sweeps instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's full scale (1000 peers, 512 pieces; minutes of runtime)")
+	only := flag.String("only", "", "single experiment to run (see -list)")
+	out := flag.String("out", "", "directory for CSV artifacts (empty: none)")
+	ablations := flag.Bool("ablations", false, "run the ablation sweeps instead of the figures")
+	list := flag.Bool("list", false, "list runnable experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(core.Experiments(), "\n"))
+		return
+	}
+	if err := run(*full, *only, *out, *ablations, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "coopbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(full bool, only, outDir string, ablations bool, stdout io.Writer) error {
+	scale := core.TestScale()
+	if full {
+		scale = core.FullScale()
+	}
+
+	names := []string{"figure4", "figure5", "figure6"}
+	if ablations {
+		names = []string{
+			"ablation-alphabt", "ablation-nbt", "ablation-seeder",
+			"ablation-largeview", "ablation-whitewash", "ablation-praise",
+			"ablation-indirect", "ablation-propshare", "ablation-arrival",
+			"ablation-churn",
+		}
+	}
+	if only != "" {
+		names = []string{only}
+	}
+
+	for _, name := range names {
+		started := time.Now()
+		if err := core.RunExperiment(name, scale, stdout, outDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", name, time.Since(started).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(false, "figure4", "", false, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 4", "T-Chain", "completed in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleAblation(t *testing.T) {
+	var sb strings.Builder
+	if err := run(false, "ablation-indirect", "", true, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Ablation") {
+		t.Error("ablation output missing title")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(false, "figure99", "", false, &strings.Builder{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

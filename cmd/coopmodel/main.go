@@ -1,0 +1,46 @@
+// Command coopmodel prints the paper's analytical artifacts: Tables I–III,
+// the idealized and availability-constrained rankings (Figures 2–3),
+// Lemma 3's expected bootstrap times, and Proposition 3's reputation-skew
+// sweep.
+//
+// Usage:
+//
+//	coopmodel                     # print every analytical artifact
+//	coopmodel -only table2        # print one artifact
+//	coopmodel -out results/model  # also write CSV artifacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	only := flag.String("only", "", "single artifact to print (table1, table2, table3, figure2, figure3, lemma3, prop3)")
+	out := flag.String("out", "", "directory for CSV artifacts (empty: none)")
+	flag.Parse()
+
+	if err := run(*only, *out, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "coopmodel: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(only, outDir string, stdout io.Writer) error {
+	names := []string{"table1", "figure2", "figure3", "table2", "lemma3", "table3", "prop3"}
+	if only != "" {
+		names = []string{only}
+	}
+	scale := core.TestScale() // analytical artifacts ignore the scale
+	for _, name := range names {
+		if err := core.RunExperiment(name, scale, stdout, outDir); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllArtifacts(t *testing.T) {
+	var sb strings.Builder
+	if err := run("", "", &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table I", "Figure 2", "Figure 3", "Table II", "Lemma 3", "Table III", "Proposition 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleArtifactWithArtifacts(t *testing.T) {
+	var sb strings.Builder
+	dir := filepath.Join(t.TempDir(), "model")
+	if err := run("table2", dir, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "91.8%") {
+		t.Error("table2 output wrong")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if len(matches) == 0 {
+		t.Error("no CSV artifacts written")
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if err := run("table9", "", &strings.Builder{}); err == nil {
+		t.Fatal("unknown artifact accepted")
+	}
+}

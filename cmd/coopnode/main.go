@@ -1,0 +1,259 @@
+// Command coopnode runs a live cooperative-exchange peer over TCP: seed a
+// real file to a swarm, or join a swarm and download it, under any of the
+// implemented incentive mechanisms (T-Chain pieces travel AES-sealed with
+// escrowed keys).
+//
+// Seed a file (writes the swarm manifest next to it):
+//
+//	coopnode seed -file ./update.bin -listen 127.0.0.1:9000 -manifest update.manifest
+//
+// Download it from another terminal (repeat -peer to add more):
+//
+//	coopnode get -manifest update.manifest -peer 127.0.0.1:9000 -out copy.bin
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/node"
+	"repro/internal/piece"
+	"repro/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: coopnode <seed|get> [flags]   (run with -h for flags)")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "seed":
+		err = seedMain(os.Args[2:], os.Stdout)
+	case "get":
+		err = getMain(os.Args[2:], os.Stdout)
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want seed or get)", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coopnode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// seedOptions parameterize the seed subcommand.
+type seedOptions struct {
+	filePath     string
+	manifestPath string
+	listen       string
+	algoName     string
+	pieceSize    int
+	uploadRate   float64
+	id           int
+}
+
+func seedFlags(args []string) (seedOptions, error) {
+	fs := flag.NewFlagSet("seed", flag.ContinueOnError)
+	var opts seedOptions
+	fs.StringVar(&opts.filePath, "file", "", "file to seed (required)")
+	fs.StringVar(&opts.manifestPath, "manifest", "", "where to write the swarm manifest (default <file>.manifest)")
+	fs.StringVar(&opts.listen, "listen", "127.0.0.1:0", "TCP listen address")
+	fs.StringVar(&opts.algoName, "algo", "tchain", "incentive mechanism")
+	fs.IntVar(&opts.pieceSize, "piecesize", 256<<10, "piece size in bytes")
+	fs.Float64Var(&opts.uploadRate, "rate", 0, "upload throttle in bytes/second (0 = unthrottled)")
+	fs.IntVar(&opts.id, "id", 0, "node ID (unique within the swarm)")
+	if err := fs.Parse(args); err != nil {
+		return opts, err
+	}
+	if opts.filePath == "" {
+		return opts, errors.New("seed: -file is required")
+	}
+	if opts.manifestPath == "" {
+		opts.manifestPath = opts.filePath + ".manifest"
+	}
+	return opts, nil
+}
+
+func seedMain(args []string, stdout io.Writer) error {
+	opts, err := seedFlags(args)
+	if err != nil {
+		return err
+	}
+	n, err := startSeed(opts, stdout)
+	if err != nil {
+		return err
+	}
+	defer n.Stop()
+	fmt.Fprintln(stdout, "seeding; press Ctrl-C to stop")
+	waitForInterrupt()
+	return nil
+}
+
+// startSeed builds and starts the seeding node; factored out for tests.
+func startSeed(opts seedOptions, stdout io.Writer) (*node.Node, error) {
+	mechanism, err := algo.Parse(opts.algoName)
+	if err != nil {
+		return nil, err
+	}
+	content, err := os.ReadFile(opts.filePath)
+	if err != nil {
+		return nil, err
+	}
+	manifest, err := piece.NewManifest(content, opts.pieceSize)
+	if err != nil {
+		return nil, err
+	}
+	manifestFile, err := os.Create(opts.manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := piece.EncodeManifest(manifestFile, manifest); err != nil {
+		manifestFile.Close()
+		return nil, err
+	}
+	if err := manifestFile.Close(); err != nil {
+		return nil, err
+	}
+	store, err := piece.NewSeedStore(manifest, content)
+	if err != nil {
+		return nil, err
+	}
+	n, err := node.New(node.Config{
+		ID:         opts.id,
+		Algorithm:  mechanism,
+		Store:      store,
+		Transport:  transport.NewTCP(),
+		ListenAddr: opts.listen,
+		UploadRate: opts.uploadRate,
+		SeedMode:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Start(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "seeding %s (%d pieces x %d KB, %v) on %s\n",
+		opts.filePath, manifest.NumPieces(), opts.pieceSize/1024, mechanism, n.Addr())
+	fmt.Fprintf(stdout, "manifest written to %s\n", opts.manifestPath)
+	return n, nil
+}
+
+// getOptions parameterize the get subcommand.
+type getOptions struct {
+	manifestPath string
+	outPath      string
+	peers        multiFlag
+	listen       string
+	algoName     string
+	uploadRate   float64
+	id           int
+	timeout      time.Duration
+}
+
+// multiFlag collects repeated -peer flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func getFlags(args []string) (getOptions, error) {
+	fs := flag.NewFlagSet("get", flag.ContinueOnError)
+	var opts getOptions
+	fs.StringVar(&opts.manifestPath, "manifest", "", "swarm manifest file (required)")
+	fs.StringVar(&opts.outPath, "out", "", "where to write the downloaded file (required)")
+	fs.Var(&opts.peers, "peer", "peer address to bootstrap from (repeatable, at least one)")
+	fs.StringVar(&opts.listen, "listen", "127.0.0.1:0", "TCP listen address")
+	fs.StringVar(&opts.algoName, "algo", "tchain", "incentive mechanism")
+	fs.Float64Var(&opts.uploadRate, "rate", 0, "upload throttle in bytes/second (0 = unthrottled)")
+	fs.IntVar(&opts.id, "id", 1, "node ID (unique within the swarm)")
+	fs.DurationVar(&opts.timeout, "timeout", 10*time.Minute, "give up after this long")
+	if err := fs.Parse(args); err != nil {
+		return opts, err
+	}
+	switch {
+	case opts.manifestPath == "":
+		return opts, errors.New("get: -manifest is required")
+	case opts.outPath == "":
+		return opts, errors.New("get: -out is required")
+	case len(opts.peers) == 0:
+		return opts, errors.New("get: at least one -peer is required")
+	}
+	return opts, nil
+}
+
+func getMain(args []string, stdout io.Writer) error {
+	opts, err := getFlags(args)
+	if err != nil {
+		return err
+	}
+	return runGet(opts, stdout)
+}
+
+// runGet joins the swarm, downloads, verifies, and writes the file.
+func runGet(opts getOptions, stdout io.Writer) error {
+	mechanism, err := algo.Parse(opts.algoName)
+	if err != nil {
+		return err
+	}
+	manifestFile, err := os.Open(opts.manifestPath)
+	if err != nil {
+		return err
+	}
+	manifest, err := piece.DecodeManifest(manifestFile)
+	manifestFile.Close()
+	if err != nil {
+		return err
+	}
+	store := piece.NewStore(manifest)
+	n, err := node.New(node.Config{
+		ID:         opts.id,
+		Algorithm:  mechanism,
+		Store:      store,
+		Transport:  transport.NewTCP(),
+		ListenAddr: opts.listen,
+		Bootstrap:  opts.peers,
+		UploadRate: opts.uploadRate,
+	})
+	if err != nil {
+		return err
+	}
+	if err := n.Start(); err != nil {
+		return err
+	}
+	defer n.Stop()
+
+	fmt.Fprintf(stdout, "downloading %d pieces (%v) from %d peer(s)\n",
+		manifest.NumPieces(), mechanism, len(opts.peers))
+	started := time.Now()
+	if !n.WaitComplete(opts.timeout) {
+		s := n.Stats()
+		return fmt.Errorf("download incomplete after %v: %d/%d pieces", opts.timeout, s.Pieces, manifest.NumPieces())
+	}
+	content, err := store.Assemble()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(opts.outPath, content, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "downloaded and verified %d bytes in %v -> %s\n",
+		len(content), time.Since(started).Round(time.Millisecond), opts.outPath)
+	return nil
+}
+
+func waitForInterrupt() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

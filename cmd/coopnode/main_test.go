@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeedFlags(t *testing.T) {
+	if _, err := seedFlags([]string{}); err == nil {
+		t.Error("missing -file accepted")
+	}
+	opts, err := seedFlags([]string{"-file", "x.bin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.manifestPath != "x.bin.manifest" {
+		t.Errorf("default manifest path = %q", opts.manifestPath)
+	}
+}
+
+func TestGetFlags(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-manifest", "m.json"},
+		{"-manifest", "m.json", "-out", "f.bin"},
+	}
+	for i, args := range cases {
+		if _, err := getFlags(args); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	opts, err := getFlags([]string{"-manifest", "m.json", "-out", "f.bin", "-peer", "a:1", "-peer", "b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.peers) != 2 {
+		t.Errorf("peers = %v", opts.peers)
+	}
+}
+
+// TestSeedAndGetEndToEnd seeds a real file over TCP and downloads it with
+// a second node, exercising the full CLI path minus flag parsing.
+func TestSeedAndGetEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "payload.bin")
+	content := make([]byte, 96<<10)
+	for i := range content {
+		content[i] = byte(i*7 + i/1024)
+	}
+	if err := os.WriteFile(srcPath, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var seedOut strings.Builder
+	seed, err := startSeed(seedOptions{
+		filePath:     srcPath,
+		manifestPath: filepath.Join(dir, "payload.manifest"),
+		listen:       "127.0.0.1:0",
+		algoName:     "tchain",
+		pieceSize:    8 << 10,
+		id:           0,
+	}, &seedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Stop()
+	if !strings.Contains(seedOut.String(), "seeding") {
+		t.Errorf("seed output = %q", seedOut.String())
+	}
+
+	outPath := filepath.Join(dir, "copy.bin")
+	var getOut strings.Builder
+	err = runGet(getOptions{
+		manifestPath: filepath.Join(dir, "payload.manifest"),
+		outPath:      outPath,
+		peers:        multiFlag{seed.Addr()},
+		listen:       "127.0.0.1:0",
+		algoName:     "tchain",
+		id:           1,
+		timeout:      60 * time.Second,
+	}, &getOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("downloaded file differs from the original")
+	}
+}
+
+func TestRunGetBadManifest(t *testing.T) {
+	err := runGet(getOptions{
+		manifestPath: filepath.Join(t.TempDir(), "missing.json"),
+		outPath:      "out.bin",
+		peers:        multiFlag{"127.0.0.1:1"},
+		algoName:     "tchain",
+		timeout:      time.Second,
+	}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+}
+
+func TestStartSeedBadAlgorithm(t *testing.T) {
+	_, err := startSeed(seedOptions{
+		filePath: "whatever.bin",
+		algoName: "nonsense",
+	}, &strings.Builder{})
+	if err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func testOptions() options {
+	return options{
+		algoName:   "tchain",
+		peers:      60,
+		pieces:     24,
+		seed:       1,
+		horizon:    600,
+		seederRate: 1 << 20,
+	}
+}
+
+func TestRunTextOutput(t *testing.T) {
+	var sb strings.Builder
+	opts := testOptions()
+	if err := run(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"T-Chain", "completion:", "fairness (d/u):", "mean download time:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "susceptibility") {
+		t.Error("susceptibility printed without free-riders")
+	}
+}
+
+func TestRunWithFreeRiders(t *testing.T) {
+	var sb strings.Builder
+	opts := testOptions()
+	opts.freeRiders = 0.2
+	opts.largeView = true
+	if err := run(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "susceptibility") {
+		t.Error("susceptibility missing with free-riders")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	opts := testOptions()
+	opts.jsonOut = true
+	if err := run(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"\"config\"", "\"peers\"", "\"series\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	opts := testOptions()
+	opts.algoName = "bitcoin"
+	if err := run(opts, &strings.Builder{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunInvalidScale(t *testing.T) {
+	opts := testOptions()
+	opts.peers = 1
+	if err := run(opts, &strings.Builder{}); err == nil {
+		t.Fatal("invalid scale accepted")
+	}
+}
+
+func TestFmtSeconds(t *testing.T) {
+	if got := fmtSeconds(12.34); got != "12.3 s" {
+		t.Errorf("fmtSeconds = %q", got)
+	}
+	if got := fmtSeconds(math.NaN()); !strings.Contains(got, "never") {
+		t.Errorf("NaN = %q", got)
+	}
+}

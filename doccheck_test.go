@@ -1,0 +1,95 @@
+package repro
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsDocumented walks every non-test source file and fails
+// for exported declarations without doc comments — the deliverable is a
+// library, and an undocumented export is an API bug.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var violations []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "results" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				// Methods on unexported receivers implement interfaces that
+				// carry the documentation; skip them.
+				if d.Name.IsExported() && d.Doc.Text() == "" && !hasUnexportedReceiver(d) {
+					violations = append(violations, rel+": func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				groupDoc := d.Doc.Text() != ""
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+							violations = append(violations, rel+": type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() && !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+								violations = append(violations, rel+": value "+name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Error("undocumented export: " + v)
+	}
+}
+
+// hasUnexportedReceiver reports whether fn is a method whose receiver base
+// type is unexported.
+func hasUnexportedReceiver(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	typ := fn.Recv.List[0].Type
+	for {
+		switch t := typ.(type) {
+		case *ast.StarExpr:
+			typ = t.X
+		case *ast.Ident:
+			return !t.IsExported()
+		default:
+			return false
+		}
+	}
+}

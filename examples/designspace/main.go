@@ -1,0 +1,106 @@
+// Design-space guide: the paper's stated purpose is "a guide that operators
+// can use to choose the incentive mechanisms that achieve their desired
+// performance tradeoffs." This example uses the analytical API
+// (core.Equilibrium) to map the fairness–efficiency frontier as the
+// operator's population changes — no simulation, just Section IV's closed
+// forms — then cross-checks one point against the simulator.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "designspace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// spreadDistribution mirrors population's tiers as a bandwidth mix with a
+// 64 KB/s base rate.
+func spreadDistribution(spread float64) bandwidth.Distribution {
+	const base = 64 << 10
+	return bandwidth.Distribution{Classes: []bandwidth.Class{
+		{Name: "t1", Rate: base, Weight: 1},
+		{Name: "t2", Rate: base * (1 + (spread-1)/3), Weight: 1},
+		{Name: "t3", Rate: base * (1 + 2*(spread-1)/3), Weight: 1},
+		{Name: "t4", Rate: base * spread, Weight: 1},
+	}}
+}
+
+// population builds an N-user capacity vector whose heterogeneity is
+// controlled by spread: capacity tiers 1x..spread·x in four equal groups.
+func population(n int, spread float64) []float64 {
+	tiers := []float64{1, 1 + (spread-1)/3, 1 + 2*(spread-1)/3, spread}
+	caps := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		caps = append(caps, tiers[i%len(tiers)])
+	}
+	return caps
+}
+
+func run() error {
+	fmt.Println("How heterogeneity moves the fairness-efficiency frontier (Section IV-A)")
+	fmt.Println("E = expected average download time (lower = more efficient), relative to Lemma 1's optimum")
+	fmt.Println("F = mean |log(d/u)| (0 = perfectly fair)")
+	fmt.Println()
+
+	spreads := []float64{1, 2, 8, 32}
+	fmt.Printf("%-12s", "mechanism")
+	for _, spread := range spreads {
+		fmt.Printf("  %18s", fmt.Sprintf("spread %gx", spread))
+	}
+	fmt.Println("   (E/E*, F)")
+	for _, a := range core.Algorithms() {
+		fmt.Printf("%-12s", a)
+		for _, spread := range spreads {
+			eq, err := core.NewEquilibrium(population(40, spread), 1)
+			if err != nil {
+				return err
+			}
+			e, f := eq.Evaluate(a)
+			cell := "stalls"
+			if !math.IsInf(e, 1) {
+				fStr := fmt.Sprintf("%.2f", f)
+				if math.IsNaN(f) {
+					fStr = "n/a"
+				}
+				cell = fmt.Sprintf("%.2f, %s", e/eq.OptimalEfficiency(), fStr)
+			}
+			fmt.Printf("  %18s", cell)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: with homogeneous users (1x) every exchanging mechanism")
+	fmt.Println("sits at the optimum and is perfectly fair — the tradeoff only appears with")
+	fmt.Println("heterogeneity, where altruism buys efficiency by subsidizing slow users")
+	fmt.Println("(F grows) while T-Chain/FairTorrent hold F = 0 at an efficiency cost.")
+
+	// Cross-check the 8x point against the simulator.
+	fmt.Println()
+	fmt.Println("Simulator cross-check at spread 8x (120 peers, 16 MB, seed 3):")
+	for _, a := range []core.Algorithm{core.TChain, core.Altruism} {
+		res, err := core.Simulate(a,
+			core.WithScale(120, 64),
+			core.WithSeed(3),
+			core.WithHorizon(4000),
+			core.WithBandwidth(spreadDistribution(8)),
+		)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-12s meanDL %6.0fs   F(Eq.3) %.2f\n", a, res.MeanDownloadTime(), res.LogFairness())
+	}
+	fmt.Println("The simulated ordering matches the closed forms: altruism faster, T-Chain fairer.")
+	return nil
+}

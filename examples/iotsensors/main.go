@@ -1,0 +1,81 @@
+// IoT sensor-data exchange: the paper's second motivating scenario —
+// sensors exchanging measurement chunks with each other. Sensor uplinks
+// are slow and nearly uniform, energy makes contribution costly (so
+// free-riding is tempting), and the deployment wants every node to end up
+// with the full measurement set.
+//
+// The example sweeps the free-rider fraction and shows how each mechanism's
+// dissemination latency and fairness degrade — the operator's guide to how
+// much selfishness each incentive design tolerates.
+//
+//	go run ./examples/iotsensors
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bandwidth"
+	"repro/internal/core"
+)
+
+const (
+	sensors     = 150
+	chunks      = 48 // 12 MB of measurements in 256 KB chunks
+	seed        = 11
+	horizonSecs = 30000
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "iotsensors: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Sensor radios: one slow uniform class (64 kbit/s up).
+	uplink := bandwidth.UniformDistribution(64 * 1000 / 8)
+
+	fmt.Printf("%d sensors, %d MB measurement set, uniform 64 kbit/s uplinks\n\n", sensors, chunks/4)
+	fmt.Printf("%-12s", "mechanism")
+	fractions := []float64{0, 0.1, 0.3}
+	for _, f := range fractions {
+		fmt.Printf("  %14s", fmt.Sprintf("%.0f%% selfish", f*100))
+	}
+	fmt.Println("   (mean dissemination time, s)")
+
+	for _, a := range core.Algorithms() {
+		fmt.Printf("%-12s", a)
+		for _, f := range fractions {
+			opts := []core.Option{
+				core.WithScale(sensors, chunks),
+				core.WithSeed(seed),
+				core.WithHorizon(horizonSecs),
+				core.WithBandwidth(uplink),
+				core.WithSeeder(512 << 10), // the gateway node
+			}
+			if f > 0 {
+				opts = append(opts, core.WithFreeRiders(f, core.MostEffectiveAttack(a)))
+			}
+			res, err := core.Simulate(a, opts...)
+			if err != nil {
+				return err
+			}
+			cell := "never"
+			if res.CompletionFraction() > 0.999 {
+				cell = fmt.Sprintf("%.0f", res.MeanDownloadTime())
+			} else if res.CompletionFraction() > 0 {
+				cell = fmt.Sprintf("%.0f (%.0f%%)", res.MeanDownloadTime(), 100*res.CompletionFraction())
+			}
+			fmt.Printf("  %14s", cell)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nWith uniform uplinks every mechanism is fair by construction, so the")
+	fmt.Println("choice is purely about dissemination speed vs attack tolerance: altruism")
+	fmt.Println("degrades steadily as selfish sensors multiply, while T-Chain (and, less")
+	fmt.Println("so, BitTorrent) hold their latency because selfish sensors get nothing.")
+	return nil
+}

@@ -1,0 +1,121 @@
+// Live cluster: distribute a real file between actual peers over TCP on
+// localhost, using the live node (internal/node) rather than the
+// simulator. One seed plus N leechers run T-Chain with real AES-sealed
+// pieces and escrowed keys; one optional free-rider demonstrates that it
+// ends up with ciphertext it cannot read.
+//
+//	go run ./examples/livecluster
+//	go run ./examples/livecluster -algo altruism -leechers 8 -freerider=false
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/node"
+	"repro/internal/piece"
+	"repro/internal/transport"
+)
+
+func main() {
+	algoName := flag.String("algo", "tchain", "incentive mechanism for the cluster")
+	leechers := flag.Int("leechers", 5, "number of downloading peers")
+	freeRider := flag.Bool("freerider", true, "add one free-riding peer")
+	pieces := flag.Int("pieces", 64, "file pieces of 64 KB each")
+	flag.Parse()
+
+	if err := run(*algoName, *leechers, *freeRider, *pieces); err != nil {
+		fmt.Fprintf(os.Stderr, "livecluster: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(algoName string, leechers int, withFreeRider bool, numPieces int) error {
+	mechanism, err := algo.Parse(algoName)
+	if err != nil {
+		return err
+	}
+	const pieceSize = 64 << 10
+	manifest, err := piece.SyntheticManifest(numPieces, pieceSize)
+	if err != nil {
+		return err
+	}
+	content := make([]byte, 0, manifest.FileSize)
+	for i := 0; i < numPieces; i++ {
+		content = append(content, piece.SyntheticPiece(i, pieceSize)...)
+	}
+
+	total := leechers
+	freeRiders := map[int]bool{}
+	if withFreeRider {
+		total++
+		freeRiders[total] = true
+	}
+	fmt.Printf("distributing %d KB over TCP, mechanism %v, %d leechers",
+		manifest.FileSize/1024, mechanism, leechers)
+	if withFreeRider {
+		fmt.Print(", 1 free-rider")
+	}
+	fmt.Println()
+
+	start := time.Now()
+	cluster, err := node.StartCluster(node.ClusterConfig{
+		Algorithm:  mechanism,
+		Transport:  transport.NewTCP(),
+		ListenAddr: func(int) string { return "127.0.0.1:0" },
+		Manifest:   manifest,
+		Content:    content,
+		Leechers:   total,
+		FreeRiders: freeRiders,
+		UploadRate: 8 << 20, // 8 MB/s per peer keeps the demo quick
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+
+	for _, n := range cluster.Nodes {
+		role := "leecher"
+		switch {
+		case n.ID() == 0:
+			role = "seed"
+		case freeRiders[n.ID()]:
+			role = "free-rider"
+		}
+		fmt.Printf("  node %d (%s) listening on %s\n", n.ID(), role, n.Addr())
+	}
+
+	if !cluster.WaitAllComplete(60 * time.Second) {
+		return fmt.Errorf("compliant leechers did not complete in time")
+	}
+	fmt.Printf("\nall %d compliant leechers completed in %v\n", leechers, time.Since(start).Round(time.Millisecond))
+
+	// Verify a leecher's assembled bytes match the original content.
+	assembled, err := cluster.Nodes[1].StoreHandle().Assemble()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(assembled, content) {
+		return fmt.Errorf("assembled content does not match the original")
+	}
+	fmt.Println("leecher 1's assembled file verified byte-for-byte")
+
+	fmt.Println("\nfinal node stats:")
+	for _, n := range cluster.Nodes {
+		s := n.Stats()
+		fmt.Printf("  node %d: pieces %d/%d, uploaded %d KB, verified-downloaded %d KB, sealed-pending %d\n",
+			s.ID, s.Pieces, numPieces, int(s.UploadedBytes)/1024, int(s.CreditedBytes)/1024, s.SealedPending)
+	}
+	if withFreeRider {
+		fr := cluster.Nodes[len(cluster.Nodes)-1].Stats()
+		if mechanism == algo.TChain && fr.Pieces == 0 {
+			fmt.Println("\nthe free-rider holds only undecryptable ciphertext — T-Chain's key")
+			fmt.Println("escrow means reneging on reciprocation earns nothing (paper Table III).")
+		}
+	}
+	return nil
+}

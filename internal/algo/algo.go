@@ -1,0 +1,146 @@
+// Package algo defines the taxonomy of incentive mechanisms the paper
+// compares: three basic classes (reciprocity, altruism, reputation) and
+// three hybrids (BitTorrent, FairTorrent, T-Chain). Every other package —
+// the analytical model, the simulator, the live node, and the experiment
+// harnesses — keys off these identifiers.
+package algo
+
+import "fmt"
+
+// Algorithm identifies one of the six incentive mechanisms.
+type Algorithm int
+
+// The six mechanisms, in the order the paper's tables list them, plus
+// PropShare [5] — a BitTorrent variant from the paper's related work,
+// implemented as an extension (it is not part of the analytical tables).
+const (
+	Reciprocity Algorithm = iota + 1
+	TChain
+	BitTorrent
+	FairTorrent
+	Reputation
+	Altruism
+	PropShare
+)
+
+// All lists the paper's six algorithms in table order. PropShare is an
+// extension and is listed by Extensions instead.
+func All() []Algorithm {
+	return []Algorithm{Reciprocity, TChain, BitTorrent, FairTorrent, Reputation, Altruism}
+}
+
+// Extensions lists the mechanisms implemented beyond the paper's six.
+func Extensions() []Algorithm {
+	return []Algorithm{PropShare}
+}
+
+// String returns the paper's display name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Reciprocity:
+		return "Reciprocity"
+	case TChain:
+		return "T-Chain"
+	case BitTorrent:
+		return "BitTorrent"
+	case FairTorrent:
+		return "FairTorrent"
+	case Reputation:
+		return "Reputation"
+	case Altruism:
+		return "Altruism"
+	case PropShare:
+		return "PropShare"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Parse resolves a case-insensitive name (with or without hyphens) to an
+// Algorithm. It returns an error for unknown names.
+func Parse(name string) (Algorithm, error) {
+	switch normalize(name) {
+	case "reciprocity":
+		return Reciprocity, nil
+	case "tchain":
+		return TChain, nil
+	case "bittorrent":
+		return BitTorrent, nil
+	case "fairtorrent":
+		return FairTorrent, nil
+	case "reputation":
+		return Reputation, nil
+	case "altruism":
+		return Altruism, nil
+	case "propshare":
+		return PropShare, nil
+	default:
+		return 0, fmt.Errorf("algo: unknown algorithm %q", name)
+	}
+}
+
+func normalize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		case c == '-' || c == '_' || c == ' ':
+			// drop separators
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// Class is one of the paper's three fundamental incentive classes.
+type Class int
+
+// The three basic classes (Figure 1).
+const (
+	ClassReciprocity Class = iota + 1
+	ClassAltruism
+	ClassReputation
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassReciprocity:
+		return "reciprocity"
+	case ClassAltruism:
+		return "altruism"
+	case ClassReputation:
+		return "reputation"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Components returns the basic classes an algorithm combines (Figure 1):
+// basic algorithms return themselves; hybrids return their two components.
+func (a Algorithm) Components() []Class {
+	switch a {
+	case Reciprocity:
+		return []Class{ClassReciprocity}
+	case Altruism:
+		return []Class{ClassAltruism}
+	case Reputation:
+		return []Class{ClassReputation}
+	case BitTorrent:
+		return []Class{ClassReciprocity, ClassAltruism}
+	case FairTorrent:
+		return []Class{ClassReputation, ClassAltruism}
+	case TChain:
+		return []Class{ClassReciprocity, ClassReputation}
+	case PropShare:
+		return []Class{ClassReciprocity, ClassAltruism}
+	default:
+		return nil
+	}
+}
+
+// IsHybrid reports whether the algorithm combines two basic classes.
+func (a Algorithm) IsHybrid() bool { return len(a.Components()) == 2 }

@@ -1,0 +1,126 @@
+package algo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllOrderMatchesPaperTables(t *testing.T) {
+	want := []Algorithm{Reciprocity, TChain, BitTorrent, FairTorrent, Reputation, Altruism}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All() len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("All()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	cases := map[Algorithm]string{
+		Reciprocity:  "Reciprocity",
+		TChain:       "T-Chain",
+		BitTorrent:   "BitTorrent",
+		FairTorrent:  "FairTorrent",
+		Reputation:   "Reputation",
+		Altruism:     "Altruism",
+		Algorithm(0): "Algorithm(0)",
+	}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), got, want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, a := range All() {
+		got, err := Parse(a.String())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", a.String(), err)
+			continue
+		}
+		if got != a {
+			t.Errorf("Parse(%q) = %v", a.String(), got)
+		}
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	for _, name := range []string{"t-chain", "TCHAIN", "t_chain", "T Chain"} {
+		got, err := Parse(name)
+		if err != nil || got != TChain {
+			t.Errorf("Parse(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := Parse("bittyrant"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestComponentsMatchFigure1(t *testing.T) {
+	cases := map[Algorithm][]Class{
+		Reciprocity: {ClassReciprocity},
+		Altruism:    {ClassAltruism},
+		Reputation:  {ClassReputation},
+		BitTorrent:  {ClassReciprocity, ClassAltruism},
+		FairTorrent: {ClassReputation, ClassAltruism},
+		TChain:      {ClassReciprocity, ClassReputation},
+	}
+	for a, want := range cases {
+		got := a.Components()
+		if len(got) != len(want) {
+			t.Errorf("%v components = %v", a, got)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%v components = %v, want %v", a, got, want)
+			}
+		}
+		if a.IsHybrid() != (len(want) == 2) {
+			t.Errorf("%v IsHybrid = %v", a, a.IsHybrid())
+		}
+	}
+	if Algorithm(0).Components() != nil {
+		t.Error("invalid algorithm has components")
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 1 || exts[0] != PropShare {
+		t.Fatalf("Extensions() = %v", exts)
+	}
+	if got, err := Parse("propshare"); err != nil || got != PropShare {
+		t.Errorf("Parse(propshare) = %v, %v", got, err)
+	}
+	if PropShare.String() != "PropShare" {
+		t.Errorf("PropShare name = %q", PropShare.String())
+	}
+	if !PropShare.IsHybrid() {
+		t.Error("PropShare should be a reciprocity/altruism hybrid")
+	}
+	// Extensions never appear in the paper's table set.
+	for _, a := range All() {
+		if a == PropShare {
+			t.Error("PropShare leaked into All()")
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{ClassReciprocity, ClassAltruism, ClassReputation} {
+		if strings.HasPrefix(c.String(), "Class(") {
+			t.Errorf("class %d missing name", int(c))
+		}
+	}
+	if Class(0).String() != "Class(0)" {
+		t.Error("invalid class name wrong")
+	}
+}

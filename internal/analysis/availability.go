@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// QNeeds returns q(i,j) from Eq. 5: the probability that a user holding mi
+// of M uniformly random pieces needs at least one piece from a user holding
+// mj pieces.
+//
+// For mi ≥ mj the complementary event is "all mj of j's pieces lie inside
+// i's mi pieces", whose probability is C(M−mj, mi−mj)/C(M, mi).
+// (The paper prints the denominator as C(M, mj); C(M, mi) is the
+// normalization that makes q(i,j) a probability and yields the boundary
+// values q = 0 at mj = 0 and mi = M that the surrounding text uses.)
+func QNeeds(mi, mj, m int) float64 {
+	switch {
+	case m <= 0 || mi < 0 || mj < 0 || mi > m || mj > m:
+		return 0
+	case mj == 0:
+		return 0 // an empty peer has nothing anyone needs
+	case mi < mj:
+		return 1 // pigeonhole: j must hold a piece i lacks
+	default:
+		return 1 - stats.BinomialRatio(m-mj, mi-mj, m, mi)
+	}
+}
+
+// PiDirectReciprocity returns π_DR(j,i) from Eq. 4: the probability that
+// users holding mi and mj pieces can exchange pieces with direct
+// reciprocation, q(i,j)·q(j,i). It is 0 whenever either user has no pieces,
+// which is the bootstrapping obstruction the paper highlights.
+func PiDirectReciprocity(mi, mj, m int) float64 {
+	return QNeeds(mi, mj, m) * QNeeds(mj, mi, m)
+}
+
+// PieceCountDist is p_k, the probability that a user holds exactly k pieces,
+// for k = 0..M (index k).
+type PieceCountDist []float64
+
+// UniformPieceCounts returns a distribution uniform over 0..m pieces, a
+// convenient stand-in for a mid-download swarm.
+func UniformPieceCounts(m int) PieceCountDist {
+	out := make(PieceCountDist, m+1)
+	p := 1 / float64(m+1)
+	for k := range out {
+		out[k] = p
+	}
+	return out
+}
+
+// PointPieceCounts returns a distribution concentrated at k pieces.
+func PointPieceCounts(m, k int) PieceCountDist {
+	out := make(PieceCountDist, m+1)
+	out[k] = 1
+	return out
+}
+
+// Validate checks that the distribution sums to ~1 and is nonnegative.
+func (p PieceCountDist) Validate() error {
+	if len(p) == 0 {
+		return errors.New("analysis: empty piece-count distribution")
+	}
+	var sum float64
+	for k, pk := range p {
+		if pk < 0 {
+			return fmt.Errorf("analysis: p[%d] = %g negative", k, pk)
+		}
+		sum += pk
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("analysis: distribution sums to %g, want 1", sum)
+	}
+	return nil
+}
+
+// indirectFactor computes the bracketed factor shared by Eq. 6 and π_IR:
+// 1 − (1 − Σ_l p_l·q(j,l)·(1−q(l,j)))^(N−2), the probability that at least
+// one third user l exists to whom j's upload can be redirected.
+func indirectFactor(mj, m, n int, dist PieceCountDist) float64 {
+	var inner float64
+	for l := 0; l < len(dist) && l <= m; l++ {
+		if dist[l] == 0 {
+			continue
+		}
+		inner += dist[l] * QNeeds(mj, l, m) * (1 - QNeeds(l, mj, m))
+	}
+	if inner > 1 {
+		inner = 1
+	}
+	return 1 - stats.Pow1mXN(inner, float64(n-2))
+}
+
+// PiTChain returns π_TC(j,i) from Eq. 6: the probability that user j (mj
+// pieces) can upload to user i (mi pieces) in T-Chain, via direct or
+// indirect reciprocity, in a swarm of n users whose piece counts follow
+// dist.
+func PiTChain(mi, mj, m, n int, dist PieceCountDist) float64 {
+	qij := QNeeds(mi, mj, m)
+	qji := QNeeds(mj, mi, m)
+	return qij*qji + qij*(1-qji)*indirectFactor(mj, m, n, dist)
+}
+
+// PiIndirectReciprocity returns π_IR, the second summand of Eq. 6 alone:
+// the probability that the exchange happens via indirect reciprocity. This
+// drives T-Chain's collusion exposure in Table III.
+func PiIndirectReciprocity(mi, mj, m, n int, dist PieceCountDist) float64 {
+	qij := QNeeds(mi, mj, m)
+	qji := QNeeds(mj, mi, m)
+	return qij * (1 - qji) * indirectFactor(mj, m, n, dist)
+}
+
+// PiBitTorrent returns π_BT(j,i) from Eq. 7: q(i,j)·((1−α_BT)q(j,i)+α_BT).
+func PiBitTorrent(mi, mj, m int, alphaBT float64) float64 {
+	return QNeeds(mi, mj, m) * ((1-alphaBT)*QNeeds(mj, mi, m) + alphaBT)
+}
+
+// PiAltruism returns π_A(j,i) = q(i,j): altruism is limited only by whether
+// the receiver needs something (Corollary 2's proof).
+func PiAltruism(mi, mj, m int) float64 {
+	return QNeeds(mi, mj, m)
+}
+
+// AlphaBTThreshold returns the right-hand side of Eq. 8: π_TC ≥ π_BT
+// whenever α_BT is at most this value.
+func AlphaBTThreshold(mj, m, n int, dist PieceCountDist) float64 {
+	return indirectFactor(mj, m, n, dist)
+}
+
+// MeanExchangeProbability averages an exchange-probability kernel over
+// piece counts (mi, mj) drawn independently from dist, giving the
+// population-level feasibility figure the Figure 3 harness plots.
+func MeanExchangeProbability(dist PieceCountDist, kernel func(mi, mj int) float64) float64 {
+	var sum float64
+	for mi, pi := range dist {
+		if pi == 0 {
+			continue
+		}
+		for mj, pj := range dist {
+			if pj == 0 {
+				continue
+			}
+			sum += pi * pj * kernel(mi, mj)
+		}
+	}
+	return sum
+}

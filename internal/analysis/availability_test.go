@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQNeedsBoundaries(t *testing.T) {
+	const m = 100
+	cases := []struct {
+		mi, mj int
+		want   float64
+	}{
+		{0, 0, 0},   // nobody has anything
+		{50, 0, 0},  // j empty: nothing to need
+		{0, 1, 1},   // i empty, j has a piece: pigeonhole
+		{m, 50, 0},  // i complete: needs nothing
+		{10, 50, 1}, // mi < mj: pigeonhole
+		{-1, 5, 0},  // out of range
+		{5, m + 1, 0},
+	}
+	for _, c := range cases {
+		if got := QNeeds(c.mi, c.mj, m); got != c.want {
+			t.Errorf("QNeeds(%d,%d,%d) = %g, want %g", c.mi, c.mj, m, got, c.want)
+		}
+	}
+	if got := QNeeds(5, 5, 0); got != 0 {
+		t.Errorf("QNeeds with m=0 = %g", got)
+	}
+}
+
+func TestQNeedsExactSmallCase(t *testing.T) {
+	// M=4, mi=2, mj=2: P(j's 2 pieces ⊆ i's 2 pieces) = 1/C(4,2) = 1/6,
+	// so q = 5/6.
+	got := QNeeds(2, 2, 4)
+	if math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("QNeeds(2,2,4) = %g, want 5/6", got)
+	}
+	// M=3, mi=2, mj=1: P(j's piece ∈ i's 2) = 2/3, q = 1/3.
+	got = QNeeds(2, 1, 3)
+	if math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("QNeeds(2,1,3) = %g, want 1/3", got)
+	}
+}
+
+func TestQNeedsIsProbabilityProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		m := 1 + int(c%200)
+		mi := int(a) % (m + 1)
+		mj := int(b) % (m + 1)
+		q := QNeeds(mi, mj, m)
+		return q >= 0 && q <= 1 && !math.IsNaN(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQNeedsMonotoneInMj(t *testing.T) {
+	// More pieces at j can only increase the chance i needs one.
+	const m = 60
+	for mi := 0; mi <= m; mi += 10 {
+		prev := -1.0
+		for mj := 0; mj <= m; mj++ {
+			q := QNeeds(mi, mj, m)
+			if q < prev-1e-12 {
+				t.Fatalf("QNeeds(%d,%d) = %g < QNeeds(%d,%d) = %g", mi, mj, q, mi, mj-1, prev)
+			}
+			prev = q
+		}
+	}
+}
+
+func TestPiDirectReciprocityZeroWithEmptyPeer(t *testing.T) {
+	// Flash-crowd obstruction: a piece-less newcomer can never directly
+	// reciprocate (Section IV-A2).
+	for mj := 0; mj <= 100; mj += 20 {
+		if got := PiDirectReciprocity(0, mj, 100); got != 0 {
+			t.Errorf("PiDR(0,%d) = %g, want 0", mj, got)
+		}
+	}
+}
+
+func TestPiDirectReciprocitySymmetric(t *testing.T) {
+	f := func(a, b uint8) bool {
+		const m = 128
+		mi := int(a) % (m + 1)
+		mj := int(b) % (m + 1)
+		return math.Abs(PiDirectReciprocity(mi, mj, m)-PiDirectReciprocity(mj, mi, m)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPieceCountDists(t *testing.T) {
+	u := UniformPieceCounts(10)
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(u) != 11 {
+		t.Errorf("uniform len = %d", len(u))
+	}
+	p := PointPieceCounts(10, 4)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p[4] != 1 {
+		t.Error("point mass misplaced")
+	}
+	if err := (PieceCountDist{}).Validate(); err == nil {
+		t.Error("empty dist accepted")
+	}
+	if err := (PieceCountDist{0.5, 0.4}).Validate(); err == nil {
+		t.Error("non-normalized dist accepted")
+	}
+	if err := (PieceCountDist{1.5, -0.5}).Validate(); err == nil {
+		t.Error("negative dist accepted")
+	}
+}
+
+func TestProposition2Ordering(t *testing.T) {
+	// π_A >= π_TC >= π_DR, and Eq. 8: π_TC >= π_BT iff α_BT below the
+	// indirect factor.
+	const (
+		m = 64
+		n = 200
+	)
+	dist := UniformPieceCounts(m)
+	for _, mi := range []int{0, 5, 30, 60} {
+		for _, mj := range []int{1, 10, 40, 64} {
+			piA := PiAltruism(mi, mj, m)
+			piTC := PiTChain(mi, mj, m, n, dist)
+			piDR := PiDirectReciprocity(mi, mj, m)
+			if piTC > piA+1e-12 {
+				t.Errorf("π_TC(%d,%d) = %g > π_A = %g", mi, mj, piTC, piA)
+			}
+			if piDR > piTC+1e-12 {
+				t.Errorf("π_DR(%d,%d) = %g > π_TC = %g", mi, mj, piDR, piTC)
+			}
+			threshold := AlphaBTThreshold(mj, m, n, dist)
+			below := PiBitTorrent(mi, mj, m, threshold*0.5)
+			if piTC < below-1e-9 {
+				t.Errorf("Eq.8 violated at (%d,%d): π_TC %g < π_BT %g with α below threshold",
+					mi, mj, piTC, below)
+			}
+		}
+	}
+}
+
+func TestCorollary2LargeNLimit(t *testing.T) {
+	// As N → ∞, π_TC → π_A whenever indirect reciprocity is possible.
+	const m = 64
+	dist := UniformPieceCounts(m)
+	mi, mj := 10, 40
+	piA := PiAltruism(mi, mj, m)
+	small := PiTChain(mi, mj, m, 10, dist)
+	large := PiTChain(mi, mj, m, 100000, dist)
+	if math.Abs(large-piA) > 1e-6 {
+		t.Errorf("π_TC at N=1e5 = %g, want → π_A = %g", large, piA)
+	}
+	if math.Abs(small-piA) < math.Abs(large-piA) {
+		t.Error("π_TC should approach π_A monotonically in N")
+	}
+}
+
+func TestPiBitTorrentAltruismFloor(t *testing.T) {
+	// Even when j needs nothing from i, altruism keeps π_BT = α·q(i,j).
+	const m = 64
+	mi, mj := 0, 30 // newcomer i
+	got := PiBitTorrent(mi, mj, m, 0.2)
+	want := 0.2 * QNeeds(mi, mj, m)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("π_BT = %g, want %g", got, want)
+	}
+}
+
+func TestPiIndirectDecomposition(t *testing.T) {
+	// π_TC = π_DR + π_IR by construction.
+	const (
+		m = 32
+		n = 50
+	)
+	dist := UniformPieceCounts(m)
+	for mi := 0; mi <= m; mi += 8 {
+		for mj := 0; mj <= m; mj += 8 {
+			sum := PiDirectReciprocity(mi, mj, m) + PiIndirectReciprocity(mi, mj, m, n, dist)
+			tc := PiTChain(mi, mj, m, n, dist)
+			if math.Abs(sum-tc) > 1e-12 {
+				t.Errorf("decomposition failed at (%d,%d): %g vs %g", mi, mj, sum, tc)
+			}
+		}
+	}
+}
+
+func TestMeanExchangeProbability(t *testing.T) {
+	const m = 16
+	dist := PointPieceCounts(m, 8)
+	got := MeanExchangeProbability(dist, func(mi, mj int) float64 {
+		return QNeeds(mi, mj, m)
+	})
+	want := QNeeds(8, 8, m)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("mean = %g, want point value %g", got, want)
+	}
+}

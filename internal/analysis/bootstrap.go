@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/algo"
+	"repro/internal/stats"
+)
+
+// BootstrapParams collects the quantities entering Table II's bootstrap
+// probabilities for a flash crowd.
+type BootstrapParams struct {
+	N     int     // total users
+	NS    int     // users the seeder bootstraps per timeslot (n_S)
+	K     int     // average pieces a user uploads per timeslot
+	Z     int     // bootstrapped users z(t) at the evaluated instant
+	PiDR  float64 // probability of direct reciprocity in T-Chain (π_DR)
+	NBT   int     // BitTorrent reciprocity slots (n_BT)
+	Omega float64 // probability a FairTorrent user has a negative deficit (ω)
+	NFT   int     // users with zero deficits in FairTorrent (n_FT)
+}
+
+// TableIIExample returns the parameterization of Table II's example column:
+// N=1000, n_S=1, K=5, z=500, π_DR=0.5, n_BT=4, ω=0.75, n_FT=500.
+func TableIIExample() BootstrapParams {
+	return BootstrapParams{N: 1000, NS: 1, K: 5, Z: 500, PiDR: 0.5, NBT: 4, Omega: 0.75, NFT: 500}
+}
+
+// Validate checks parameter sanity.
+func (p BootstrapParams) Validate() error {
+	switch {
+	case p.N < 3:
+		return fmt.Errorf("analysis: N = %d too small", p.N)
+	case p.NS < 0 || p.NS > p.N:
+		return fmt.Errorf("analysis: n_S = %d outside [0, N]", p.NS)
+	case p.K < 1:
+		return fmt.Errorf("analysis: K = %d must be >= 1", p.K)
+	case p.Z < 0:
+		return fmt.Errorf("analysis: z = %d negative", p.Z)
+	case p.PiDR < 0 || p.PiDR > 1:
+		return fmt.Errorf("analysis: pi_DR = %g outside [0,1]", p.PiDR)
+	case p.NBT < 1 || p.NBT > p.N-3:
+		return fmt.Errorf("analysis: n_BT = %d out of range", p.NBT)
+	case p.Omega < 0 || p.Omega > 1:
+		return fmt.Errorf("analysis: omega = %g outside [0,1]", p.Omega)
+	case p.NFT < p.K+2:
+		return fmt.Errorf("analysis: n_FT = %d must exceed K+1", p.NFT)
+	default:
+		return nil
+	}
+}
+
+// seederMiss is (N − n_S)/N: the probability the seeder does not bootstrap a
+// given newcomer this timeslot.
+func (p BootstrapParams) seederMiss() float64 {
+	return float64(p.N-p.NS) / float64(p.N)
+}
+
+// BootstrapProbability returns Table II's per-timeslot probability that a
+// single newcomer receives its first piece, for the given algorithm.
+func (p BootstrapParams) BootstrapProbability(a algo.Algorithm) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	n := float64(p.N)
+	kz := float64(p.K * p.Z)
+	z := float64(p.Z)
+
+	var x float64 // probability no *peer* bootstraps the newcomer
+	switch a {
+	case algo.Reciprocity:
+		x = 1 // peers never initiate; only the seeder bootstraps
+
+	case algo.TChain:
+		x = math.Pow((n-2+p.PiDR)/(n-1), kz)
+
+	case algo.BitTorrent:
+		x = math.Pow((n-float64(p.NBT)-2)/(n-float64(p.NBT)-1), z)
+
+	case algo.FairTorrent:
+		base := p.Omega + (1-p.Omega)*float64(p.NFT-p.K-1)/float64(p.NFT-1)
+		x = math.Pow(base, z)
+
+	case algo.Reputation:
+		// Half the users altruistically upload one piece per slot [4].
+		x = math.Pow((n-2)/(n-1), z/2)
+
+	case algo.Altruism:
+		x = math.Pow((n-2)/(n-1), kz)
+
+	default:
+		return 0, fmt.Errorf("analysis: unknown algorithm %v", a)
+	}
+	return 1 - p.seederMiss()*x, nil
+}
+
+// BootstrapTable returns the per-algorithm probabilities in table order.
+func (p BootstrapParams) BootstrapTable() (map[algo.Algorithm]float64, error) {
+	out := make(map[algo.Algorithm]float64, 6)
+	for _, a := range algo.All() {
+		prob, err := p.BootstrapProbability(a)
+		if err != nil {
+			return nil, err
+		}
+		out[a] = prob
+	}
+	return out, nil
+}
+
+// ExpectedBootstrapTime evaluates Lemma 3's Eq. 10:
+//
+//	E[T_B(P)] = Σ_{n≥1} ( 1 − (1 − Π_{t=1..n} (1 − p_B(t)))^P )
+//
+// where probAt(t) gives the single-newcomer bootstrap probability in
+// timeslot t (t starting at 1; callers typically close over z(t)).
+// The sum is truncated once the summand drops below tol or after maxSlots
+// slots; it returns an error if the tail has not converged by then.
+func ExpectedBootstrapTime(p int, probAt func(t int) float64, maxSlots int, tol float64) (float64, error) {
+	if p <= 0 {
+		return 0, errors.New("analysis: P must be positive")
+	}
+	if maxSlots <= 0 {
+		maxSlots = 100000
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	// E[T_B(P)] = Σ_{n≥0} P(T_B > n); the n = 0 term is always 1.
+	expected := 1.0
+	survival := 1.0 // Π (1 − p_B(t)) so far
+	for t := 1; t <= maxSlots; t++ {
+		pb := probAt(t)
+		if pb < 0 || pb > 1 || math.IsNaN(pb) {
+			return 0, fmt.Errorf("analysis: p_B(%d) = %g outside [0,1]", t, pb)
+		}
+		survival *= 1 - pb
+		// P(T_B > t) for the slowest of P independent newcomers.
+		term := 1 - stats.Pow1mXN(survival, float64(p))
+		expected += term
+		if term < tol {
+			return expected, nil
+		}
+	}
+	return expected, fmt.Errorf("analysis: E[T_B] did not converge within %d slots", maxSlots)
+}
+
+// ExpectedBootstrapTimeConst is ExpectedBootstrapTime with a
+// time-independent bootstrap probability, the common case when comparing
+// algorithms at a fixed z.
+func ExpectedBootstrapTimeConst(p int, prob float64, maxSlots int) (float64, error) {
+	return ExpectedBootstrapTime(p, func(int) float64 { return prob }, maxSlots, 1e-12)
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+)
+
+// TestTableIIExampleColumn pins the paper's published example column:
+// 0.1%, 71.4%, 39.6%, 71.4%, 22.2%, 91.8%.
+func TestTableIIExampleColumn(t *testing.T) {
+	p := TableIIExample()
+	want := map[algo.Algorithm]float64{
+		algo.Reciprocity: 0.001,
+		algo.TChain:      0.714,
+		algo.BitTorrent:  0.396,
+		algo.FairTorrent: 0.714,
+		algo.Reputation:  0.222,
+		algo.Altruism:    0.918,
+	}
+	for a, w := range want {
+		got, err := p.BootstrapProbability(a)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if math.Abs(got-w) > 0.0015 {
+			t.Errorf("%v bootstrap probability = %.4f, paper says %.3f", a, got, w)
+		}
+	}
+}
+
+func TestBootstrapTableComplete(t *testing.T) {
+	table, err := TableIIExample().BootstrapTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 6 {
+		t.Fatalf("table has %d rows", len(table))
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	bad := []BootstrapParams{
+		{N: 2, NS: 1, K: 1, Z: 0, NBT: 1, NFT: 10},
+		{N: 100, NS: -1, K: 1, Z: 0, NBT: 1, NFT: 10},
+		{N: 100, NS: 1, K: 0, Z: 0, NBT: 1, NFT: 10},
+		{N: 100, NS: 1, K: 1, Z: -1, NBT: 1, NFT: 10},
+		{N: 100, NS: 1, K: 1, Z: 0, PiDR: 1.5, NBT: 1, NFT: 10},
+		{N: 100, NS: 1, K: 1, Z: 0, NBT: 0, NFT: 10},
+		{N: 100, NS: 1, K: 1, Z: 0, NBT: 1, Omega: -0.1, NFT: 10},
+		{N: 100, NS: 1, K: 5, Z: 0, NBT: 1, NFT: 3},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+		if _, err := p.BootstrapProbability(algo.Altruism); err == nil {
+			t.Errorf("case %d probability computed", i)
+		}
+	}
+	if _, err := TableIIExample().BootstrapProbability(algo.Algorithm(42)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestProposition4Ordering(t *testing.T) {
+	// With the example parameters, altruism ≥ {T-Chain, FairTorrent} >
+	// BitTorrent > reputation > reciprocity.
+	p := TableIIExample()
+	prob := func(a algo.Algorithm) float64 {
+		v, err := p.BootstrapProbability(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	alt, tc, ft := prob(algo.Altruism), prob(algo.TChain), prob(algo.FairTorrent)
+	bt, rep, rec := prob(algo.BitTorrent), prob(algo.Reputation), prob(algo.Reciprocity)
+	if !(alt >= tc && alt >= ft) {
+		t.Errorf("altruism %g not fastest (tc %g, ft %g)", alt, tc, ft)
+	}
+	if !(tc > bt && ft > bt) {
+		t.Errorf("hybrids (tc %g, ft %g) not faster than BT %g", tc, ft, bt)
+	}
+	if !(bt > rep) {
+		t.Errorf("BT %g not faster than reputation %g", bt, rep)
+	}
+	if !(rep > rec) {
+		t.Errorf("reputation %g not faster than reciprocity %g", rep, rec)
+	}
+}
+
+func TestProposition4ZeroFrictionLimit(t *testing.T) {
+	// With π_DR = ω = 0, T-Chain and FairTorrent match altruism's form.
+	p := TableIIExample()
+	p.PiDR = 0
+	p.Omega = 0
+	// For FairTorrent equality the per-slot fan-out must match: with
+	// n_FT−1 ≈ N−1 the bases align; here we check T-Chain exactly.
+	alt, _ := p.BootstrapProbability(algo.Altruism)
+	tc, _ := p.BootstrapProbability(algo.TChain)
+	if math.Abs(alt-tc) > 1e-12 {
+		t.Errorf("π_DR=0: T-Chain %g != altruism %g", tc, alt)
+	}
+}
+
+func TestBootstrapProbabilityMonotoneInZ(t *testing.T) {
+	// More bootstrapped users -> higher bootstrap probability.
+	p := TableIIExample()
+	for _, a := range []algo.Algorithm{algo.TChain, algo.BitTorrent, algo.FairTorrent, algo.Reputation, algo.Altruism} {
+		prev := -1.0
+		for z := 0; z <= 1000; z += 100 {
+			p.Z = z
+			got, err := p.BootstrapProbability(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < prev-1e-12 {
+				t.Errorf("%v not monotone in z at z=%d", a, z)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestExpectedBootstrapTimeGeometric(t *testing.T) {
+	// With P=1 and constant probability p, T_B is geometric:
+	// E[T_B] = 1/p.
+	for _, prob := range []float64{0.1, 0.5, 0.9} {
+		got, err := ExpectedBootstrapTimeConst(1, prob, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-1/prob) > 1e-6 {
+			t.Errorf("E[T_B] at p=%g = %g, want %g", prob, got, 1/prob)
+		}
+	}
+}
+
+func TestExpectedBootstrapTimeIncreasesWithP(t *testing.T) {
+	// The slowest of P newcomers takes longer as P grows.
+	prev := 0.0
+	for _, p := range []int{1, 10, 100, 1000} {
+		got, err := ExpectedBootstrapTimeConst(p, 0.3, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= prev {
+			t.Errorf("E[T_B(%d)] = %g not increasing", p, got)
+		}
+		prev = got
+	}
+}
+
+func TestExpectedBootstrapTimeErrors(t *testing.T) {
+	if _, err := ExpectedBootstrapTimeConst(0, 0.5, 100); err == nil {
+		t.Error("P=0 accepted")
+	}
+	if _, err := ExpectedBootstrapTimeConst(1, 1.5, 100); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	// Zero probability never converges.
+	if _, err := ExpectedBootstrapTimeConst(1, 0, 100); err == nil {
+		t.Error("non-convergent sum did not error")
+	}
+}
+
+func TestExpectedBootstrapTimeTimeVarying(t *testing.T) {
+	// p_B = 0 for t <= 5, then 1: everyone bootstraps exactly at t=6.
+	got, err := ExpectedBootstrapTime(50, func(t int) float64 {
+		if t <= 5 {
+			return 0
+		}
+		return 1
+	}, 1000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-6) > 1e-9 {
+		t.Errorf("E[T_B] = %g, want 6", got)
+	}
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/algo"
+)
+
+// BootstrapCurve iterates Table II's per-timeslot bootstrap probabilities
+// into a population trajectory: starting from z(0) = 0, each timeslot
+// bootstraps (N − z)·p_B(z) newcomers in expectation, where p_B is the
+// algorithm's Table II formula evaluated at the current z. The returned
+// series is z(t)/N for t = 0..slots — the analytical counterpart of the
+// Figure 4c curves.
+//
+// base supplies the fixed parameters (N, NS, K, NBT, PiDR, Omega); Z is
+// updated internally each slot and NFT is pinned to the population size
+// (during a flash crowd nearly everyone holds a near-zero deficit).
+func BootstrapCurve(a algo.Algorithm, base BootstrapParams, slots int) ([]float64, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("analysis: slots %d must be positive", slots)
+	}
+	n := float64(base.N)
+	z := 0.0
+	curve := make([]float64, 0, slots+1)
+	curve = append(curve, 0)
+	for t := 0; t < slots; t++ {
+		p := base
+		p.Z = int(math.Round(z))
+		// Zero-deficit population for FairTorrent: during a flash crowd
+		// essentially everyone hovers near a zero deficit (Section IV-B:
+		// "when a flash crowd arrives, most users have similar piece
+		// deficits"), so newcomers compete with the whole population.
+		p.NFT = max(p.K+2, p.N)
+		prob, err := p.BootstrapProbability(a)
+		if err != nil {
+			return nil, err
+		}
+		z += (n - z) * prob
+		if z > n {
+			z = n
+		}
+		curve = append(curve, z/n)
+	}
+	return curve, nil
+}
+
+// TimeToFraction returns the first index (timeslot) at which the curve
+// reaches the given fraction, or -1 if it never does.
+func TimeToFraction(curve []float64, fraction float64) int {
+	for t, v := range curve {
+		if v >= fraction {
+			return t
+		}
+	}
+	return -1
+}

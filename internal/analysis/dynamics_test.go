@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+)
+
+func dynamicsBase() BootstrapParams {
+	return BootstrapParams{N: 1000, NS: 2, K: 2, NBT: 4, PiDR: 0.2, Omega: 0.25, NFT: 10}
+}
+
+func TestBootstrapCurveShape(t *testing.T) {
+	for _, a := range algo.All() {
+		curve, err := BootstrapCurve(a, dynamicsBase(), 400)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if len(curve) != 401 {
+			t.Fatalf("%v: %d points", a, len(curve))
+		}
+		if curve[0] != 0 {
+			t.Errorf("%v: curve starts at %g", a, curve[0])
+		}
+		prev := -1.0
+		for i, v := range curve {
+			if v < prev-1e-12 || v > 1+1e-12 {
+				t.Fatalf("%v: curve not monotone in [0,1] at %d: %g", a, i, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestBootstrapCurveOrdering(t *testing.T) {
+	// Proposition 4's speed ordering shows up in time-to-90%.
+	times := make(map[algo.Algorithm]int, 6)
+	for _, a := range algo.All() {
+		curve, err := BootstrapCurve(a, dynamicsBase(), 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[a] = TimeToFraction(curve, 0.9)
+		if times[a] < 0 {
+			t.Fatalf("%v never reached 90%% in 5000 slots", a)
+		}
+	}
+	if !(times[algo.Altruism] <= times[algo.TChain] && times[algo.Altruism] <= times[algo.FairTorrent]) {
+		t.Errorf("altruism %d slots not fastest (tc %d, ft %d)",
+			times[algo.Altruism], times[algo.TChain], times[algo.FairTorrent])
+	}
+	if !(times[algo.TChain] <= times[algo.BitTorrent]) {
+		t.Errorf("T-Chain %d not faster than BitTorrent %d", times[algo.TChain], times[algo.BitTorrent])
+	}
+	if !(times[algo.BitTorrent] <= times[algo.Reputation]) {
+		t.Errorf("BitTorrent %d not faster than reputation %d", times[algo.BitTorrent], times[algo.Reputation])
+	}
+	if !(times[algo.Reputation] < times[algo.Reciprocity]) {
+		t.Errorf("reputation %d not faster than reciprocity %d", times[algo.Reputation], times[algo.Reciprocity])
+	}
+}
+
+func TestBootstrapCurveReciprocitySeederOnly(t *testing.T) {
+	// Reciprocity's curve depends only on the seeder: z' = (N-z)·n_S/N.
+	base := dynamicsBase()
+	curve, err := BootstrapCurve(algo.Reciprocity, base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(base.N)
+	z := 0.0
+	for slot := 1; slot <= 10; slot++ {
+		z += (n - z) * float64(base.NS) / n
+		if diff := curve[slot] - z/n; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("slot %d: curve %g, want %g", slot, curve[slot], z/n)
+		}
+	}
+}
+
+func TestBootstrapCurveErrors(t *testing.T) {
+	if _, err := BootstrapCurve(algo.Altruism, dynamicsBase(), 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+	bad := dynamicsBase()
+	bad.N = 1
+	if _, err := BootstrapCurve(algo.Altruism, bad, 10); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestTimeToFraction(t *testing.T) {
+	curve := []float64{0, 0.3, 0.6, 0.95, 1}
+	if got := TimeToFraction(curve, 0.5); got != 2 {
+		t.Errorf("t50 = %d", got)
+	}
+	if got := TimeToFraction(curve, 0.99); got != 4 {
+		t.Errorf("t99 = %d", got)
+	}
+	if got := TimeToFraction(curve[:3], 0.99); got != -1 {
+		t.Errorf("unreachable = %d", got)
+	}
+}

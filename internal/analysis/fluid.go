@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// FluidParams parameterizes the flash-crowd specialization of the classic
+// BitTorrent fluid model (Qiu & Srikant [27], the substrate under the
+// paper's efficiency analysis): x(t) leechers drain at the swarm's
+// aggregate upload rate. With leave-on-completion churn the seed population
+// is just the origin, so
+//
+//	dx/dt = −(μ·η·x + s),   x(0) = N,
+//
+// where μ is a peer's upload rate in files/second, η the exchange
+// efficiency (≈1 under rarest-first), and s the origin's rate in
+// files/second. The completion curve is (N − x(t))/N.
+type FluidParams struct {
+	// N is the flash-crowd size.
+	N int
+	// Mu is the mean per-peer upload rate in files/second.
+	Mu float64
+	// Eta is the exchange efficiency in [0, 1] (fraction of upload
+	// capacity doing useful work; ≈1 with rarest-first piece selection).
+	Eta float64
+	// SeedRate is the origin server's upload rate in files/second.
+	SeedRate float64
+}
+
+// Validate checks the parameters.
+func (p FluidParams) Validate() error {
+	switch {
+	case p.N < 1:
+		return fmt.Errorf("analysis: fluid N = %d", p.N)
+	case p.Mu < 0 || math.IsNaN(p.Mu):
+		return fmt.Errorf("analysis: fluid mu = %g", p.Mu)
+	case p.Eta < 0 || p.Eta > 1:
+		return fmt.Errorf("analysis: fluid eta = %g outside [0,1]", p.Eta)
+	case p.SeedRate < 0:
+		return fmt.Errorf("analysis: fluid seed rate = %g", p.SeedRate)
+	case p.Mu*p.Eta == 0 && p.SeedRate == 0:
+		return fmt.Errorf("analysis: fluid system has no serving capacity")
+	default:
+		return nil
+	}
+}
+
+// FluidLeechers returns the closed-form x(t) for the linear drain ODE:
+// x(t) = (N + s/a)·e^(−a·t) − s/a with a = μ·η, degenerating to
+// x(t) = N − s·t when a = 0. Values are clamped to [0, N].
+func (p FluidParams) FluidLeechers(t float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	n := float64(p.N)
+	a := p.Mu * p.Eta
+	var x float64
+	if a == 0 {
+		x = n - p.SeedRate*t
+	} else {
+		ratio := p.SeedRate / a
+		x = (n+ratio)*math.Exp(-a*t) - ratio
+	}
+	if x < 0 {
+		x = 0
+	}
+	if x > n {
+		x = n
+	}
+	return x, nil
+}
+
+// FluidCompletionCurve samples the completed fraction (N − x(t))/N on a
+// uniform grid of `samples` points over [0, horizon].
+func (p FluidParams) FluidCompletionCurve(horizon float64, samples int) ([]float64, error) {
+	if samples < 2 || horizon <= 0 {
+		return nil, fmt.Errorf("analysis: fluid curve needs samples >= 2 and positive horizon")
+	}
+	out := make([]float64, samples)
+	n := float64(p.N)
+	for i := range out {
+		t := horizon * float64(i) / float64(samples-1)
+		x, err := p.FluidLeechers(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = (n - x) / n
+	}
+	return out, nil
+}
+
+// FluidTimeToFraction returns the time at which the completed fraction
+// reaches the target, solved from the closed form; +Inf if unreachable.
+func (p FluidParams) FluidTimeToFraction(fraction float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if fraction <= 0 {
+		return 0, nil
+	}
+	if fraction > 1 {
+		return math.Inf(1), nil
+	}
+	n := float64(p.N)
+	target := n * (1 - fraction) // leechers remaining
+	a := p.Mu * p.Eta
+	if a == 0 {
+		return (n - target) / p.SeedRate, nil
+	}
+	ratio := p.SeedRate / a
+	// target = (N + ratio)·e^(−a·t) − ratio
+	arg := (target + ratio) / (n + ratio)
+	if arg <= 0 {
+		return math.Inf(1), nil
+	}
+	return -math.Log(arg) / a, nil
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func fluidBase() FluidParams {
+	return FluidParams{N: 1000, Mu: 0.002, Eta: 1, SeedRate: 0.01}
+}
+
+func TestFluidValidation(t *testing.T) {
+	bad := []FluidParams{
+		{N: 0, Mu: 1, Eta: 1, SeedRate: 1},
+		{N: 10, Mu: -1, Eta: 1, SeedRate: 1},
+		{N: 10, Mu: 1, Eta: 2, SeedRate: 1},
+		{N: 10, Mu: 1, Eta: 1, SeedRate: -1},
+		{N: 10, Mu: 0, Eta: 0, SeedRate: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := fluidBase().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFluidClosedFormInitialCondition(t *testing.T) {
+	p := fluidBase()
+	x0, err := p.FluidLeechers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x0-float64(p.N)) > 1e-9 {
+		t.Errorf("x(0) = %g, want N", x0)
+	}
+}
+
+func TestFluidSatisfiesODE(t *testing.T) {
+	// Central difference of the closed form must match −(a·x + s).
+	p := fluidBase()
+	a := p.Mu * p.Eta
+	const h = 1e-4
+	for _, tt := range []float64{1, 50, 200, 800} {
+		xPlus, _ := p.FluidLeechers(tt + h)
+		xMinus, _ := p.FluidLeechers(tt - h)
+		x, _ := p.FluidLeechers(tt)
+		if x == 0 {
+			continue // clamped region; the ODE no longer applies
+		}
+		derivative := (xPlus - xMinus) / (2 * h)
+		want := -(a*x + p.SeedRate)
+		if math.Abs(derivative-want) > 1e-3*math.Abs(want) {
+			t.Errorf("t=%g: dx/dt = %g, want %g", tt, derivative, want)
+		}
+	}
+}
+
+func TestFluidSeederOnlyDegenerate(t *testing.T) {
+	// With mu = 0 the drain is linear: the reciprocity regime.
+	p := FluidParams{N: 100, Mu: 0, Eta: 1, SeedRate: 2}
+	x, err := p.FluidLeechers(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-50) > 1e-9 {
+		t.Errorf("x(25) = %g, want 50", x)
+	}
+	t50, err := p.FluidTimeToFraction(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(t50-25) > 1e-9 {
+		t.Errorf("t50 = %g, want 25", t50)
+	}
+}
+
+func TestFluidCompletionCurveMonotoneProperty(t *testing.T) {
+	f := func(seedScale, muScale uint8) bool {
+		p := FluidParams{
+			N:        500,
+			Mu:       float64(muScale%50) / 10000,
+			Eta:      1,
+			SeedRate: float64(seedScale%50)/100 + 0.001,
+		}
+		curve, err := p.FluidCompletionCurve(2000, 100)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for _, v := range curve {
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFluidTimeToFractionInvertsCurve(t *testing.T) {
+	p := fluidBase()
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.99} {
+		tt, err := p.FluidTimeToFraction(frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, _ := p.FluidLeechers(tt)
+		got := (float64(p.N) - x) / float64(p.N)
+		if math.Abs(got-frac) > 1e-9 {
+			t.Errorf("fraction at t%g = %g", frac, got)
+		}
+	}
+	if tt, _ := p.FluidTimeToFraction(0); tt != 0 {
+		t.Error("t0 != 0")
+	}
+	if tt, _ := p.FluidTimeToFraction(1.5); !math.IsInf(tt, 1) {
+		t.Error("impossible fraction not +Inf")
+	}
+}
+
+func TestFluidCurveErrors(t *testing.T) {
+	p := fluidBase()
+	if _, err := p.FluidCompletionCurve(0, 10); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := p.FluidCompletionCurve(10, 1); err == nil {
+		t.Error("single sample accepted")
+	}
+	bad := FluidParams{}
+	if _, err := bad.FluidLeechers(1); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := bad.FluidTimeToFraction(0.5); err == nil {
+		t.Error("invalid params accepted in time solve")
+	}
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+)
+
+// FreeRideParams collects the quantities entering Table III.
+type FreeRideParams struct {
+	TotalCapacity float64 // Σᵢ Uᵢ
+	AlphaBT       float64 // BitTorrent optimistic-unchoke share
+	AlphaR        float64 // reputation altruism share
+	Omega         float64 // FairTorrent negative-deficit probability ω
+	PiIR          float64 // T-Chain indirect-reciprocity probability π_IR
+	FreeRiders    int     // m, number of colluding free-riders
+	N             int     // total users
+}
+
+// ExploitableResources returns Table III's "exploitable resources" column:
+// the upload bandwidth a non-collusive free-rider population can capture.
+func (p FreeRideParams) ExploitableResources(a algo.Algorithm) (float64, error) {
+	switch a {
+	case algo.Reciprocity, algo.TChain:
+		return 0, nil
+	case algo.BitTorrent:
+		return p.AlphaBT * p.TotalCapacity, nil
+	case algo.FairTorrent:
+		return (1 - p.Omega) * p.TotalCapacity, nil
+	case algo.Reputation:
+		return p.AlphaR * p.TotalCapacity, nil
+	case algo.Altruism:
+		return p.TotalCapacity, nil
+	default:
+		return 0, fmt.Errorf("analysis: unknown algorithm %v", a)
+	}
+}
+
+// CollusionProbability returns Table III's "collusion probability" column:
+// the chance that a collusive attack extracts an upload. The paper marks
+// reciprocity, BitTorrent, and FairTorrent "none" (0), altruism "n/a"
+// (collusion is pointless when everything is free — reported as 0 here),
+// reputation 1 (false praise always works), and T-Chain
+// π_IR·(m−1)m/((N−1)N) ≪ 1.
+func (p FreeRideParams) CollusionProbability(a algo.Algorithm) (float64, error) {
+	switch a {
+	case algo.Reciprocity, algo.BitTorrent, algo.FairTorrent, algo.Altruism:
+		return 0, nil
+	case algo.Reputation:
+		return 1, nil
+	case algo.TChain:
+		if p.N < 2 {
+			return 0, fmt.Errorf("analysis: N = %d too small", p.N)
+		}
+		m := float64(p.FreeRiders)
+		n := float64(p.N)
+		return p.PiIR * (m - 1) * m / ((n - 1) * n), nil
+	default:
+		return 0, fmt.Errorf("analysis: unknown algorithm %v", a)
+	}
+}
+
+// ExposureRow is one rendered row of Table III.
+type ExposureRow struct {
+	Algorithm   algo.Algorithm
+	Exploitable float64
+	Collusion   float64
+}
+
+// TableIII renders all six rows.
+func (p FreeRideParams) TableIII() ([]ExposureRow, error) {
+	rows := make([]ExposureRow, 0, 6)
+	for _, a := range algo.All() {
+		ex, err := p.ExploitableResources(a)
+		if err != nil {
+			return nil, err
+		}
+		col, err := p.CollusionProbability(a)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExposureRow{Algorithm: a, Exploitable: ex, Collusion: col})
+	}
+	return rows, nil
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+)
+
+func exampleFreeRide() FreeRideParams {
+	return FreeRideParams{
+		TotalCapacity: 1000,
+		AlphaBT:       0.2,
+		AlphaR:        0.1,
+		Omega:         0.75,
+		PiIR:          0.05,
+		FreeRiders:    200,
+		N:             1000,
+	}
+}
+
+func TestTableIIIExploitableResources(t *testing.T) {
+	p := exampleFreeRide()
+	want := map[algo.Algorithm]float64{
+		algo.Reciprocity: 0,
+		algo.TChain:      0,
+		algo.BitTorrent:  200,  // α_BT · ΣU
+		algo.FairTorrent: 250,  // (1−ω) · ΣU
+		algo.Reputation:  100,  // α_R · ΣU
+		algo.Altruism:    1000, // ΣU
+	}
+	for a, w := range want {
+		got, err := p.ExploitableResources(a)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if math.Abs(got-w) > 1e-9 {
+			t.Errorf("%v exploitable = %g, want %g", a, got, w)
+		}
+	}
+	if _, err := p.ExploitableResources(algo.Algorithm(77)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestTableIIICollusion(t *testing.T) {
+	p := exampleFreeRide()
+	for _, a := range []algo.Algorithm{algo.Reciprocity, algo.BitTorrent, algo.FairTorrent, algo.Altruism} {
+		got, err := p.CollusionProbability(a)
+		if err != nil || got != 0 {
+			t.Errorf("%v collusion = %g, %v; want 0", a, got, err)
+		}
+	}
+	if got, _ := p.CollusionProbability(algo.Reputation); got != 1 {
+		t.Errorf("reputation collusion = %g, want 1", got)
+	}
+	tc, err := p.CollusionProbability(algo.TChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.05 * 199 * 200 / (999.0 * 1000)
+	if math.Abs(tc-want) > 1e-12 {
+		t.Errorf("T-Chain collusion = %g, want %g", tc, want)
+	}
+	if tc >= 0.01 {
+		t.Errorf("T-Chain collusion %g should be ≪ 1", tc)
+	}
+	if _, err := p.CollusionProbability(algo.Algorithm(77)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	bad := p
+	bad.N = 1
+	if _, err := bad.CollusionProbability(algo.TChain); err == nil {
+		t.Error("N=1 accepted")
+	}
+}
+
+func TestTableIIISusceptibilityOrdering(t *testing.T) {
+	// Altruism > FairTorrent > BitTorrent > Reputation > T-Chain = Reciprocity = 0
+	// with the example parameters.
+	p := exampleFreeRide()
+	rows, err := p.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byAlgo := make(map[algo.Algorithm]ExposureRow, 6)
+	for _, r := range rows {
+		byAlgo[r.Algorithm] = r
+	}
+	if !(byAlgo[algo.Altruism].Exploitable > byAlgo[algo.FairTorrent].Exploitable &&
+		byAlgo[algo.FairTorrent].Exploitable > byAlgo[algo.BitTorrent].Exploitable &&
+		byAlgo[algo.BitTorrent].Exploitable > byAlgo[algo.Reputation].Exploitable &&
+		byAlgo[algo.Reputation].Exploitable > 0) {
+		t.Errorf("exploitable ordering violated: %+v", byAlgo)
+	}
+}
+
+func TestReputationEquilibriumProportional(t *testing.T) {
+	caps := []float64{8, 4, 2, 1}
+	f, e, err := ReputationEquilibrium(ProportionalReputations(caps), caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("proportional reputations F = %g, want 0", f)
+	}
+	// E = Σ Σr/(N·rᵢ); with r ∝ U: Σ 15/(4·Uᵢ).
+	want := 15.0 / 4 * (1.0/8 + 1.0/4 + 1.0/2 + 1.0/1)
+	if math.Abs(e-want) > 1e-9 {
+		t.Errorf("E = %g, want %g", e, want)
+	}
+}
+
+func TestReputationEquilibriumSkewHurtsBoth(t *testing.T) {
+	// Proposition 3's point: depress one user's reputation and both F and E
+	// degrade.
+	caps := []float64{8, 4, 2, 1}
+	f0, e0, err := ReputationEquilibrium(ProportionalReputations(caps), caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := SkewedReputations(caps, 1, 0.05)
+	f1, e1, err := ReputationEquilibrium(skewed, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f1 > f0 && e1 > e0) {
+		t.Errorf("skew did not hurt: F %g→%g, E %g→%g", f0, f1, e0, e1)
+	}
+}
+
+func TestReputationEquilibriumDegenerate(t *testing.T) {
+	if _, _, err := ReputationEquilibrium([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := ReputationEquilibrium(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, _, err := ReputationEquilibrium([]float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Error("zero total reputation accepted")
+	}
+	f, e, err := ReputationEquilibrium([]float64{0, 1}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(f, 1) || !math.IsInf(e, 1) {
+		t.Errorf("zero-reputation user: F=%g E=%g, want +Inf", f, e)
+	}
+}
+
+func TestSkewedReputationsOutOfRange(t *testing.T) {
+	caps := []float64{1, 2}
+	got := SkewedReputations(caps, 5, 0.1)
+	if got[0] != 1 || got[1] != 2 {
+		t.Error("out-of-range skew mutated values")
+	}
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// samplePieceSet draws a uniformly random m-subset of [0, total).
+func samplePieceSet(rng *rand.Rand, total, m int) map[int]bool {
+	out := make(map[int]bool, m)
+	for _, idx := range stats.SampleWithoutReplacement(rng, total, m) {
+		out[idx] = true
+	}
+	return out
+}
+
+// needsAtLeastOne reports whether j holds a piece i lacks.
+func needsAtLeastOne(i, j map[int]bool) bool {
+	for p := range j {
+		if !i[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQNeedsMatchesMonteCarlo validates the closed form of Eq. 5 against
+// direct sampling: draw random piece sets of the given sizes and count how
+// often user i needs something from user j.
+func TestQNeedsMatchesMonteCarlo(t *testing.T) {
+	const (
+		m      = 24
+		trials = 20000
+	)
+	rng := stats.NewRNG(99)
+	cases := []struct{ mi, mj int }{
+		{12, 12}, {20, 4}, {4, 20}, {23, 1}, {1, 23}, {24, 12}, {12, 0},
+	}
+	for _, c := range cases {
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			si := samplePieceSet(rng, m, c.mi)
+			sj := samplePieceSet(rng, m, c.mj)
+			if needsAtLeastOne(si, sj) {
+				hits++
+			}
+		}
+		empirical := float64(hits) / trials
+		closed := QNeeds(c.mi, c.mj, m)
+		if math.Abs(empirical-closed) > 0.015 {
+			t.Errorf("q(%d,%d): closed form %.4f vs Monte Carlo %.4f",
+				c.mi, c.mj, closed, empirical)
+		}
+	}
+}
+
+// TestPiDRMatchesMonteCarlo validates Eq. 4 the same way: both users must
+// need something from each other.
+func TestPiDRMatchesMonteCarlo(t *testing.T) {
+	const (
+		m      = 24
+		trials = 20000
+	)
+	rng := stats.NewRNG(7)
+	cases := []struct{ mi, mj int }{
+		{12, 12}, {6, 18}, {2, 2}, {22, 22},
+	}
+	for _, c := range cases {
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			si := samplePieceSet(rng, m, c.mi)
+			sj := samplePieceSet(rng, m, c.mj)
+			if needsAtLeastOne(si, sj) && needsAtLeastOne(sj, si) {
+				hits++
+			}
+		}
+		empirical := float64(hits) / trials
+		closed := PiDirectReciprocity(c.mi, c.mj, m)
+		// Eq. 4 multiplies q(i,j)·q(j,i) as if independent; for random
+		// uniform sets the coupling is weak, so a slightly wider tolerance
+		// absorbs it.
+		if math.Abs(empirical-closed) > 0.03 {
+			t.Errorf("pi_DR(%d,%d): closed form %.4f vs Monte Carlo %.4f",
+				c.mi, c.mj, closed, empirical)
+		}
+	}
+}
+
+// TestPiBTMatchesMonteCarlo validates Eq. 7 by sampling both piece sets and
+// the optimistic-unchoke coin.
+func TestPiBTMatchesMonteCarlo(t *testing.T) {
+	const (
+		m       = 24
+		trials  = 40000
+		alphaBT = 0.2
+	)
+	rng := stats.NewRNG(13)
+	for _, c := range []struct{ mi, mj int }{{12, 12}, {4, 20}} {
+		hits := 0
+		for trial := 0; trial < trials; trial++ {
+			si := samplePieceSet(rng, m, c.mi)
+			sj := samplePieceSet(rng, m, c.mj)
+			if !needsAtLeastOne(si, sj) {
+				continue // receiver needs nothing: no exchange
+			}
+			if rng.Float64() < alphaBT || needsAtLeastOne(sj, si) {
+				hits++
+			}
+		}
+		empirical := float64(hits) / trials
+		closed := PiBitTorrent(c.mi, c.mj, m, alphaBT)
+		if math.Abs(empirical-closed) > 0.03 {
+			t.Errorf("pi_BT(%d,%d): closed form %.4f vs Monte Carlo %.4f",
+				c.mi, c.mj, closed, empirical)
+		}
+	}
+}

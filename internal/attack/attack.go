@@ -1,0 +1,137 @@
+// Package attack models the free-riding behaviours the paper evaluates in
+// Section V-B2: passive free-riding (never upload), T-Chain collusion
+// (falsely confirming receipt so a colluder's key is released), FairTorrent
+// whitewashing (identity resets that erase accumulated deficits), the
+// reputation false-praise collusion from Table III, and the large-view
+// exploit (connecting to many more neighbors to harvest more altruism).
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/incentive"
+)
+
+// Kind enumerates free-rider behaviours.
+type Kind int
+
+// The attack kinds. Passive is the baseline "receive but never upload"
+// behaviour; the others augment it.
+const (
+	Passive Kind = iota + 1
+	Collusion
+	Whitewash
+	FalsePraise
+)
+
+// String returns the attack name.
+func (k Kind) String() string {
+	switch k {
+	case Passive:
+		return "passive"
+	case Collusion:
+		return "collusion"
+	case Whitewash:
+		return "whitewash"
+	case FalsePraise:
+		return "false-praise"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Plan describes the free-rider population's behaviour for one run.
+type Plan struct {
+	// Kind is the primary attack behaviour.
+	Kind Kind
+	// LargeView makes free-riders connect to every peer in the swarm
+	// instead of a bounded neighbor set (the large-view exploit [18,19]).
+	LargeView bool
+	// WhitewashInterval is the seconds between identity resets (Whitewash).
+	WhitewashInterval float64
+	// PraiseInterval is the seconds between false-praise reports
+	// (FalsePraise), and PraiseBytes the fake contribution per report.
+	PraiseInterval float64
+	PraiseBytes    float64
+}
+
+// MostEffective returns the attack the paper assigns to each algorithm in
+// Section V-B2: "simple, non-collusive free-riding for most algorithms,
+// with additional collusion for T-Chain and whitewashing for FairTorrent."
+func MostEffective(a algo.Algorithm) Plan {
+	switch a {
+	case algo.TChain:
+		return Plan{Kind: Collusion}
+	case algo.FairTorrent:
+		return Plan{Kind: Whitewash, WhitewashInterval: 10}
+	default:
+		return Plan{Kind: Passive}
+	}
+}
+
+// WithLargeView returns a copy of the plan with the large-view exploit
+// enabled (the Figure 6 configuration).
+func (p Plan) WithLargeView() Plan {
+	p.LargeView = true
+	return p
+}
+
+// Normalize fills interval defaults and validates the plan.
+func (p Plan) Normalize() (Plan, error) {
+	if p.Kind == 0 {
+		p.Kind = Passive
+	}
+	switch p.Kind {
+	case Passive, Collusion, Whitewash, FalsePraise:
+	default:
+		return p, fmt.Errorf("attack: unknown kind %d", int(p.Kind))
+	}
+	if p.Kind == Whitewash && p.WhitewashInterval == 0 {
+		p.WhitewashInterval = 10
+	}
+	if p.WhitewashInterval < 0 {
+		return p, fmt.Errorf("attack: whitewash interval %g negative", p.WhitewashInterval)
+	}
+	if p.Kind == FalsePraise {
+		if p.PraiseInterval == 0 {
+			p.PraiseInterval = 10
+		}
+		if p.PraiseBytes == 0 {
+			p.PraiseBytes = 1 << 20
+		}
+	}
+	if p.PraiseInterval < 0 || p.PraiseBytes < 0 {
+		return p, fmt.Errorf("attack: negative praise parameters")
+	}
+	return p, nil
+}
+
+// FreeRider is the incentive.Strategy a free-riding peer runs: it never
+// uploads, regardless of the mechanism the compliant swarm uses.
+type FreeRider struct {
+	mimic algo.Algorithm
+}
+
+var _ incentive.Strategy = (*FreeRider)(nil)
+
+// NewFreeRider returns the no-upload strategy, reporting the mimicked
+// algorithm so environments treat the peer as a normal swarm member.
+func NewFreeRider(mimic algo.Algorithm) *FreeRider {
+	return &FreeRider{mimic: mimic}
+}
+
+// Algorithm returns the algorithm the free-rider pretends to run.
+func (f *FreeRider) Algorithm() algo.Algorithm { return f.mimic }
+
+// NextReceiver always declines to upload.
+func (*FreeRider) NextReceiver(incentive.NodeView) incentive.PeerID { return incentive.NoPeer }
+
+// OnSent is unreachable in practice (free-riders never send) but kept inert.
+func (*FreeRider) OnSent(incentive.NodeView, incentive.PeerID, float64) {}
+
+// OnReceived is a no-op: free-riders keep no reciprocity state.
+func (*FreeRider) OnReceived(incentive.NodeView, incentive.PeerID, float64) {}
+
+// Forget is a no-op.
+func (*FreeRider) Forget(incentive.PeerID) {}

@@ -1,0 +1,102 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/incentive"
+)
+
+func TestMostEffectiveMatchesPaper(t *testing.T) {
+	// Section V-B2: collusion for T-Chain, whitewashing for FairTorrent,
+	// simple (passive) free-riding for everyone else.
+	cases := map[algo.Algorithm]Kind{
+		algo.Reciprocity: Passive,
+		algo.TChain:      Collusion,
+		algo.BitTorrent:  Passive,
+		algo.FairTorrent: Whitewash,
+		algo.Reputation:  Passive,
+		algo.Altruism:    Passive,
+	}
+	for a, want := range cases {
+		plan := MostEffective(a)
+		if plan.Kind != want {
+			t.Errorf("%v attack = %v, want %v", a, plan.Kind, want)
+		}
+		if plan.LargeView {
+			t.Errorf("%v plan has large view by default", a)
+		}
+	}
+	if MostEffective(algo.FairTorrent).WhitewashInterval <= 0 {
+		t.Error("whitewash plan missing interval")
+	}
+}
+
+func TestWithLargeView(t *testing.T) {
+	base := MostEffective(algo.BitTorrent)
+	lv := base.WithLargeView()
+	if !lv.LargeView {
+		t.Error("WithLargeView did not set flag")
+	}
+	if base.LargeView {
+		t.Error("WithLargeView mutated the receiver")
+	}
+	if lv.Kind != base.Kind {
+		t.Error("WithLargeView changed the kind")
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	p, err := (Plan{}).Normalize()
+	if err != nil || p.Kind != Passive {
+		t.Errorf("zero plan = %+v, %v", p, err)
+	}
+	p, err = (Plan{Kind: Whitewash}).Normalize()
+	if err != nil || p.WhitewashInterval != 10 {
+		t.Errorf("whitewash plan = %+v, %v", p, err)
+	}
+	p, err = (Plan{Kind: FalsePraise}).Normalize()
+	if err != nil || p.PraiseInterval != 10 || p.PraiseBytes != 1<<20 {
+		t.Errorf("praise plan = %+v, %v", p, err)
+	}
+}
+
+func TestNormalizeRejectsBadPlans(t *testing.T) {
+	bad := []Plan{
+		{Kind: Kind(77)},
+		{Kind: Whitewash, WhitewashInterval: -1},
+		{Kind: FalsePraise, PraiseInterval: -1},
+		{Kind: FalsePraise, PraiseBytes: -5},
+	}
+	for i, p := range bad {
+		if _, err := p.Normalize(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Passive, Collusion, Whitewash, FalsePraise} {
+		if s := k.String(); strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestFreeRiderNeverUploads(t *testing.T) {
+	fr := NewFreeRider(algo.TChain)
+	if fr.Algorithm() != algo.TChain {
+		t.Errorf("mimic = %v", fr.Algorithm())
+	}
+	if got := fr.NextReceiver(nil); got != incentive.NoPeer {
+		t.Errorf("free-rider picked %v", got)
+	}
+	// Hooks are inert even with a nil view.
+	fr.OnSent(nil, 1, 10)
+	fr.OnReceived(nil, 1, 10)
+	fr.Forget(1)
+}

@@ -1,0 +1,183 @@
+// Package core is the library's façade: one import that exposes the
+// paper's six incentive mechanisms, the swarm simulator, the closed-form
+// performance model, and the experiment harnesses behind a small,
+// stable API. The example programs and command-line tools are written
+// against this package only.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/algo"
+	"repro/internal/analysis"
+	"repro/internal/attack"
+	"repro/internal/bandwidth"
+	"repro/internal/experiment"
+	"repro/internal/incentive"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Algorithm identifies an incentive mechanism; see Algorithms for the set.
+type Algorithm = algo.Algorithm
+
+// The six mechanisms the paper compares.
+const (
+	Reciprocity = algo.Reciprocity
+	TChain      = algo.TChain
+	BitTorrent  = algo.BitTorrent
+	FairTorrent = algo.FairTorrent
+	Reputation  = algo.Reputation
+	Altruism    = algo.Altruism
+)
+
+// Algorithms lists all six mechanisms in the paper's table order.
+func Algorithms() []Algorithm { return algo.All() }
+
+// ParseAlgorithm resolves a case-insensitive mechanism name.
+func ParseAlgorithm(name string) (Algorithm, error) { return algo.Parse(name) }
+
+// Result is a completed simulation run's output.
+type Result = sim.Result
+
+// AttackPlan describes free-rider behaviour.
+type AttackPlan = attack.Plan
+
+// MostEffectiveAttack returns the paper's per-algorithm strongest attack.
+func MostEffectiveAttack(a Algorithm) AttackPlan { return attack.MostEffective(a) }
+
+// Option customizes a simulation scenario.
+type Option func(*sim.Config)
+
+// WithScale sets the swarm size and file granularity (peers × pieces of
+// 256 KB). The paper's full scale is WithScale(1000, 512).
+func WithScale(peers, pieces int) Option {
+	return func(c *sim.Config) {
+		c.NumPeers = peers
+		c.NumPieces = pieces
+	}
+}
+
+// WithSeed fixes the run's random seed; equal seeds replay bit-for-bit.
+func WithSeed(seed int64) Option {
+	return func(c *sim.Config) { c.Seed = seed }
+}
+
+// WithHorizon caps the simulated time in seconds.
+func WithHorizon(seconds float64) Option {
+	return func(c *sim.Config) { c.Horizon = seconds }
+}
+
+// WithFreeRiders makes `fraction` of the peers free-ride using the given
+// plan (see MostEffectiveAttack).
+func WithFreeRiders(fraction float64, plan AttackPlan) Option {
+	return func(c *sim.Config) {
+		c.FreeRiderFraction = fraction
+		c.Attack = plan
+	}
+}
+
+// WithBandwidth sets the peer upload-capacity mix.
+func WithBandwidth(d bandwidth.Distribution) Option {
+	return func(c *sim.Config) { c.Bandwidth = d }
+}
+
+// WithIncentiveParams tunes α_BT, n_BT, α_R, and the tit-for-tat round.
+func WithIncentiveParams(p incentive.Params) Option {
+	return func(c *sim.Config) { c.Incentive = p }
+}
+
+// WithSeeder sets the origin server's upload rate in bytes/second.
+func WithSeeder(rate float64) Option {
+	return func(c *sim.Config) { c.SeederRate = rate }
+}
+
+// WithConfig applies an arbitrary low-level mutation for knobs the other
+// options do not cover.
+func WithConfig(mod func(*sim.Config)) Option {
+	return func(c *sim.Config) { mod(c) }
+}
+
+// Simulate runs one flash-crowd scenario under the given mechanism and
+// returns its metrics and time series. Defaults follow the paper's
+// Section V-A setup at a laptop-friendly scale (200 peers, 128 pieces);
+// use WithScale(1000, 512) for the full-paper scale.
+func Simulate(a Algorithm, opts ...Option) (*Result, error) {
+	cfg := sim.Default(a, 200, 128)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.Algorithm = a
+	swarm, err := sim.NewSwarm(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return swarm.Run()
+}
+
+// CompareAll runs the same scenario under all six mechanisms.
+func CompareAll(opts ...Option) (map[Algorithm]*Result, error) {
+	out := make(map[Algorithm]*Result, 6)
+	for _, a := range Algorithms() {
+		res, err := Simulate(a, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v: %w", a, err)
+		}
+		out[a] = res
+	}
+	return out, nil
+}
+
+// Equilibrium exposes the paper's closed-form model (Section IV-A) for a
+// capacity vector: per-algorithm equilibrium efficiency E (Eq. 2) and
+// fairness F (Eq. 3).
+type Equilibrium struct {
+	scenario *analysis.Scenario
+}
+
+// NewEquilibrium builds the analytical model with the paper's default
+// α_BT = 0.2, α_R = 0.1, n_BT = 4.
+func NewEquilibrium(capacities []float64, seederRate float64) (*Equilibrium, error) {
+	s, err := analysis.NewScenario(capacities, seederRate, 0.2, 0.1, 4)
+	if err != nil {
+		return nil, err
+	}
+	return &Equilibrium{scenario: s}, nil
+}
+
+// Evaluate returns (E, F) for one mechanism; F is NaN where the paper
+// calls it undefined (pure reciprocity).
+func (e *Equilibrium) Evaluate(a Algorithm) (efficiency, fairness float64) {
+	return e.scenario.Evaluate(a)
+}
+
+// OptimalEfficiency returns Lemma 1's lower bound on E.
+func (e *Equilibrium) OptimalEfficiency() float64 {
+	return e.scenario.OptimalEfficiency()
+}
+
+// ExperimentScale sizes the Section V reproductions.
+type ExperimentScale = experiment.Scale
+
+// FullScale is the paper's experimental scale (1000 peers, 128 MB file).
+func FullScale() ExperimentScale { return experiment.FullScale() }
+
+// TestScale returns a fast scale preserving all qualitative shapes.
+func TestScale() ExperimentScale { return experiment.TestScale() }
+
+// Experiments lists the runnable table/figure reproductions.
+func Experiments() []string { return experiment.Names() }
+
+// RunExperiment executes one named table/figure reproduction, writing the
+// report to w and CSV/JSON artifacts under outDir ("" skips artifacts).
+func RunExperiment(name string, scale ExperimentScale, w io.Writer, outDir string) error {
+	var sink *trace.Sink
+	if outDir != "" {
+		sink = trace.NewSink(outDir)
+	}
+	if err := experiment.Run(name, scale, w, sink); err != nil {
+		return err
+	}
+	return sink.Flush()
+}

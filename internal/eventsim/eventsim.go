@@ -1,0 +1,166 @@
+// Package eventsim implements a deterministic discrete-event simulation
+// engine: a virtual clock and a priority queue of scheduled callbacks.
+//
+// The engine is single-threaded by design — discrete-event simulation derives
+// its reproducibility from a total order over events, so all model code runs
+// on the goroutine that calls Run. Events scheduled for the same instant are
+// ordered by scheduling sequence number, which makes runs bit-for-bit
+// repeatable for a fixed seed.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrStopped is returned by Run when the simulation was halted explicitly
+// via Stop rather than by draining the event queue or reaching the horizon.
+var ErrStopped = errors.New("eventsim: stopped")
+
+// Handler is a scheduled callback. It runs at its scheduled virtual time and
+// may schedule further events.
+type Handler func(now float64)
+
+// event is one queue entry. seq breaks ties between events at equal times.
+type event struct {
+	time     float64
+	seq      uint64
+	handler  Handler
+	canceled bool
+	index    int // heap index, maintained by eventHeap
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled timer is a no-op. Cancel is O(1); the queue drops
+// canceled entries lazily when they surface.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (t *Timer) Canceled() bool { return t != nil && t.ev != nil && t.ev.canceled }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the simulation core. The zero value is not usable; construct
+// with New.
+type Engine struct {
+	now       float64
+	seq       uint64
+	queue     eventHeap
+	stopped   bool
+	processed uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs h at absolute virtual time t. Scheduling in the past (t less
+// than Now) panics: it indicates a causality bug in the model, and silently
+// clamping would corrupt results. Scheduling exactly at Now is allowed and
+// runs after currently pending events at this instant.
+func (e *Engine) Schedule(t float64, h Handler) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("eventsim: schedule at %g before now %g", t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic("eventsim: schedule at NaN")
+	}
+	ev := &event{time: t, seq: e.seq, handler: h}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After runs h after delay d (relative scheduling). Negative delays panic.
+func (e *Engine) After(d float64, h Handler) *Timer {
+	return e.Schedule(e.now+d, h)
+}
+
+// Stop halts the run loop after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue drains, the virtual
+// clock passes horizon, or Stop is called. A non-positive horizon means no
+// horizon. It returns ErrStopped if halted by Stop, nil otherwise.
+func (e *Engine) Run(horizon float64) error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		if horizon > 0 && ev.time > horizon {
+			// Put it back so a subsequent Run with a later horizon continues.
+			heap.Push(&e.queue, ev)
+			e.now = horizon
+			return nil
+		}
+		e.now = ev.time
+		e.processed++
+		ev.handler(e.now)
+	}
+	return nil
+}
+
+// Step executes exactly one event and reports whether one was available.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		e.processed++
+		ev.handler(e.now)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+package eventsim
+
+import (
+	"testing"
+)
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j), func(float64) {})
+		}
+		if err := e.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelfScheduling(b *testing.B) {
+	// The simulator's dominant pattern: handlers that schedule their
+	// successors.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		count := 0
+		var tick Handler
+		tick = func(float64) {
+			count++
+			if count < 1000 {
+				e.After(1, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		if err := e.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCancelHeavy(b *testing.B) {
+	// Retry timers are frequently canceled before firing.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		timers := make([]*Timer, 0, 1000)
+		for j := 0; j < 1000; j++ {
+			timers = append(timers, e.Schedule(float64(j), func(float64) {}))
+		}
+		for _, timer := range timers[:500] {
+			timer.Cancel()
+		}
+		if err := e.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package eventsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3, func(float64) { order = append(order, 3) })
+	e.Schedule(1, func(float64) { order = append(order, 1) })
+	e.Schedule(2, func(float64) { order = append(order, 2) })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %g, want 3", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", e.Processed())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(float64) { order = append(order, i) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-break order = %v", order)
+		}
+	}
+}
+
+func TestSchedulingFromHandler(t *testing.T) {
+	e := New()
+	count := 0
+	var tick Handler
+	tick = func(now float64) {
+		count++
+		if count < 5 {
+			e.After(1, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != 4 {
+		t.Errorf("Now = %g, want 4", e.Now())
+	}
+}
+
+func TestHorizonPausesAndResumes(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 5, 9} {
+		at := at
+		e.Schedule(at, func(now float64) { fired = append(fired, now) })
+	}
+	if err := e.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v before horizon 6", fired)
+	}
+	if e.Now() != 6 {
+		t.Errorf("clock at %g, want horizon 6", e.Now())
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || fired[2] != 9 {
+		t.Errorf("resume fired = %v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(1, func(float64) { count++; e.Stop() })
+	e.Schedule(2, func(float64) { count++ })
+	err := e.Run(0)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+	// Remaining event still runs on resume.
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("after resume count = %d, want 2", count)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	timer := e.Schedule(1, func(float64) { fired = true })
+	timer.Cancel()
+	if !timer.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+	// Canceling nil and double-cancel are no-ops.
+	var nilTimer *Timer
+	nilTimer.Cancel()
+	timer.Cancel()
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func(float64) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(1, func(float64) {})
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN schedule did not panic")
+		}
+	}()
+	e.Schedule(math.NaN(), func(float64) {})
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func(float64) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	e.After(-1, func(float64) {})
+}
+
+func TestStep(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(1, func(float64) { count++ })
+	e.Schedule(2, func(float64) { count++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if count != 1 || e.Now() != 1 {
+		t.Errorf("after one step: count=%d now=%g", count, e.Now())
+	}
+	if !e.Step() || e.Step() {
+		t.Error("Step availability wrong")
+	}
+}
+
+func TestStepSkipsCanceled(t *testing.T) {
+	e := New()
+	timer := e.Schedule(1, func(float64) { t.Error("canceled fired") })
+	timer.Cancel()
+	fired := false
+	e.Schedule(2, func(float64) { fired = true })
+	if !e.Step() {
+		t.Fatal("Step false")
+	}
+	if !fired {
+		t.Error("Step did not skip canceled event")
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := New()
+	e.Schedule(1, func(float64) {})
+	e.Schedule(2, func(float64) {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	e := New()
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		e.Schedule(float64(n-i), func(float64) { count++ })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Errorf("count = %d, want %d", count, n)
+	}
+}

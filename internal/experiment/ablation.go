@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/algo"
+	"repro/internal/attack"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runOne executes a single configured run.
+func runOne(cfg sim.Config) (*sim.Result, error) {
+	sw, err := sim.NewSwarm(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sw.Run()
+}
+
+// AblationAlphaBT sweeps BitTorrent's optimistic-unchoke share: the design
+// tradeoff between bootstrap speed (α up) and free-riding exposure (α up).
+func AblationAlphaBT(scale Scale, w io.Writer, sink *trace.Sink) error {
+	tbl := trace.NewTable("Ablation: BitTorrent optimistic-unchoke share alpha_BT",
+		"alpha_BT", "MeanBoot(s)", "MeanDL(s)", "Susceptibility")
+	for _, alpha := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		cfg := simConfig(algo.BitTorrent, scale)
+		cfg.Incentive.AlphaBT = alpha
+		cfg.FreeRiderFraction = 0.2
+		cfg.Attack = attack.Plan{Kind: attack.Passive}
+		res, err := runOne(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(alpha, fmtOr(res.MeanBootstrapTime(), "never"),
+			fmtOr(res.MeanDownloadTime(), "never"), res.Susceptibility())
+	}
+	if err := tbl.WriteText(w); err != nil {
+		return err
+	}
+	return sink.AddTable("ablation-alphabt", tbl)
+}
+
+// AblationNBT sweeps BitTorrent's reciprocity slot count n_BT (Table I's
+// clustering parameter).
+func AblationNBT(scale Scale, w io.Writer, sink *trace.Sink) error {
+	tbl := trace.NewTable("Ablation: BitTorrent reciprocity slots n_BT",
+		"n_BT", "MeanDL(s)", "Fairness(d/u)", "F(Eq.3)")
+	for _, nbt := range []int{1, 2, 4, 8, 16} {
+		cfg := simConfig(algo.BitTorrent, scale)
+		cfg.Incentive.NBT = nbt
+		res, err := runOne(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(nbt, fmtOr(res.MeanDownloadTime(), "never"),
+			fmtOr(res.FinalFairness(), "n/a"), fmtOr(res.LogFairness(), "n/a"))
+	}
+	if err := tbl.WriteText(w); err != nil {
+		return err
+	}
+	return sink.AddTable("ablation-nbt", tbl)
+}
+
+// AblationSeeder sweeps seeder capacity: the bootstrap path every
+// mechanism shares (Table II's n_S term).
+func AblationSeeder(scale Scale, w io.Writer, sink *trace.Sink) error {
+	tbl := trace.NewTable("Ablation: seeder capacity vs bootstrap and completion",
+		"SeederRate(B/s)", "Algorithm", "MeanBoot(s)", "MeanDL(s)", "Completed")
+	for _, rate := range []float64{1 << 18, 1 << 20, 1 << 22} {
+		for _, a := range []algo.Algorithm{algo.Reciprocity, algo.BitTorrent, algo.Altruism} {
+			cfg := simConfig(a, scale)
+			cfg.SeederRate = rate
+			res, err := runOne(cfg)
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(rate, a.String(), fmtOr(res.MeanBootstrapTime(), "never"),
+				fmtOr(res.MeanDownloadTime(), "never"),
+				fmt.Sprintf("%.0f%%", 100*res.CompletionFraction()))
+		}
+	}
+	if err := tbl.WriteText(w); err != nil {
+		return err
+	}
+	return sink.AddTable("ablation-seeder", tbl)
+}
+
+// AblationNeighborView sweeps the compliant neighbor-set size and contrasts
+// it with the large-view exploit, quantifying why the exploit works.
+func AblationNeighborView(scale Scale, w io.Writer, sink *trace.Sink) error {
+	tbl := trace.NewTable("Ablation: neighbor-set size vs large-view susceptibility (BitTorrent, 20% free-riders)",
+		"MaxNeighbors", "LargeView", "Susceptibility", "MeanDL(s)")
+	for _, neighbors := range []int{10, 25, 50} {
+		for _, largeView := range []bool{false, true} {
+			cfg := simConfig(algo.BitTorrent, scale)
+			cfg.MaxNeighbors = neighbors
+			cfg.FreeRiderFraction = 0.2
+			cfg.Attack = attack.Plan{Kind: attack.Passive}
+			if largeView {
+				cfg.Attack = cfg.Attack.WithLargeView()
+			}
+			res, err := runOne(cfg)
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(neighbors, largeView, res.Susceptibility(), fmtOr(res.MeanDownloadTime(), "never"))
+		}
+	}
+	if err := tbl.WriteText(w); err != nil {
+		return err
+	}
+	return sink.AddTable("ablation-largeview", tbl)
+}
+
+// AblationWhitewash sweeps the whitewashing interval against FairTorrent:
+// faster identity churn means deficits never accumulate.
+func AblationWhitewash(scale Scale, w io.Writer, sink *trace.Sink) error {
+	tbl := trace.NewTable("Ablation: FairTorrent whitewash interval (20% free-riders)",
+		"Interval(s)", "Susceptibility", "CompliantMeanDL(s)")
+	for _, interval := range []float64{10, 30, 60, 120, 1e9} {
+		cfg := simConfig(algo.FairTorrent, scale)
+		cfg.FreeRiderFraction = 0.2
+		cfg.Attack = attack.Plan{Kind: attack.Whitewash, WhitewashInterval: interval}
+		res, err := runOne(cfg)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%.0f", interval)
+		if interval >= 1e9 {
+			label = "never"
+		}
+		tbl.AddRow(label, res.Susceptibility(), fmtOr(res.MeanDownloadTime(), "never"))
+	}
+	if err := tbl.WriteText(w); err != nil {
+		return err
+	}
+	return sink.AddTable("ablation-whitewash", tbl)
+}
+
+// AblationFalsePraise compares passive free-riding with false-praise
+// collusion against the reputation algorithm (Table III's collusion row).
+func AblationFalsePraise(scale Scale, w io.Writer, sink *trace.Sink) error {
+	tbl := trace.NewTable("Ablation: reputation-system collusion via false praise (20% free-riders)",
+		"Attack", "Susceptibility", "CompliantMeanDL(s)")
+	plans := []attack.Plan{
+		{Kind: attack.Passive},
+		{Kind: attack.FalsePraise, PraiseInterval: 5, PraiseBytes: 64 << 20},
+	}
+	for _, plan := range plans {
+		cfg := simConfig(algo.Reputation, scale)
+		cfg.FreeRiderFraction = 0.2
+		cfg.Attack = plan
+		res, err := runOne(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(plan.Kind.String(), res.Susceptibility(), fmtOr(res.MeanDownloadTime(), "never"))
+	}
+	if err := tbl.WriteText(w); err != nil {
+		return err
+	}
+	return sink.AddTable("ablation-praise", tbl)
+}
+
+// AblationIndirect isolates T-Chain's indirect reciprocity by comparing its
+// bootstrap speed against pure reciprocity (no initiation at all) and
+// BitTorrent (altruism-only bootstrap).
+func AblationIndirect(scale Scale, w io.Writer, sink *trace.Sink) error {
+	tbl := trace.NewTable("Ablation: bootstrapping with and without indirect reciprocity",
+		"Mechanism", "MeanBoot(s)", "Bootstrapped@30s")
+	for _, a := range []algo.Algorithm{algo.TChain, algo.BitTorrent, algo.Reciprocity} {
+		cfg := simConfig(a, scale)
+		res, err := runOne(cfg)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(a.String(), fmtOr(res.MeanBootstrapTime(), "never"),
+			fmt.Sprintf("%.0f%%", 100*res.BootstrapFraction(30)))
+	}
+	if err := tbl.WriteText(w); err != nil {
+		return err
+	}
+	return sink.AddTable("ablation-indirect", tbl)
+}

@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/algo"
+	"repro/internal/attack"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// simConfig builds the Section V configuration for one algorithm at the
+// given scale.
+func simConfig(a algo.Algorithm, scale Scale) sim.Config {
+	cfg := sim.Default(a, scale.NumPeers, scale.NumPieces)
+	cfg.Horizon = scale.Horizon
+	cfg.Seed = scale.Seed
+	return cfg
+}
+
+// runAll executes one run per algorithm, applying mod to each config first.
+func runAll(scale Scale, mod func(*sim.Config)) (map[algo.Algorithm]*sim.Result, error) {
+	out := make(map[algo.Algorithm]*sim.Result, 6)
+	for _, a := range algo.All() {
+		cfg := simConfig(a, scale)
+		if mod != nil {
+			mod(&cfg)
+		}
+		sw, err := sim.NewSwarm(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %v: %w", a, err)
+		}
+		res, err := sw.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %v: %w", a, err)
+		}
+		out[a] = res
+	}
+	return out, nil
+}
+
+// fmtOr formats a float or returns alt for NaN/Inf (e.g., reciprocity's
+// undefined download time).
+func fmtOr(v float64, alt string) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return alt
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// summarizeRuns renders the standard per-algorithm summary table and
+// persists each run's time series.
+func summarizeRuns(title, prefix string, results map[algo.Algorithm]*sim.Result, w io.Writer, sink *trace.Sink) error {
+	tbl := trace.NewTable(title,
+		"Algorithm", "Completed", "MeanDL(s)", "MedianDL(s)", "Fairness(d/u)", "F(Eq.3)", "MeanBoot(s)", "Susceptibility")
+	for _, a := range algo.All() {
+		r := results[a]
+		summary := r.DownloadTimeSummary()
+		tbl.AddRow(a.String(),
+			fmt.Sprintf("%.0f%%", 100*r.CompletionFraction()),
+			fmtOr(r.MeanDownloadTime(), "never"),
+			fmtOr(summary.Median, "never"),
+			fmtOr(r.FinalFairness(), "n/a"),
+			fmtOr(r.LogFairness(), "n/a"),
+			fmtOr(r.MeanBootstrapTime(), "never"),
+			fmt.Sprintf("%.4f", r.Susceptibility()),
+		)
+	}
+	if err := tbl.WriteText(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := sink.AddTable(prefix+"-summary", tbl); err != nil {
+		return err
+	}
+	// Persist per-metric series across algorithms on a shared grid, and
+	// render the two headline curves as terminal charts.
+	var horizon float64
+	for _, a := range algo.All() {
+		if d := results[a].Duration; d > horizon {
+			horizon = d
+		}
+	}
+	interval := horizon / 200
+	if interval <= 0 {
+		interval = 1
+	}
+	for _, name := range []string{sim.SeriesFairness, sim.SeriesBootstrapped, sim.SeriesCompleted, sim.SeriesSusceptibility} {
+		merged := make([]*stats.TimeSeries, 0, 6)
+		for _, a := range algo.All() {
+			ts := results[a].Series[name].Resample(interval, horizon)
+			ts.Name = a.String()
+			merged = append(merged, ts)
+		}
+		sink.AddSeries(fmt.Sprintf("%s-%s", prefix, name), merged...)
+		switch name {
+		case sim.SeriesBootstrapped:
+			// Zoom the bootstrap chart onto the interesting early window.
+			zoom := make([]*stats.TimeSeries, 0, len(merged))
+			for _, a := range algo.All() {
+				ts := results[a].Series[name].Resample(horizon/400, horizon/8)
+				ts.Name = a.String()
+				zoom = append(zoom, ts)
+			}
+			fmt.Fprintln(w, trace.Chart("Bootstrapped fraction vs time (early window)", 64, 12, zoom...))
+		case sim.SeriesCompleted:
+			fmt.Fprintln(w, trace.Chart("Completed fraction vs time", 64, 12, merged...))
+		}
+	}
+	return nil
+}
+
+// Figure4 reproduces the compliant-swarm comparison: (a) download-time
+// efficiency, (b) fairness over time, (c) bootstrapping speed.
+func Figure4(scale Scale, w io.Writer, sink *trace.Sink) error {
+	results, err := runAll(scale, nil)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Figure 4: all users compliant (N=%d, M=%d pieces)", scale.NumPeers, scale.NumPieces)
+	return summarizeRuns(title, "figure4", results, w, sink)
+}
+
+// Figure5 reproduces the 20% free-rider comparison with each algorithm's
+// most effective attack (collusion for T-Chain, whitewashing for
+// FairTorrent, passive otherwise).
+func Figure5(scale Scale, w io.Writer, sink *trace.Sink) error {
+	results, err := runAll(scale, func(cfg *sim.Config) {
+		cfg.FreeRiderFraction = 0.2
+		cfg.Attack = attack.MostEffective(cfg.Algorithm)
+	})
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Figure 5: 20%% targeted free-riders (N=%d, M=%d pieces)", scale.NumPeers, scale.NumPieces)
+	return summarizeRuns(title, "figure5", results, w, sink)
+}
+
+// Figure6 adds the large-view exploit on top of Figure 5's attacks.
+func Figure6(scale Scale, w io.Writer, sink *trace.Sink) error {
+	results, err := runAll(scale, func(cfg *sim.Config) {
+		cfg.FreeRiderFraction = 0.2
+		cfg.Attack = attack.MostEffective(cfg.Algorithm).WithLargeView()
+	})
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Figure 6: 20%% free-riders with large-view exploit (N=%d, M=%d pieces)", scale.NumPeers, scale.NumPieces)
+	return summarizeRuns(title, "figure6", results, w, sink)
+}

@@ -1,0 +1,23 @@
+package incentive
+
+import (
+	"repro/internal/algo"
+)
+
+// altruism uploads to uniformly random neighbors with no expectation of
+// reciprocity (Section III-A). It keeps no state at all.
+type altruism struct{}
+
+var _ Strategy = (*altruism)(nil)
+
+func newAltruism() *altruism { return &altruism{} }
+
+func (*altruism) Algorithm() algo.Algorithm { return algo.Altruism }
+
+func (*altruism) NextReceiver(view NodeView) PeerID {
+	return randomPeer(view.RNG(), wantingNeighbors(view))
+}
+
+func (*altruism) OnSent(NodeView, PeerID, float64)     {}
+func (*altruism) OnReceived(NodeView, PeerID, float64) {}
+func (*altruism) Forget(PeerID)                        {}

@@ -1,0 +1,99 @@
+package incentive
+
+import (
+	"sort"
+
+	"repro/internal/algo"
+)
+
+// bitTorrent is the reciprocity/altruism hybrid (Section III-A): a fixed
+// fraction 1−α_BT of upload decisions go to the top n_BT contributors from
+// the previous timeslot (tit-for-tat), and the remaining α_BT go to random
+// neighbors (optimistic unchoking), which is what bootstraps newcomers.
+// This mirrors the paper's simulation setup: "users upload to random
+// neighbors with a 20% probability, and otherwise to neighbors with the
+// highest contributions."
+type bitTorrent struct {
+	params     Params
+	roundStart float64
+	current    map[PeerID]float64 // bytes received in the current round
+	previous   map[PeerID]float64 // bytes received in the previous round
+}
+
+var _ Strategy = (*bitTorrent)(nil)
+
+func newBitTorrent(p Params) *bitTorrent {
+	return &bitTorrent{
+		params:   p,
+		current:  make(map[PeerID]float64),
+		previous: make(map[PeerID]float64),
+	}
+}
+
+func (*bitTorrent) Algorithm() algo.Algorithm { return algo.BitTorrent }
+
+// rotate advances the contribution window when a round has elapsed.
+func (b *bitTorrent) rotate(now float64) {
+	if now-b.roundStart < b.params.RoundSeconds {
+		return
+	}
+	b.previous = b.current
+	b.current = make(map[PeerID]float64, len(b.previous))
+	b.roundStart = now
+}
+
+// contribution blends the previous round's total with the current round's
+// running total, so fresh uploads count before the round closes.
+func (b *bitTorrent) contribution(p PeerID) float64 {
+	return b.previous[p] + b.current[p]
+}
+
+func (b *bitTorrent) NextReceiver(view NodeView) PeerID {
+	b.rotate(view.Now())
+	wanting := wantingNeighbors(view)
+	if len(wanting) == 0 {
+		return NoPeer
+	}
+	if view.RNG().Float64() < b.params.AlphaBT {
+		// Optimistic unchoke: uniformly random interested neighbor.
+		return randomPeer(view.RNG(), wanting)
+	}
+	// Tit-for-tat: among interested neighbors with positive contribution,
+	// serve one of the top n_BT. If nobody has contributed, this share of
+	// bandwidth idles — newcomers are reached only through the optimistic
+	// branch, which is what makes BitTorrent's bootstrapping slower than
+	// altruism's (Table II).
+	contributors := make([]PeerID, 0, len(wanting))
+	for _, p := range wanting {
+		if b.contribution(p) > 0 {
+			contributors = append(contributors, p)
+		}
+	}
+	if len(contributors) == 0 {
+		return NoPeer
+	}
+	sort.Slice(contributors, func(i, j int) bool {
+		ci, cj := b.contribution(contributors[i]), b.contribution(contributors[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return contributors[i] < contributors[j] // deterministic tie-break
+	})
+	top := contributors
+	if len(top) > b.params.NBT {
+		top = top[:b.params.NBT]
+	}
+	return randomPeer(view.RNG(), top)
+}
+
+func (b *bitTorrent) OnSent(NodeView, PeerID, float64) {}
+
+func (b *bitTorrent) OnReceived(view NodeView, from PeerID, bytes float64) {
+	b.rotate(view.Now())
+	b.current[from] += bytes
+}
+
+func (b *bitTorrent) Forget(peer PeerID) {
+	delete(b.current, peer)
+	delete(b.previous, peer)
+}

@@ -1,0 +1,63 @@
+package incentive
+
+import (
+	"repro/internal/algo"
+)
+
+// fairTorrent is the reputation/altruism hybrid (Section III-A): each user
+// maintains a deficit counter per peer — bytes uploaded to that peer minus
+// bytes received from it — as a local reputation score, and always uploads
+// to the interested neighbor with the smallest (most negative) deficit.
+// When every deficit is nonnegative, the pick falls on a zero-deficit peer
+// (newcomers included), which is the altruistic component that bootstraps
+// the swarm and, simultaneously, the exposure free-riders exploit
+// (Table III: (1−ω)·ΣU).
+type fairTorrent struct {
+	deficit map[PeerID]float64 // uploaded − received, per peer
+}
+
+var _ Strategy = (*fairTorrent)(nil)
+
+func newFairTorrent() *fairTorrent {
+	return &fairTorrent{deficit: make(map[PeerID]float64)}
+}
+
+func (*fairTorrent) Algorithm() algo.Algorithm { return algo.FairTorrent }
+
+func (f *fairTorrent) NextReceiver(view NodeView) PeerID {
+	wanting := wantingNeighbors(view)
+	if len(wanting) == 0 {
+		return NoPeer
+	}
+	// Find the minimum deficit; sample uniformly among ties so zero-deficit
+	// newcomers share the altruistic bandwidth evenly.
+	rng := view.RNG()
+	best := NoPeer
+	bestDeficit := 0.0
+	ties := 0
+	for _, p := range wanting {
+		d := f.deficit[p]
+		switch {
+		case best == NoPeer || d < bestDeficit:
+			best, bestDeficit, ties = p, d, 1
+		case d == bestDeficit:
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+func (f *fairTorrent) OnSent(_ NodeView, to PeerID, bytes float64) {
+	f.deficit[to] += bytes
+}
+
+func (f *fairTorrent) OnReceived(_ NodeView, from PeerID, bytes float64) {
+	f.deficit[from] -= bytes
+}
+
+func (f *fairTorrent) Forget(peer PeerID) {
+	delete(f.deficit, peer)
+}

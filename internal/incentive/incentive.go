@@ -1,0 +1,169 @@
+// Package incentive implements the six incentive mechanisms the paper
+// compares (Section III): the basic reciprocity, altruism, and reputation
+// algorithms, and the BitTorrent, FairTorrent, and T-Chain hybrids.
+//
+// A Strategy decides, each time its peer has a free upload slot, which
+// neighbor should receive the next piece. Strategies observe their
+// environment only through the NodeView interface, so the same
+// implementations drive both the discrete-event swarm simulator
+// (internal/sim) and the live TCP node (internal/node).
+package incentive
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algo"
+	"repro/internal/reputation"
+)
+
+// PeerID identifies a peer within one swarm. IDs are small dense integers
+// assigned by the environment.
+type PeerID int
+
+// NoPeer is returned by NextReceiver when no upload is currently possible.
+const NoPeer PeerID = -1
+
+// NodeView is the window through which a strategy observes its peer's
+// environment. Implementations must be cheap: strategies call these methods
+// on every upload decision.
+type NodeView interface {
+	// Self returns the ID of the peer this strategy controls.
+	Self() PeerID
+	// Now returns the current time in seconds (virtual or wall-clock).
+	Now() float64
+	// RNG returns the deterministic random source for this peer.
+	RNG() *rand.Rand
+	// Neighbors returns the currently connected candidate receivers.
+	Neighbors() []PeerID
+	// WantsFromMe reports whether peer needs at least one piece I hold.
+	WantsFromMe(peer PeerID) bool
+	// INeedFrom reports whether peer holds at least one piece I need.
+	INeedFrom(peer PeerID) bool
+	// PieceCount returns the number of pieces peer is known to hold.
+	PieceCount(peer PeerID) int
+	// Reputation returns peer's global reputation score, 0 if unknown.
+	Reputation(peer PeerID) float64
+}
+
+// Strategy is one peer's incentive mechanism. Strategies are stateful and
+// owned by exactly one peer; they are not safe for concurrent use (the
+// simulator is single-threaded and the live node serializes decisions).
+type Strategy interface {
+	// Algorithm identifies the mechanism.
+	Algorithm() algo.Algorithm
+	// NextReceiver picks the neighbor to upload one piece to, or NoPeer if
+	// the mechanism currently forbids uploading (e.g., reciprocity with
+	// nothing to reciprocate).
+	NextReceiver(view NodeView) PeerID
+	// OnSent records that the peer finished uploading bytes to `to`.
+	OnSent(view NodeView, to PeerID, bytes float64)
+	// OnReceived records that the peer finished downloading bytes from
+	// `from`.
+	OnReceived(view NodeView, from PeerID, bytes float64)
+	// Forget erases all local state about peer, modelling the peer's
+	// departure or a whitewashing identity reset.
+	Forget(peer PeerID)
+}
+
+// Params tunes the mechanisms. Zero values select the paper's experimental
+// settings via Normalize.
+type Params struct {
+	// AlphaBT is BitTorrent's optimistic-unchoke probability (paper: 0.2).
+	AlphaBT float64
+	// NBT is the number of top contributors BitTorrent reciprocates with
+	// (paper: n_BT = 4).
+	NBT int
+	// RoundSeconds is the tit-for-tat contribution window: "the previous
+	// timeslot" in the paper's reciprocity/altruism hybrid description.
+	RoundSeconds float64
+	// AlphaR is the reputation algorithm's altruistic bootstrap share.
+	AlphaR float64
+}
+
+// DefaultParams returns the paper's experimental settings.
+func DefaultParams() Params {
+	return Params{AlphaBT: 0.2, NBT: 4, RoundSeconds: 10, AlphaR: 0.1}
+}
+
+// Normalize fills zero fields with defaults and validates ranges.
+func (p Params) Normalize() (Params, error) {
+	def := DefaultParams()
+	if p.AlphaBT == 0 {
+		p.AlphaBT = def.AlphaBT
+	}
+	if p.NBT == 0 {
+		p.NBT = def.NBT
+	}
+	if p.RoundSeconds == 0 {
+		p.RoundSeconds = def.RoundSeconds
+	}
+	if p.AlphaR == 0 {
+		p.AlphaR = def.AlphaR
+	}
+	if p.AlphaBT < 0 || p.AlphaBT > 1 {
+		return p, fmt.Errorf("incentive: AlphaBT %g outside [0,1]", p.AlphaBT)
+	}
+	if p.AlphaR < 0 || p.AlphaR > 1 {
+		return p, fmt.Errorf("incentive: AlphaR %g outside [0,1]", p.AlphaR)
+	}
+	if p.NBT < 1 {
+		return p, fmt.Errorf("incentive: NBT %d must be >= 1", p.NBT)
+	}
+	if p.RoundSeconds <= 0 {
+		return p, fmt.Errorf("incentive: RoundSeconds %g must be positive", p.RoundSeconds)
+	}
+	return p, nil
+}
+
+// New constructs the strategy for one compliant peer running the given
+// mechanism. The ledger is required by the reputation algorithm and ignored
+// by the others (it may be nil for them).
+func New(a algo.Algorithm, params Params, ledger *reputation.Ledger) (Strategy, error) {
+	p, err := params.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	switch a {
+	case algo.Reciprocity:
+		return newReciprocity(), nil
+	case algo.Altruism:
+		return newAltruism(), nil
+	case algo.BitTorrent:
+		return newBitTorrent(p), nil
+	case algo.FairTorrent:
+		return newFairTorrent(), nil
+	case algo.Reputation:
+		if ledger == nil {
+			return nil, fmt.Errorf("incentive: reputation algorithm requires a ledger")
+		}
+		return newReputation(p, ledger), nil
+	case algo.TChain:
+		return newTChain(), nil
+	case algo.PropShare:
+		return newPropShare(p), nil
+	default:
+		return nil, fmt.Errorf("incentive: unknown algorithm %v", a)
+	}
+}
+
+// wantingNeighbors returns the neighbors that currently need at least one
+// piece the local peer holds — the universal eligibility filter.
+func wantingNeighbors(view NodeView) []PeerID {
+	neighbors := view.Neighbors()
+	out := make([]PeerID, 0, len(neighbors))
+	for _, n := range neighbors {
+		if view.WantsFromMe(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// randomPeer picks uniformly from candidates, or NoPeer if empty.
+func randomPeer(rng *rand.Rand, candidates []PeerID) PeerID {
+	if len(candidates) == 0 {
+		return NoPeer
+	}
+	return candidates[rng.Intn(len(candidates))]
+}

@@ -1,0 +1,43 @@
+package incentive
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/reputation"
+)
+
+// benchView models a 50-neighbor decision, the simulator's hot path.
+func benchView() *fakeView {
+	neighbors := make([]PeerID, 50)
+	for i := range neighbors {
+		neighbors[i] = PeerID(i)
+	}
+	return newFakeView(neighbors...)
+}
+
+func BenchmarkNextReceiver(b *testing.B) {
+	ledger := reputation.NewLedger()
+	for i := 0; i < 50; i++ {
+		ledger.Credit(i, float64(i*1000))
+	}
+	algorithms := append(algo.All(), algo.PropShare)
+	for _, a := range algorithms {
+		b.Run(a.String(), func(b *testing.B) {
+			s, err := New(a, Params{}, ledger)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := benchView()
+			for i := 0; i < 50; i++ {
+				v.reps[PeerID(i)] = ledger.Score(i)
+				s.OnReceived(v, PeerID(i), float64(i*100))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.NextReceiver(v)
+			}
+		})
+	}
+}

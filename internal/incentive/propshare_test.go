@@ -1,0 +1,76 @@
+package incentive
+
+import (
+	"testing"
+)
+
+func TestPropShareProportionalAllocation(t *testing.T) {
+	s := newPropShare(Params{AlphaBT: 0.001, NBT: 4, RoundSeconds: 1000})
+	v := newFakeView(1, 2, 3)
+	s.OnReceived(v, 1, 900)
+	s.OnReceived(v, 2, 100)
+	counts := map[PeerID]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		counts[s.NextReceiver(v)]++
+	}
+	frac1 := float64(counts[1]) / trials
+	frac2 := float64(counts[2]) / trials
+	if frac1 < 0.85 || frac1 > 0.95 {
+		t.Errorf("90%% contributor got %.3f of picks, want ~0.9", frac1)
+	}
+	if frac2 < 0.07 || frac2 > 0.13 {
+		t.Errorf("10%% contributor got %.3f of picks, want ~0.1", frac2)
+	}
+	if counts[3] > trials/100 {
+		t.Errorf("zero contributor picked %d times with tiny alpha", counts[3])
+	}
+}
+
+func TestPropShareIdlesWithoutContributors(t *testing.T) {
+	s := newPropShare(Params{AlphaBT: 0.2, NBT: 4, RoundSeconds: 10})
+	v := newFakeView(1, 2)
+	picked := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if s.NextReceiver(v) != NoPeer {
+			picked++
+		}
+	}
+	frac := float64(picked) / trials
+	if frac < 0.17 || frac > 0.23 {
+		t.Errorf("pick fraction %.3f, want ~alpha 0.2", frac)
+	}
+}
+
+func TestPropShareRoundRotation(t *testing.T) {
+	s := newPropShare(Params{AlphaBT: 0, NBT: 4, RoundSeconds: 10})
+	v := newFakeView(1, 2)
+	s.OnReceived(v, 1, 100)
+	if got := s.NextReceiver(v); got != 1 {
+		t.Fatalf("pick = %v, want 1", got)
+	}
+	v.now = 11
+	s.NextReceiver(v) // first rotation
+	v.now = 22
+	if got := s.NextReceiver(v); got != NoPeer {
+		t.Errorf("pick = %v after contribution aged out, want NoPeer", got)
+	}
+}
+
+func TestPropShareForget(t *testing.T) {
+	s := newPropShare(Params{AlphaBT: 0, NBT: 4, RoundSeconds: 1000})
+	v := newFakeView(1, 2)
+	s.OnReceived(v, 1, 100)
+	s.Forget(1)
+	if got := s.NextReceiver(v); got != NoPeer {
+		t.Errorf("pick = %v after Forget, want NoPeer", got)
+	}
+}
+
+func TestPropShareEmptyNeighborhood(t *testing.T) {
+	s := newPropShare(DefaultParams())
+	if got := s.NextReceiver(newFakeView()); got != NoPeer {
+		t.Errorf("empty pick = %v", got)
+	}
+}

@@ -1,0 +1,58 @@
+package incentive
+
+import (
+	"repro/internal/algo"
+)
+
+// reciprocity is the pure direct-reciprocity mechanism: a user uploads only
+// to the neighbor that has contributed the most to it, and only while it
+// still owes that neighbor data. No user can *initiate* an exchange, which
+// is exactly why the paper proves the mechanism deadlocks (Lemma 2: zero
+// upload utilization) — uploads require prior downloads, which require
+// prior uploads.
+type reciprocity struct {
+	received map[PeerID]float64 // bytes received from each peer
+	sent     map[PeerID]float64 // bytes sent to each peer
+}
+
+var _ Strategy = (*reciprocity)(nil)
+
+func newReciprocity() *reciprocity {
+	return &reciprocity{
+		received: make(map[PeerID]float64),
+		sent:     make(map[PeerID]float64),
+	}
+}
+
+func (*reciprocity) Algorithm() algo.Algorithm { return algo.Reciprocity }
+
+func (r *reciprocity) NextReceiver(view NodeView) PeerID {
+	// Candidates: neighbors we owe data to (received > sent), i.e., whose
+	// gift we can reciprocate. Among them, the one that has contributed
+	// the most (the simulation setup in Section V-A).
+	best := NoPeer
+	var bestContribution float64
+	for _, n := range view.Neighbors() {
+		owed := r.received[n] - r.sent[n]
+		if owed <= 0 || !view.WantsFromMe(n) {
+			continue
+		}
+		if r.received[n] > bestContribution {
+			best, bestContribution = n, r.received[n]
+		}
+	}
+	return best
+}
+
+func (r *reciprocity) OnSent(_ NodeView, to PeerID, bytes float64) {
+	r.sent[to] += bytes
+}
+
+func (r *reciprocity) OnReceived(_ NodeView, from PeerID, bytes float64) {
+	r.received[from] += bytes
+}
+
+func (r *reciprocity) Forget(peer PeerID) {
+	delete(r.received, peer)
+	delete(r.sent, peer)
+}

@@ -1,0 +1,131 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/piece"
+	"repro/internal/reputation"
+	"repro/internal/transport"
+)
+
+// ClusterConfig describes an in-process swarm of live nodes: one seed
+// holding the full content plus a set of leechers, full-mesh bootstrapped,
+// sharing one reputation ledger.
+type ClusterConfig struct {
+	// Algorithm is the mechanism every compliant node runs.
+	Algorithm algo.Algorithm
+	// Transport carries the swarm (transport.NewMem() or transport.NewTCP()).
+	Transport transport.Transport
+	// ListenAddr returns the listen address for node i ("" for the memory
+	// transport, "127.0.0.1:0" for TCP). Nil defaults to "".
+	ListenAddr func(i int) string
+	// Manifest and Content define the file; the seed holds all of Content.
+	Manifest *piece.Manifest
+	Content  []byte
+	// Leechers is the number of downloading peers (node IDs 1..Leechers).
+	Leechers int
+	// FreeRiders marks node IDs that free-ride.
+	FreeRiders map[int]bool
+	// UploadRate throttles every node (bytes/second, 0 = unthrottled).
+	UploadRate float64
+	// DecisionInterval overrides the upload-scheduler tick.
+	DecisionInterval time.Duration
+}
+
+// Cluster is a running in-process swarm. Stop it when done.
+type Cluster struct {
+	// Nodes holds the seed at index 0 followed by the leechers.
+	Nodes []*Node
+	// Ledger is the shared reputation service.
+	Ledger *reputation.Ledger
+}
+
+// StartCluster builds and starts the whole swarm. On error, any nodes
+// already started are stopped before returning.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Manifest == nil || len(cfg.Content) == 0 {
+		return nil, fmt.Errorf("node: cluster needs a manifest and content")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("node: cluster needs a transport")
+	}
+	if cfg.Leechers < 0 {
+		return nil, fmt.Errorf("node: negative leecher count %d", cfg.Leechers)
+	}
+	listenAddr := cfg.ListenAddr
+	if listenAddr == nil {
+		listenAddr = func(int) string { return "" }
+	}
+
+	c := &Cluster{Ledger: reputation.NewLedger()}
+	var addrs []string
+	total := cfg.Leechers + 1
+	for i := 0; i < total; i++ {
+		var store *piece.Store
+		if i == 0 {
+			seeded, err := piece.NewSeedStore(cfg.Manifest, cfg.Content)
+			if err != nil {
+				c.Stop()
+				return nil, fmt.Errorf("node: seeding: %w", err)
+			}
+			store = seeded
+		} else {
+			store = piece.NewStore(cfg.Manifest)
+		}
+		n, err := New(Config{
+			ID:               i,
+			Algorithm:        cfg.Algorithm,
+			Store:            store,
+			Transport:        cfg.Transport,
+			ListenAddr:       listenAddr(i),
+			Bootstrap:        append([]string(nil), addrs...),
+			UploadRate:       cfg.UploadRate,
+			DecisionInterval: cfg.DecisionInterval,
+			FreeRide:         cfg.FreeRiders[i],
+			Ledger:           c.Ledger,
+		})
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		if err := n.Start(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, n)
+		addrs = append(addrs, n.Addr())
+	}
+	return c, nil
+}
+
+// Seed returns the seeding node.
+func (c *Cluster) Seed() *Node { return c.Nodes[0] }
+
+// Leechers returns the non-seed nodes (including any free-riders).
+func (c *Cluster) Leechers() []*Node { return c.Nodes[1:] }
+
+// WaitAllComplete blocks until every *compliant* leecher holds the full
+// file or the timeout elapses, reporting success. Free-riders are excluded:
+// under T-Chain they never finish, by design.
+func (c *Cluster) WaitAllComplete(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for i, n := range c.Nodes {
+		if i == 0 || n.cfg.FreeRide {
+			continue
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 || !n.WaitComplete(remaining) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stop tears every node down.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}

@@ -1,0 +1,85 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/piece"
+	"repro/internal/transport"
+)
+
+func clusterFixture(t *testing.T) (*piece.Manifest, []byte) {
+	t.Helper()
+	manifest, err := piece.SyntheticManifest(testPieces, testPieceSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 0, manifest.FileSize)
+	for i := 0; i < testPieces; i++ {
+		content = append(content, piece.SyntheticPiece(i, testPieceSize)...)
+	}
+	return manifest, content
+}
+
+func TestStartClusterValidation(t *testing.T) {
+	manifest, content := clusterFixture(t)
+	bad := []ClusterConfig{
+		{Transport: transport.NewMem(), Content: content},   // no manifest
+		{Transport: transport.NewMem(), Manifest: manifest}, // no content
+		{Manifest: manifest, Content: content},              // no transport
+		{Transport: transport.NewMem(), Manifest: manifest, Content: content, Leechers: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := StartCluster(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestClusterLifecycle(t *testing.T) {
+	manifest, content := clusterFixture(t)
+	c, err := StartCluster(ClusterConfig{
+		Algorithm:        algo.TChain,
+		Transport:        transport.NewMem(),
+		Manifest:         manifest,
+		Content:          content,
+		Leechers:         3,
+		FreeRiders:       map[int]bool{3: true},
+		DecisionInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	if c.Seed().ID() != 0 || len(c.Leechers()) != 3 {
+		t.Fatalf("cluster shape wrong: seed %d, %d leechers", c.Seed().ID(), len(c.Leechers()))
+	}
+	if !c.WaitAllComplete(20 * time.Second) {
+		t.Fatal("compliant leechers did not complete")
+	}
+	// The free-rider is excluded from WaitAllComplete and holds nothing.
+	if got := c.Nodes[3].Stats().Pieces; got != 0 {
+		t.Errorf("T-Chain free-rider decrypted %d pieces", got)
+	}
+	if c.Ledger.Score(0) <= 0 {
+		t.Error("seed earned no reputation")
+	}
+}
+
+func TestClusterStopIdempotent(t *testing.T) {
+	manifest, content := clusterFixture(t)
+	c, err := StartCluster(ClusterConfig{
+		Algorithm: algo.Altruism,
+		Transport: transport.NewMem(),
+		Manifest:  manifest,
+		Content:   content,
+		Leechers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop()
+}

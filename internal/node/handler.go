@@ -1,0 +1,365 @@
+package node
+
+import (
+	"repro/internal/incentive"
+	"repro/internal/protocol"
+	"repro/internal/tchain"
+	"repro/internal/transport"
+)
+
+// handleConn performs the handshake and then dispatches inbound messages
+// until the connection dies. When dialer is true, this side speaks first.
+func (n *Node) handleConn(conn transport.Conn, dialer bool) {
+	defer n.wg.Done()
+	n.mu.Lock()
+	if n.stopping {
+		// Stop already swept the conns map; registering now would leak a
+		// connection nobody will ever close.
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	n.conns[conn] = true
+	n.mu.Unlock()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+	}()
+
+	hello := protocol.Hello{
+		PeerID:    int32(n.cfg.ID),
+		NumPieces: int32(n.cfg.Store.Manifest().NumPieces()),
+		Addr:      n.Addr(),
+	}
+	if dialer {
+		if conn.Send(hello) != nil || conn.Send(n.bitfieldMsg()) != nil {
+			return
+		}
+	}
+	first, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	theirHello, ok := first.(protocol.Hello)
+	if !ok || theirHello.NumPieces != hello.NumPieces {
+		return // protocol violation or different swarm
+	}
+	if !dialer {
+		if conn.Send(hello) != nil || conn.Send(n.bitfieldMsg()) != nil {
+			return
+		}
+	}
+
+	peerID := int(theirHello.PeerID)
+	r := newRemote(peerID, conn, n.cfg.Store.Manifest().NumPieces(), theirHello.Addr)
+	n.mu.Lock()
+	if _, dup := n.peers[peerID]; dup || peerID == n.cfg.ID {
+		n.mu.Unlock()
+		return // duplicate connection (simultaneous dial) or self-dial
+	}
+	n.peers[peerID] = r
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		r.writeLoop()
+	}()
+	defer r.closeOutbox()
+
+	defer func() {
+		n.mu.Lock()
+		if n.peers[peerID] == r {
+			delete(n.peers, peerID)
+			n.strategy.Forget(incentive.PeerID(peerID))
+			delete(n.recentSends, peerID)
+		}
+		revoked := n.recip.Forget(peerID)
+		n.mu.Unlock()
+		for _, keyID := range revoked {
+			n.escrow.Revoke(keyID)
+		}
+	}()
+
+	for {
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if done := n.dispatch(r, msg); done {
+			return
+		}
+	}
+}
+
+// dispatch handles one inbound message; it reports whether the connection
+// should close.
+func (n *Node) dispatch(r *remote, msg protocol.Message) bool {
+	switch m := msg.(type) {
+	case protocol.Bitfield:
+		n.mu.Lock()
+		for i := int32(0); i < m.NumPieces; i++ {
+			if int(i/8) < len(m.Bits) && m.Bits[i/8]&(1<<(uint(i)%8)) != 0 {
+				r.have.Set(int(i))
+			}
+		}
+		n.mu.Unlock()
+
+	case protocol.Have:
+		n.mu.Lock()
+		if int(m.Index) < r.have.Size() {
+			r.have.Set(int(m.Index))
+		}
+		n.mu.Unlock()
+
+	case protocol.Piece:
+		n.handlePiece(r, m)
+
+	case protocol.SealedPiece:
+		n.handleSealed(r, m)
+
+	case protocol.Key:
+		n.handleKey(m)
+
+	case protocol.Receipt:
+		n.handleReceipt(r, m)
+
+	case protocol.Bye:
+		return true
+	}
+	return false
+}
+
+// handlePiece verifies and stores a plaintext piece, credits the sender,
+// and — if the piece repays one of our seals — releases the key.
+func (n *Node) handlePiece(r *remote, m protocol.Piece) {
+	if err := n.cfg.Store.Put(int(m.Index), m.Data); err != nil {
+		return // forged or duplicate data; Put verified the hash
+	}
+	n.mu.Lock()
+	n.credited += float64(len(m.Data))
+	n.ledger.Credit(r.id, float64(len(m.Data)))
+	n.strategy.OnReceived(n.view(), incentive.PeerID(r.id), float64(len(m.Data)))
+	// A pending seal for this index is now moot; drop the ciphertext.
+	for keyID, pending := range n.pendingSeals {
+		if pending.index == int(m.Index) {
+			delete(n.pendingSeals, keyID)
+		}
+	}
+	targets := n.broadcastTargetsLocked()
+	n.mu.Unlock()
+
+	n.announceHave(int(m.Index), targets)
+	n.checkComplete()
+
+	if m.RepaysKeyID != protocol.NoRepay {
+		// Direct reciprocation for a seal we sent to r.
+		released := n.recip.Confirm(n.cfg.ID, r.id)
+		if len(released) > 0 {
+			n.markTrusted(r.id)
+		}
+		n.releaseKeys(r, released)
+	}
+}
+
+// handleSealed stores the ciphertext and reciprocates per T-Chain: repay
+// the origin directly when possible, otherwise forward the seal to a third
+// peer (who will send the origin a receipt). Free-riders renege.
+func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
+	sealed := &tchain.Sealed{KeyID: m.KeyID, Nonce: m.Nonce, Ciphertext: m.Ciphertext}
+	originID := int(m.OriginID)
+
+	if m.Forwarded {
+		// We are the witness of someone else's reciprocation: confirm it to
+		// the origin so the forwarder earns its key. We keep the ciphertext
+		// too — if the origin later releases the key to us as well we can
+		// use it, but we do not rely on that.
+		n.mu.Lock()
+		origin, connected := n.peers[originID]
+		if !n.cfg.Store.Has(int(m.Index)) {
+			n.pendingSeals[m.KeyID] = pendingSeal{sealed: sealed, index: int(m.Index), originID: originID, originAddr: m.OriginAddr}
+		}
+		n.mu.Unlock()
+		if connected {
+			origin.enqueue(protocol.Receipt{KeyID: m.KeyID, From: m.ForwarderID})
+		}
+		return
+	}
+
+	n.mu.Lock()
+	if n.cfg.Store.Has(int(m.Index)) {
+		n.mu.Unlock()
+		return // nothing to gain; skip reciprocating for a duplicate
+	}
+	n.pendingSeals[m.KeyID] = pendingSeal{sealed: sealed, index: int(m.Index), originID: originID, originAddr: m.OriginAddr}
+	n.mu.Unlock()
+
+	if n.cfg.FreeRide {
+		return // renege: keep unreadable ciphertext, upload nothing
+	}
+	n.reciprocate(r, m)
+}
+
+// reciprocate fulfils the obligation created by a sealed piece.
+func (n *Node) reciprocate(r *remote, m protocol.SealedPiece) {
+	n.mu.Lock()
+	// Direct: send the origin a piece it needs.
+	myBits := n.cfg.Store.Bitfield()
+	var directIdx = -1
+	if r.have.Needs(myBits) {
+		if missing := r.have.MissingFrom(myBits); len(missing) > 0 {
+			directIdx = missing[n.rng.Intn(len(missing))]
+		}
+	}
+	n.mu.Unlock()
+
+	if directIdx >= 0 {
+		data, err := n.cfg.Store.Get(directIdx)
+		if err == nil {
+			n.sendPiece(r, directIdx, data, m.KeyID)
+			return
+		}
+	}
+
+	// Indirect: forward the sealed piece to a neighbor that needs it; the
+	// witness will send the origin a receipt.
+	n.mu.Lock()
+	var witness *remote
+	candidates := make([]*remote, 0, len(n.peers))
+	for _, p := range n.peers {
+		if p.id != int(m.OriginID) && !p.have.Has(int(m.Index)) {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) > 0 {
+		witness = candidates[n.rng.Intn(len(candidates))]
+	}
+	n.mu.Unlock()
+	if witness == nil {
+		return // nobody to reciprocate toward; the key may never arrive
+	}
+	forwarded := m
+	forwarded.Forwarded = true
+	forwarded.ForwarderID = int32(n.cfg.ID)
+	witness.enqueue(forwarded)
+	n.mu.Lock()
+	n.uploaded += float64(len(m.Ciphertext))
+	n.mu.Unlock()
+}
+
+// handleKey decrypts a pending seal, verifies, stores, and credits the
+// origin.
+func (n *Node) handleKey(m protocol.Key) {
+	n.mu.Lock()
+	pending, ok := n.pendingSeals[m.KeyID]
+	if ok {
+		delete(n.pendingSeals, m.KeyID)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	var key tchain.Key
+	copy(key[:], m.Key[:])
+	plaintext, err := tchain.Open(pending.sealed, key)
+	if err != nil {
+		return
+	}
+	if err := n.cfg.Store.Put(pending.index, plaintext); err != nil {
+		return // wrong key or corrupt ciphertext: hash check failed
+	}
+	n.mu.Lock()
+	n.credited += float64(len(plaintext))
+	n.ledger.Credit(pending.originID, float64(len(plaintext)))
+	n.strategy.OnReceived(n.view(), incentive.PeerID(pending.originID), float64(len(plaintext)))
+	targets := n.broadcastTargetsLocked()
+	n.mu.Unlock()
+	n.announceHave(pending.index, targets)
+	n.checkComplete()
+}
+
+// handleReceipt processes a witness confirmation: release the key to the
+// receiver that reciprocated. Note the trust assumption — a forged receipt
+// from a colluder extracts the key without real reciprocation, exactly the
+// paper's T-Chain collusion attack.
+func (n *Node) handleReceipt(r *remote, m protocol.Receipt) {
+	released := n.recip.Confirm(r.id, int(m.From))
+	n.mu.Lock()
+	receiver := n.peers[int(m.From)]
+	n.mu.Unlock()
+	if len(released) > 0 {
+		n.markTrusted(int(m.From))
+	}
+	if receiver != nil {
+		n.releaseKeys(receiver, released)
+	}
+}
+
+// markTrusted records that a peer completed a genuine reciprocation. A
+// trusted peer later benefits from the endgame key-release fallback
+// (reciprocationGrace): when the swarm is drained and nobody needs
+// anything, the obligation is unfulfillable through no fault of the
+// receiver. Free-riders never reciprocate, never earn trust, and never
+// benefit from the fallback.
+func (n *Node) markTrusted(peer int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.trusted[peer] = true
+}
+
+// releaseKeys sends escrowed keys to a receiver.
+func (n *Node) releaseKeys(r *remote, keyIDs []uint64) {
+	for _, keyID := range keyIDs {
+		key, err := n.escrow.Release(keyID)
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		idx := n.sealIndex[keyID]
+		delete(n.sealIndex, keyID)
+		n.mu.Unlock()
+		msg := protocol.Key{KeyID: keyID, Index: int32(idx)}
+		copy(msg.Key[:], key[:])
+		r.enqueue(msg)
+	}
+}
+
+// bitfieldMsg snapshots our holdings as a wire bitfield.
+func (n *Node) bitfieldMsg() protocol.Bitfield {
+	bits := n.cfg.Store.Bitfield()
+	numPieces := bits.Size()
+	packed := make([]byte, (numPieces+7)/8)
+	for _, i := range bits.Indices() {
+		packed[i/8] |= 1 << (uint(i) % 8)
+	}
+	return protocol.Bitfield{NumPieces: int32(numPieces), Bits: packed}
+}
+
+// broadcastTargetsLocked snapshots current connections (mu held).
+func (n *Node) broadcastTargetsLocked() []*remote {
+	out := make([]*remote, 0, len(n.peers))
+	for _, r := range n.peers {
+		out = append(out, r)
+	}
+	return out
+}
+
+// announceHave tells every neighbor about a new piece (outside the lock).
+func (n *Node) announceHave(index int, targets []*remote) {
+	for _, r := range targets {
+		r.enqueue(protocol.Have{Index: int32(index)})
+	}
+}
+
+// checkComplete closes the completion channel once the store fills up.
+func (n *Node) checkComplete() {
+	if n.cfg.Store.Complete() {
+		n.completeOnce.Do(func() { close(n.completeCh) })
+	}
+}

@@ -1,0 +1,346 @@
+// Package node implements a live cooperative-exchange peer: the same
+// incentive mechanisms the simulator studies (internal/incentive), run over
+// a real message transport (internal/transport) with verified piece storage
+// (internal/piece) and, for T-Chain, real encryption with escrowed keys
+// (internal/tchain).
+//
+// A Node pushes pieces to strategy-chosen neighbors, throttled by a token
+// bucket; receivers verify every piece against the swarm manifest. Under
+// T-Chain the payload travels sealed and the key is released only after the
+// sender observes reciprocation (a repaying piece, or a witness receipt for
+// a forwarded seal) — a receiver that reneges keeps ciphertext it can never
+// read.
+//
+// Simplifications relative to a full deployment, recorded in DESIGN.md:
+// the reputation algorithm's global scores live in a shared
+// reputation.Ledger (standing in for EigenTrust's gossip); witnesses only
+// notify seal origins they are already connected to (examples run meshes).
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/incentive"
+	"repro/internal/piece"
+	"repro/internal/protocol"
+	"repro/internal/reputation"
+	"repro/internal/stats"
+	"repro/internal/tchain"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a node.
+type Config struct {
+	// ID is the node's swarm-unique identity.
+	ID int
+	// Algorithm is the incentive mechanism to run.
+	Algorithm algo.Algorithm
+	// Params tunes the mechanism; zero values take the paper's defaults.
+	Params incentive.Params
+	// Store holds this node's pieces (pre-seeded for a seed node).
+	Store *piece.Store
+	// Transport provides connectivity.
+	Transport transport.Transport
+	// ListenAddr is where to accept inbound connections.
+	ListenAddr string
+	// Bootstrap addresses are dialed at startup.
+	Bootstrap []string
+	// UploadRate throttles uploads in bytes/second; 0 means unthrottled.
+	UploadRate float64
+	// DecisionInterval is the upload-scheduler tick (default 20 ms).
+	DecisionInterval time.Duration
+	// FreeRide makes the node receive without ever uploading or
+	// reciprocating — the attack behaviour from Section IV-C.
+	FreeRide bool
+	// SeedMode marks this node as the swarm's origin server: it serves
+	// plaintext unconditionally, matching the paper's model of the seeder
+	// as an unconditional u_S/N contribution in every mechanism
+	// (including T-Chain, where ordinary peers seal and demand
+	// reciprocation). Without an altruistic origin a two-party T-Chain
+	// swarm cannot even start: reciprocation toward a peer that needs
+	// nothing is infeasible.
+	SeedMode bool
+	// Ledger is the shared global-reputation service; nil creates a
+	// private one (reputation scores then stay local).
+	Ledger *reputation.Ledger
+	// Seed drives the node's random choices; 0 derives one from ID.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Store == nil {
+		return errors.New("node: Store required")
+	}
+	if c.Transport == nil {
+		return errors.New("node: Transport required")
+	}
+	if c.UploadRate < 0 {
+		return fmt.Errorf("node: UploadRate %g negative", c.UploadRate)
+	}
+	return nil
+}
+
+// remote is one connected neighbor. Outbound messages go through an
+// unbounded queue drained by a dedicated writer goroutine, so the read
+// loops never block on a slow peer (two mutually full pipes would
+// otherwise deadlock the swarm).
+type remote struct {
+	id   int
+	conn transport.Conn
+	have *piece.Bitfield
+	addr string
+
+	outMu     sync.Mutex
+	outCond   *sync.Cond
+	outbox    []protocol.Message
+	outClosed bool
+}
+
+// newRemote wires the outbound queue.
+func newRemote(id int, conn transport.Conn, numPieces int, addr string) *remote {
+	r := &remote{id: id, conn: conn, have: piece.NewBitfield(numPieces), addr: addr}
+	r.outCond = sync.NewCond(&r.outMu)
+	return r
+}
+
+// enqueue appends a message for the writer goroutine; it never blocks.
+func (r *remote) enqueue(m protocol.Message) {
+	r.outMu.Lock()
+	defer r.outMu.Unlock()
+	if r.outClosed {
+		return
+	}
+	r.outbox = append(r.outbox, m)
+	r.outCond.Signal()
+}
+
+// closeOutbox stops the writer goroutine.
+func (r *remote) closeOutbox() {
+	r.outMu.Lock()
+	r.outClosed = true
+	r.outMu.Unlock()
+	r.outCond.Broadcast()
+}
+
+// writeLoop drains the outbox to the connection until closed or the
+// connection dies.
+func (r *remote) writeLoop() {
+	for {
+		r.outMu.Lock()
+		for len(r.outbox) == 0 && !r.outClosed {
+			r.outCond.Wait()
+		}
+		if r.outClosed && len(r.outbox) == 0 {
+			r.outMu.Unlock()
+			return
+		}
+		batch := r.outbox
+		r.outbox = nil
+		r.outMu.Unlock()
+		for _, m := range batch {
+			if r.conn.Send(m) != nil {
+				r.closeOutbox()
+				return
+			}
+		}
+	}
+}
+
+// pendingSeal is a sealed piece waiting for its key.
+type pendingSeal struct {
+	sealed     *tchain.Sealed
+	index      int
+	originID   int
+	originAddr string
+}
+
+// Stats is a snapshot of a node's counters.
+type Stats struct {
+	ID            int
+	Pieces        int
+	Complete      bool
+	UploadedBytes float64
+	CreditedBytes float64 // verified plaintext received
+	SealedPending int     // ciphertext pieces awaiting keys
+	Neighbors     int
+}
+
+// Node is a live peer. Create with New, run with Start, stop with Stop.
+type Node struct {
+	cfg      Config
+	strategy incentive.Strategy
+	escrow   *tchain.Escrow
+	recip    *tchain.ReciprocationLedger
+	ledger   *reputation.Ledger
+
+	mu           sync.Mutex
+	stopping     bool
+	peers        map[int]*remote
+	conns        map[transport.Conn]bool // every live conn, incl. pre-handshake
+	pendingSeals map[uint64]pendingSeal
+	sealIndex    map[uint64]int // keyID -> piece index, sender side
+	recentSends  map[int]map[int]time.Time
+	trusted      map[int]bool // peers that have genuinely reciprocated a seal
+	rng          *rand.Rand
+	uploaded     float64
+	credited     float64
+
+	listener transport.Listener
+	done     chan struct{}
+	closed   sync.Once
+	wg       sync.WaitGroup
+	start    time.Time
+
+	completeCh   chan struct{}
+	completeOnce sync.Once
+}
+
+// New builds a node; call Start to bring it online.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DecisionInterval <= 0 {
+		cfg.DecisionInterval = 20 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.ID)*7919 + 17
+	}
+	ledger := cfg.Ledger
+	if ledger == nil {
+		ledger = reputation.NewLedger()
+	}
+	// The live T-Chain node enforces reciprocation at the protocol layer
+	// (seal/forward/receipt/key), so its strategy only needs the
+	// opportunistic-seeding component — which is altruism's uniform pick.
+	strategyAlgo := cfg.Algorithm
+	if strategyAlgo == algo.TChain {
+		strategyAlgo = algo.Altruism
+	}
+	strategy, err := incentive.New(strategyAlgo, cfg.Params, ledger)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:          cfg,
+		strategy:     strategy,
+		escrow:       tchain.NewEscrow(),
+		recip:        tchain.NewReciprocationLedger(),
+		ledger:       ledger,
+		peers:        make(map[int]*remote),
+		conns:        make(map[transport.Conn]bool),
+		pendingSeals: make(map[uint64]pendingSeal),
+		sealIndex:    make(map[uint64]int),
+		recentSends:  make(map[int]map[int]time.Time),
+		trusted:      make(map[int]bool),
+		rng:          stats.NewRNG(cfg.Seed),
+		done:         make(chan struct{}),
+		completeCh:   make(chan struct{}),
+	}
+	if cfg.Store.Complete() {
+		n.completeOnce.Do(func() { close(n.completeCh) })
+	}
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// StoreHandle returns the node's piece store (e.g., to assemble the file
+// after completion).
+func (n *Node) StoreHandle() *piece.Store { return n.cfg.Store }
+
+// Addr returns the bound listen address (valid after Start).
+func (n *Node) Addr() string {
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr()
+}
+
+// Start binds the listener, dials bootstrap peers, and launches the accept
+// and upload loops.
+func (n *Node) Start() error {
+	l, err := n.cfg.Transport.Listen(n.cfg.ListenAddr)
+	if err != nil {
+		return err
+	}
+	n.listener = l
+	n.start = time.Now()
+
+	n.wg.Add(1)
+	go n.acceptLoop()
+
+	for _, addr := range n.cfg.Bootstrap {
+		conn, err := n.cfg.Transport.Dial(addr)
+		if err != nil {
+			continue // bootstrap peers are best-effort
+		}
+		n.wg.Add(1)
+		go n.handleConn(conn, true)
+	}
+
+	n.wg.Add(1)
+	go n.uploadLoop()
+	return nil
+}
+
+// Stop tears the node down and waits for all its goroutines.
+func (n *Node) Stop() {
+	n.closed.Do(func() {
+		close(n.done)
+		if n.listener != nil {
+			n.listener.Close()
+		}
+		n.mu.Lock()
+		n.stopping = true
+		for conn := range n.conns {
+			conn.Close()
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+}
+
+// WaitComplete blocks until the node holds the full file or the timeout
+// elapses; it reports whether completion happened.
+func (n *Node) WaitComplete(timeout time.Duration) bool {
+	select {
+	case <-n.completeCh:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Stats{
+		ID:            n.cfg.ID,
+		Pieces:        n.cfg.Store.Count(),
+		Complete:      n.cfg.Store.Complete(),
+		UploadedBytes: n.uploaded,
+		CreditedBytes: n.credited,
+		SealedPending: len(n.pendingSeals),
+		Neighbors:     len(n.peers),
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go n.handleConn(conn, false)
+	}
+}

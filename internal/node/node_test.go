@@ -1,0 +1,335 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/incentive"
+	"repro/internal/piece"
+	"repro/internal/reputation"
+	"repro/internal/transport"
+)
+
+const (
+	testPieces    = 16
+	testPieceSize = 512
+)
+
+// cluster spins up one seed node plus n leechers on the given transport,
+// full-mesh connected, and returns them started.
+type cluster struct {
+	t        *testing.T
+	manifest *piece.Manifest
+	content  []byte
+	nodes    []*Node
+}
+
+func newCluster(t *testing.T, tr transport.Transport, listenAddr func(i int) string,
+	a algo.Algorithm, leechers int, freeRiders map[int]bool) *cluster {
+	t.Helper()
+	manifest, err := piece.SyntheticManifest(testPieces, testPieceSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, 0, manifest.FileSize)
+	for i := 0; i < testPieces; i++ {
+		content = append(content, piece.SyntheticPiece(i, testPieceSize)...)
+	}
+	ledger := reputation.NewLedger()
+
+	c := &cluster{t: t, manifest: manifest, content: content}
+	var addrs []string
+	for i := 0; i <= leechers; i++ {
+		var store *piece.Store
+		if i == 0 {
+			seedStore, err := piece.NewSeedStore(manifest, content)
+			if err != nil {
+				t.Fatal(err)
+			}
+			store = seedStore
+		} else {
+			store = piece.NewStore(manifest)
+		}
+		cfg := Config{
+			ID:               i,
+			Algorithm:        a,
+			Store:            store,
+			Transport:        tr,
+			ListenAddr:       listenAddr(i),
+			Bootstrap:        append([]string(nil), addrs...),
+			DecisionInterval: 2 * time.Millisecond,
+			FreeRide:         freeRiders[i],
+			Ledger:           ledger,
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		c.nodes = append(c.nodes, n)
+		addrs = append(addrs, n.Addr())
+	}
+	t.Cleanup(c.stopAll)
+	return c
+}
+
+func (c *cluster) stopAll() {
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+}
+
+func memAddrs(i int) string { return "" }
+
+func TestNodeValidation(t *testing.T) {
+	manifest, _ := piece.SyntheticManifest(4, 64)
+	store := piece.NewStore(manifest)
+	tr := transport.NewMem()
+	cases := []Config{
+		{Transport: tr}, // no store
+		{Store: store},  // no transport
+		{Store: store, Transport: tr, UploadRate: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestDistributeAllAlgorithms: a seed plus four compliant leechers finish
+// the file under every mechanism that can initiate uploads. (Pure
+// reciprocity stalls by design — covered separately.)
+func TestDistributeAllAlgorithms(t *testing.T) {
+	for _, a := range []algo.Algorithm{algo.Altruism, algo.BitTorrent, algo.FairTorrent, algo.Reputation, algo.TChain} {
+		t.Run(a.String(), func(t *testing.T) {
+			t.Parallel()
+			c := newCluster(t, transport.NewMem(), memAddrs, a, 4, nil)
+			for i, n := range c.nodes[1:] {
+				if !n.WaitComplete(20 * time.Second) {
+					t.Fatalf("leecher %d incomplete: %+v", i+1, n.Stats())
+				}
+			}
+			// Assembled content matches the original bytes.
+			got, err := c.nodes[1].cfg.Store.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(c.content) {
+				t.Fatalf("assembled %d bytes, want %d", len(got), len(c.content))
+			}
+			for i := range got {
+				if got[i] != c.content[i] {
+					t.Fatalf("content differs at byte %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestReciprocityStallsLive: with pure reciprocity nobody can initiate, so
+// leechers stay empty (Lemma 2's deadlock, on the real stack).
+func TestReciprocityStallsLive(t *testing.T) {
+	c := newCluster(t, transport.NewMem(), memAddrs, algo.Reciprocity, 2, nil)
+	if c.nodes[1].WaitComplete(500 * time.Millisecond) {
+		t.Fatal("reciprocity leecher completed — someone initiated an upload")
+	}
+	for _, n := range c.nodes[1:] {
+		if s := n.Stats(); s.Pieces != 0 {
+			t.Errorf("leecher %d acquired %d pieces under pure reciprocity", s.ID, s.Pieces)
+		}
+	}
+}
+
+// TestTChainFreeRiderStarves: under T-Chain, a free-riding node receives
+// sealed pieces it can never decrypt, while compliant nodes finish.
+func TestTChainFreeRiderStarves(t *testing.T) {
+	c := newCluster(t, transport.NewMem(), memAddrs, algo.TChain, 3, map[int]bool{3: true})
+	for _, i := range []int{1, 2} {
+		if !c.nodes[i].WaitComplete(20 * time.Second) {
+			t.Fatalf("compliant leecher %d incomplete: %+v", i, c.nodes[i].Stats())
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	fr := c.nodes[3].Stats()
+	if fr.Pieces != 0 {
+		t.Errorf("free-rider decrypted %d pieces under T-Chain", fr.Pieces)
+	}
+	if fr.UploadedBytes != 0 {
+		t.Errorf("free-rider uploaded %g bytes", fr.UploadedBytes)
+	}
+}
+
+// TestAltruismFreeRiderFeasts: the same free-rider completes the whole file
+// under altruism — the other end of Table III.
+func TestAltruismFreeRiderFeasts(t *testing.T) {
+	c := newCluster(t, transport.NewMem(), memAddrs, algo.Altruism, 3, map[int]bool{3: true})
+	if !c.nodes[3].WaitComplete(20 * time.Second) {
+		t.Fatalf("free-rider incomplete under altruism: %+v", c.nodes[3].Stats())
+	}
+	if got := c.nodes[3].Stats().UploadedBytes; got != 0 {
+		t.Errorf("free-rider uploaded %g bytes", got)
+	}
+}
+
+// TestTCPCluster runs a small swarm over real TCP on localhost.
+func TestTCPCluster(t *testing.T) {
+	c := newCluster(t, transport.NewTCP(), func(int) string { return "127.0.0.1:0" },
+		algo.TChain, 3, nil)
+	for i := 1; i <= 3; i++ {
+		if !c.nodes[i].WaitComplete(30 * time.Second) {
+			t.Fatalf("TCP leecher %d incomplete: %+v", i, c.nodes[i].Stats())
+		}
+	}
+}
+
+// TestReputationContributorPreferred: with the reputation mechanism, the
+// ledger accumulates real upload credit for contributors.
+func TestReputationContributorPreferred(t *testing.T) {
+	c := newCluster(t, transport.NewMem(), memAddrs, algo.Reputation, 3, nil)
+	for i := 1; i <= 3; i++ {
+		if !c.nodes[i].WaitComplete(20 * time.Second) {
+			t.Fatalf("leecher %d incomplete", i)
+		}
+	}
+	// The seed must have earned the highest reputation.
+	ledger := c.nodes[0].ledger
+	seedScore := ledger.Score(0)
+	if seedScore <= 0 {
+		t.Fatal("seed has no reputation despite uploading")
+	}
+	for i := 1; i <= 3; i++ {
+		if ledger.Score(i) > seedScore {
+			t.Errorf("leecher %d outscored the seed", i)
+		}
+	}
+}
+
+// TestNodeStopIdempotent: Stop twice, and stats stay accessible.
+func TestNodeStopIdempotent(t *testing.T) {
+	c := newCluster(t, transport.NewMem(), memAddrs, algo.Altruism, 1, nil)
+	c.nodes[0].Stop()
+	c.nodes[0].Stop()
+	_ = c.nodes[0].Stats()
+}
+
+// TestUploadRateThrottle: a throttled seed uploads no faster than its
+// token bucket allows.
+func TestUploadRateThrottle(t *testing.T) {
+	manifest, _ := piece.SyntheticManifest(testPieces, testPieceSize)
+	content := make([]byte, 0, manifest.FileSize)
+	for i := 0; i < testPieces; i++ {
+		content = append(content, piece.SyntheticPiece(i, testPieceSize)...)
+	}
+	seedStore, _ := piece.NewSeedStore(manifest, content)
+	tr := transport.NewMem()
+	rate := float64(4 * testPieceSize) // four pieces per second
+	seed, err := New(Config{
+		ID: 0, Algorithm: algo.Altruism, Store: seedStore, Transport: tr,
+		UploadRate: rate, DecisionInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Stop()
+
+	leech, err := New(Config{
+		ID: 1, Algorithm: algo.Altruism, Store: piece.NewStore(manifest),
+		Transport: tr, Bootstrap: []string{seed.Addr()}, DecisionInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leech.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer leech.Stop()
+
+	const window = 1500 * time.Millisecond
+	time.Sleep(window)
+	uploaded := seed.Stats().UploadedBytes
+	// Allow bucket burst (4 pieces) plus rate*window.
+	limit := rate*window.Seconds() + 5*testPieceSize
+	if uploaded > limit {
+		t.Errorf("uploaded %g bytes in %v, limit %g", uploaded, window, limit)
+	}
+	if uploaded == 0 {
+		t.Error("throttled seed uploaded nothing")
+	}
+}
+
+// TestStrategyParamsPropagate: invalid params surface at construction.
+func TestStrategyParamsPropagate(t *testing.T) {
+	manifest, _ := piece.SyntheticManifest(4, 64)
+	_, err := New(Config{
+		ID: 0, Algorithm: algo.BitTorrent, Store: piece.NewStore(manifest),
+		Transport: transport.NewMem(), Params: incentive.Params{AlphaBT: 3},
+	})
+	if err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// TestSwarmSurvivesMessageLoss: with 5% of non-handshake messages dropped,
+// the recovery paths (resend cooldown, seal re-issue, trusted key-release
+// fallback) still complete the download.
+func TestSwarmSurvivesMessageLoss(t *testing.T) {
+	for _, a := range []algo.Algorithm{algo.Altruism, algo.TChain} {
+		t.Run(a.String(), func(t *testing.T) {
+			tr := transport.NewFlaky(transport.NewMem(), 0.05, 77)
+			c := newCluster(t, tr, memAddrs, a, 3, nil)
+			for i := 1; i <= 3; i++ {
+				if !c.nodes[i].WaitComplete(45 * time.Second) {
+					t.Fatalf("leecher %d incomplete under loss: %+v", i, c.nodes[i].Stats())
+				}
+			}
+		})
+	}
+}
+
+// TestSeedModeServesPlaintextUnderTChain: an origin-server node sends
+// plaintext even under T-Chain, so a two-party swarm (where reciprocation
+// toward a complete peer is infeasible) still works.
+func TestSeedModeServesPlaintextUnderTChain(t *testing.T) {
+	manifest, _ := piece.SyntheticManifest(testPieces, testPieceSize)
+	content := make([]byte, 0, manifest.FileSize)
+	for i := 0; i < testPieces; i++ {
+		content = append(content, piece.SyntheticPiece(i, testPieceSize)...)
+	}
+	seedStore, _ := piece.NewSeedStore(manifest, content)
+	tr := transport.NewMem()
+	seed, err := New(Config{
+		ID: 0, Algorithm: algo.TChain, Store: seedStore, Transport: tr,
+		DecisionInterval: 2 * time.Millisecond, SeedMode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Stop()
+
+	leech, err := New(Config{
+		ID: 1, Algorithm: algo.TChain, Store: piece.NewStore(manifest),
+		Transport: tr, Bootstrap: []string{seed.Addr()},
+		DecisionInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leech.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer leech.Stop()
+
+	if !leech.WaitComplete(20 * time.Second) {
+		t.Fatalf("two-party T-Chain swarm with SeedMode did not complete: %+v", leech.Stats())
+	}
+}

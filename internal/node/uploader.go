@@ -1,0 +1,229 @@
+package node
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/incentive"
+	"repro/internal/protocol"
+	"repro/internal/tchain"
+)
+
+// nodeView adapts the node's state to incentive.NodeView. All methods are
+// called with n.mu held (the upload loop and message handlers lock before
+// consulting the strategy).
+type nodeView struct {
+	n *Node
+}
+
+var _ incentive.NodeView = nodeView{}
+
+func (v nodeView) Self() incentive.PeerID { return incentive.PeerID(v.n.cfg.ID) }
+func (v nodeView) Now() float64           { return time.Since(v.n.start).Seconds() }
+func (v nodeView) RNG() *rand.Rand        { return v.n.rng }
+
+func (v nodeView) Neighbors() []incentive.PeerID {
+	out := make([]incentive.PeerID, 0, len(v.n.peers))
+	for id := range v.n.peers {
+		out = append(out, incentive.PeerID(id))
+	}
+	return out
+}
+
+func (v nodeView) WantsFromMe(p incentive.PeerID) bool {
+	r, ok := v.n.peers[int(p)]
+	if !ok {
+		return false
+	}
+	return r.have.Needs(v.n.cfg.Store.Bitfield())
+}
+
+func (v nodeView) INeedFrom(p incentive.PeerID) bool {
+	r, ok := v.n.peers[int(p)]
+	if !ok {
+		return false
+	}
+	return v.n.cfg.Store.Bitfield().Needs(r.have)
+}
+
+func (v nodeView) PieceCount(p incentive.PeerID) int {
+	r, ok := v.n.peers[int(p)]
+	if !ok {
+		return 0
+	}
+	return r.have.Count()
+}
+
+func (v nodeView) Reputation(p incentive.PeerID) float64 {
+	return v.n.ledger.Score(int(p))
+}
+
+// view returns the strategy view; callers must hold n.mu.
+func (n *Node) view() incentive.NodeView { return nodeView{n: n} }
+
+// resendCooldown is how long a (peer, piece) send suppresses duplicates
+// while we wait for the peer's Have.
+const resendCooldown = 3 * time.Second
+
+// reciprocationGrace is how long a seal's key stays strictly escrowed for a
+// *trusted* receiver before the endgame fallback releases it (see
+// markTrusted). Untrusted receivers get no grace: reciprocate or starve.
+const reciprocationGrace = 2 * time.Second
+
+// uploadLoop is the decision engine: a token bucket refilled at UploadRate
+// drives strategy-chosen piece pushes.
+func (n *Node) uploadLoop() {
+	defer n.wg.Done()
+	if n.cfg.FreeRide {
+		return // free-riders never upload
+	}
+	ticker := time.NewTicker(n.cfg.DecisionInterval)
+	defer ticker.Stop()
+
+	pieceSize := float64(n.cfg.Store.Manifest().PieceSize)
+	budget := pieceSize // allow an immediate first send
+	last := time.Now()
+	for {
+		select {
+		case <-n.done:
+			return
+		case now := <-ticker.C:
+			if n.cfg.UploadRate > 0 {
+				budget += n.cfg.UploadRate * now.Sub(last).Seconds()
+				if maxBudget := 4 * pieceSize; budget > maxBudget {
+					budget = maxBudget
+				}
+			} else {
+				budget = 8 * pieceSize // unthrottled: bounded burst per tick
+			}
+			last = now
+			for budget >= pieceSize {
+				if !n.tryUpload() {
+					break
+				}
+				budget -= pieceSize
+			}
+		}
+	}
+}
+
+// tryUpload asks the strategy for a receiver and pushes one piece; reports
+// whether a send happened.
+func (n *Node) tryUpload() bool {
+	n.mu.Lock()
+	receiverID := n.strategy.NextReceiver(n.view())
+	if receiverID == incentive.NoPeer {
+		n.mu.Unlock()
+		return false
+	}
+	r, ok := n.peers[int(receiverID)]
+	if !ok {
+		n.mu.Unlock()
+		return false
+	}
+	idx := n.pickPieceLocked(r)
+	if idx < 0 {
+		n.mu.Unlock()
+		return false
+	}
+	n.markSentLocked(r.id, idx)
+	n.mu.Unlock()
+
+	data, err := n.cfg.Store.Get(idx)
+	if err != nil {
+		return false
+	}
+	if n.cfg.Algorithm == algo.TChain && !n.cfg.SeedMode {
+		return n.sendSealed(r, idx, data)
+	}
+	n.sendPiece(r, idx, data, protocol.NoRepay)
+	return true
+}
+
+// pickPieceLocked chooses a piece the receiver needs, excluding recent
+// sends (mu held).
+func (n *Node) pickPieceLocked(r *remote) int {
+	candidates := r.have.MissingFrom(n.cfg.Store.Bitfield())
+	recent := n.recentSends[r.id]
+	now := time.Now()
+	filtered := candidates[:0]
+	for _, c := range candidates {
+		if at, ok := recent[c]; ok && now.Sub(at) < resendCooldown {
+			continue
+		}
+		filtered = append(filtered, c)
+	}
+	if len(filtered) == 0 {
+		return -1
+	}
+	return filtered[n.rng.Intn(len(filtered))]
+}
+
+func (n *Node) markSentLocked(peerID, idx int) {
+	recent := n.recentSends[peerID]
+	if recent == nil {
+		recent = make(map[int]time.Time)
+		n.recentSends[peerID] = recent
+	}
+	recent[idx] = time.Now()
+}
+
+// sendPiece pushes plaintext (repaysKeyID = NoRepay for ordinary uploads).
+func (n *Node) sendPiece(r *remote, idx int, data []byte, repaysKeyID uint64) {
+	msg := protocol.Piece{Index: int32(idx), RepaysKeyID: repaysKeyID, Data: data}
+	r.enqueue(msg)
+	n.mu.Lock()
+	n.uploaded += float64(len(data))
+	n.strategy.OnSent(n.view(), incentive.PeerID(r.id), float64(len(data)))
+	n.mu.Unlock()
+}
+
+// sendSealed pushes an encrypted piece and records the reciprocation
+// demand; the key stays in escrow until the receiver (or a witness)
+// confirms.
+func (n *Node) sendSealed(r *remote, idx int, data []byte) bool {
+	sealed, err := n.escrow.Seal(data)
+	if err != nil {
+		return false
+	}
+	n.mu.Lock()
+	n.sealIndex[sealed.KeyID] = idx
+	n.mu.Unlock()
+	// Accept reciprocation observed by any witness (direct repayment
+	// arrives as a Piece with RepaysKeyID and confirms with ourselves as
+	// witness).
+	n.recip.Demand(sealed.KeyID, r.id, tchain.Obligation{Kind: tchain.Indirect, Target: tchain.AnyPeer})
+	msg := protocol.SealedPiece{
+		Index:      int32(idx),
+		KeyID:      sealed.KeyID,
+		Nonce:      sealed.Nonce,
+		Ciphertext: sealed.Ciphertext,
+		OriginID:   int32(n.cfg.ID),
+		OriginAddr: n.Addr(),
+	}
+	r.enqueue(msg)
+	n.mu.Lock()
+	n.uploaded += float64(len(data))
+	n.strategy.OnSent(n.view(), incentive.PeerID(r.id), float64(len(data)))
+	n.mu.Unlock()
+
+	// Endgame fallback: if the receiver has genuinely reciprocated before
+	// and still owes this one after the grace period (typically because
+	// nobody in the swarm needs anything anymore), release the key.
+	keyID := sealed.KeyID
+	receiverID := r.id
+	time.AfterFunc(reciprocationGrace, func() {
+		n.mu.Lock()
+		trusted := n.trusted[receiverID]
+		receiver := n.peers[receiverID]
+		n.mu.Unlock()
+		if !trusted || receiver == nil {
+			return
+		}
+		if n.recip.Take(keyID) {
+			n.releaseKeys(receiver, []uint64{keyID})
+		}
+	})
+	return true
+}

@@ -1,0 +1,157 @@
+package piece
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitfieldBasicOps(t *testing.T) {
+	b := NewBitfield(100)
+	if b.Size() != 100 || b.Count() != 0 || b.Complete() {
+		t.Fatal("fresh bitfield wrong")
+	}
+	if !b.Set(5) {
+		t.Error("first Set returned false")
+	}
+	if b.Set(5) {
+		t.Error("duplicate Set returned true")
+	}
+	if !b.Has(5) || b.Has(6) {
+		t.Error("Has wrong")
+	}
+	if b.Count() != 1 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	if !b.Clear(5) || b.Clear(5) {
+		t.Error("Clear semantics wrong")
+	}
+	if b.Count() != 0 {
+		t.Errorf("Count after clear = %d", b.Count())
+	}
+}
+
+func TestBitfieldBoundary(t *testing.T) {
+	// Sizes straddling word boundaries.
+	for _, size := range []int{1, 63, 64, 65, 128, 129} {
+		b := NewBitfield(size)
+		b.SetAll()
+		if b.Count() != size || !b.Complete() {
+			t.Errorf("size %d: SetAll count=%d", size, b.Count())
+		}
+		if b.Has(size) {
+			t.Errorf("size %d: Has(size) = true", size)
+		}
+		indices := b.Indices()
+		if len(indices) != size {
+			t.Errorf("size %d: %d indices", size, len(indices))
+		}
+		for i, idx := range indices {
+			if idx != i {
+				t.Fatalf("size %d: indices %v", size, indices)
+			}
+		}
+	}
+}
+
+func TestBitfieldOutOfRange(t *testing.T) {
+	b := NewBitfield(10)
+	if b.Has(-1) || b.Has(10) {
+		t.Error("out-of-range Has should be false")
+	}
+	for _, fn := range []func(){
+		func() { b.Set(10) },
+		func() { b.Set(-1) },
+		func() { b.Clear(10) },
+		func() { NewBitfield(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMissingFrom(t *testing.T) {
+	a := NewBitfield(10)
+	b := NewBitfield(10)
+	b.Set(1)
+	b.Set(3)
+	b.Set(7)
+	a.Set(3)
+	missing := a.MissingFrom(b)
+	want := []int{1, 7}
+	if len(missing) != len(want) {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+	for i := range want {
+		if missing[i] != want[i] {
+			t.Fatalf("missing = %v, want %v", missing, want)
+		}
+	}
+	if got := a.CountMissingFrom(b); got != 2 {
+		t.Errorf("CountMissingFrom = %d, want 2", got)
+	}
+	if !a.Needs(b) {
+		t.Error("Needs = false, want true")
+	}
+	if b.Needs(a) {
+		t.Error("b needs nothing from a")
+	}
+	if a.Needs(nil) || a.MissingFrom(nil) != nil || a.CountMissingFrom(nil) != 0 {
+		t.Error("nil other not handled")
+	}
+}
+
+func TestMissingFromConsistencyProperty(t *testing.T) {
+	f := func(setsA, setsB []uint8) bool {
+		a := NewBitfield(256)
+		b := NewBitfield(256)
+		for _, i := range setsA {
+			a.Set(int(i))
+		}
+		for _, i := range setsB {
+			b.Set(int(i))
+		}
+		missing := a.MissingFrom(b)
+		if len(missing) != a.CountMissingFrom(b) {
+			return false
+		}
+		if a.Needs(b) != (len(missing) > 0) {
+			return false
+		}
+		for _, i := range missing {
+			if !b.Has(i) || a.Has(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := NewBitfield(70)
+	a.Set(69)
+	c := a.Clone()
+	c.Set(0)
+	if a.Has(0) {
+		t.Error("clone not independent")
+	}
+	if !c.Has(69) || c.Count() != 2 {
+		t.Error("clone lost state")
+	}
+}
+
+func TestBitfieldString(t *testing.T) {
+	b := NewBitfield(4)
+	b.Set(1)
+	if got := b.String(); got != "0100" {
+		t.Errorf("String = %q", got)
+	}
+}

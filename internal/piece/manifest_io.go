@@ -1,0 +1,66 @@
+package piece
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// manifestWire is the JSON form of a Manifest: hashes as hex strings.
+type manifestWire struct {
+	PieceSize int      `json:"piece_size"`
+	FileSize  int      `json:"file_size"`
+	Hashes    []string `json:"hashes"`
+}
+
+// EncodeManifest writes the manifest as JSON, suitable for sharing with
+// peers out of band (the swarm's "torrent file").
+func EncodeManifest(w io.Writer, m *Manifest) error {
+	wire := manifestWire{
+		PieceSize: m.PieceSize,
+		FileSize:  m.FileSize,
+		Hashes:    make([]string, len(m.Hashes)),
+	}
+	for i, h := range m.Hashes {
+		wire.Hashes[i] = hex.EncodeToString(h[:])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(wire); err != nil {
+		return fmt.Errorf("piece: encoding manifest: %w", err)
+	}
+	return nil
+}
+
+// DecodeManifest reads a JSON manifest and validates its shape.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var wire manifestWire
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("piece: decoding manifest: %w", err)
+	}
+	if wire.PieceSize <= 0 {
+		return nil, fmt.Errorf("piece: manifest piece size %d invalid", wire.PieceSize)
+	}
+	if len(wire.Hashes) == 0 {
+		return nil, fmt.Errorf("piece: manifest has no pieces")
+	}
+	wantPieces := (wire.FileSize + wire.PieceSize - 1) / wire.PieceSize
+	if wire.FileSize <= 0 || wantPieces != len(wire.Hashes) {
+		return nil, fmt.Errorf("piece: manifest sizes inconsistent: %d bytes, %d-byte pieces, %d hashes",
+			wire.FileSize, wire.PieceSize, len(wire.Hashes))
+	}
+	m := &Manifest{
+		PieceSize: wire.PieceSize,
+		FileSize:  wire.FileSize,
+		Hashes:    make([]Hash, len(wire.Hashes)),
+	}
+	for i, hs := range wire.Hashes {
+		raw, err := hex.DecodeString(hs)
+		if err != nil || len(raw) != len(m.Hashes[i]) {
+			return nil, fmt.Errorf("piece: manifest hash %d malformed", i)
+		}
+		copy(m.Hashes[i][:], raw)
+	}
+	return m, nil
+}

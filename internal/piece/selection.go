@@ -1,0 +1,90 @@
+package piece
+
+import (
+	"math/rand"
+)
+
+// Availability tracks, for each piece index, how many peers in a view hold
+// it. Swarm simulators maintain one global instance; live nodes maintain one
+// per neighborhood. Not safe for concurrent use.
+type Availability struct {
+	counts []int
+}
+
+// NewAvailability returns a zeroed availability index over numPieces pieces.
+func NewAvailability(numPieces int) *Availability {
+	return &Availability{counts: make([]int, numPieces)}
+}
+
+// AddPiece records that one more peer holds piece i.
+func (a *Availability) AddPiece(i int) {
+	if i >= 0 && i < len(a.counts) {
+		a.counts[i]++
+	}
+}
+
+// RemovePiece records that one fewer peer holds piece i (e.g., peer left).
+func (a *Availability) RemovePiece(i int) {
+	if i >= 0 && i < len(a.counts) && a.counts[i] > 0 {
+		a.counts[i]--
+	}
+}
+
+// AddBitfield records every piece in b as held by one more peer.
+func (a *Availability) AddBitfield(b *Bitfield) {
+	for _, i := range b.Indices() {
+		a.AddPiece(i)
+	}
+}
+
+// RemoveBitfield reverses AddBitfield.
+func (a *Availability) RemoveBitfield(b *Bitfield) {
+	for _, i := range b.Indices() {
+		a.RemovePiece(i)
+	}
+}
+
+// Count returns the availability of piece i.
+func (a *Availability) Count(i int) int {
+	if i < 0 || i >= len(a.counts) {
+		return 0
+	}
+	return a.counts[i]
+}
+
+// RarestFirst picks from candidates the piece with the lowest availability,
+// breaking ties uniformly at random (the paper assumes pieces are equally
+// likely to be held, which local-rarest-first approximates). It returns -1
+// for an empty candidate set.
+func (a *Availability) RarestFirst(rng *rand.Rand, candidates []int) int {
+	if len(candidates) == 0 {
+		return -1
+	}
+	best := -1
+	bestCount := int(^uint(0) >> 1)
+	ties := 0
+	for _, c := range candidates {
+		count := a.Count(c)
+		switch {
+		case count < bestCount:
+			best, bestCount, ties = c, count, 1
+		case count == bestCount:
+			// Reservoir-sample among ties so selection stays uniform without
+			// a second pass.
+			ties++
+			if rng.Intn(ties) == 0 {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// RandomPiece picks uniformly from candidates, or -1 if empty. Used by
+// strategies that do not employ rarest-first (e.g., pure altruism variants).
+func RandomPiece(rng *rand.Rand, candidates []int) int {
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[rng.Intn(len(candidates))]
+}

@@ -1,0 +1,220 @@
+package piece
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Hash is the SHA-256 digest of a piece's plaintext content.
+type Hash [sha256.Size]byte
+
+// Errors returned by Store operations.
+var (
+	ErrOutOfRange   = errors.New("piece: index out of range")
+	ErrHashMismatch = errors.New("piece: content hash mismatch")
+	ErrNotHeld      = errors.New("piece: piece not held")
+)
+
+// Manifest describes a file split into fixed-size pieces: the expected hash
+// of every piece plus sizing metadata. A Manifest is immutable after
+// creation and safe to share between peers.
+type Manifest struct {
+	PieceSize int
+	FileSize  int
+	Hashes    []Hash
+}
+
+// NumPieces returns the number of pieces in the file.
+func (m *Manifest) NumPieces() int { return len(m.Hashes) }
+
+// PieceLength returns the byte length of piece i (the final piece may be
+// short).
+func (m *Manifest) PieceLength(i int) int {
+	if i < 0 || i >= len(m.Hashes) {
+		return 0
+	}
+	if i == len(m.Hashes)-1 {
+		if rem := m.FileSize % m.PieceSize; rem != 0 {
+			return rem
+		}
+	}
+	return m.PieceSize
+}
+
+// NewManifest splits content into pieceSize chunks and records their hashes.
+// It returns an error on a non-positive piece size or empty content.
+func NewManifest(content []byte, pieceSize int) (*Manifest, error) {
+	if pieceSize <= 0 {
+		return nil, fmt.Errorf("piece: piece size %d must be positive", pieceSize)
+	}
+	if len(content) == 0 {
+		return nil, errors.New("piece: empty content")
+	}
+	numPieces := (len(content) + pieceSize - 1) / pieceSize
+	m := &Manifest{
+		PieceSize: pieceSize,
+		FileSize:  len(content),
+		Hashes:    make([]Hash, numPieces),
+	}
+	for i := 0; i < numPieces; i++ {
+		lo := i * pieceSize
+		hi := min(lo+pieceSize, len(content))
+		m.Hashes[i] = sha256.Sum256(content[lo:hi])
+	}
+	return m, nil
+}
+
+// SyntheticManifest builds a manifest for a deterministic synthetic file of
+// numPieces pieces of pieceSize bytes each, without materializing the file.
+// Piece i's content is the byte pattern produced by SyntheticPiece(i, ...).
+// Simulations use this to model a 128 MB file without 128 MB of RAM per peer.
+func SyntheticManifest(numPieces, pieceSize int) (*Manifest, error) {
+	if numPieces <= 0 || pieceSize <= 0 {
+		return nil, fmt.Errorf("piece: invalid synthetic manifest %dx%d", numPieces, pieceSize)
+	}
+	m := &Manifest{
+		PieceSize: pieceSize,
+		FileSize:  numPieces * pieceSize,
+		Hashes:    make([]Hash, numPieces),
+	}
+	for i := 0; i < numPieces; i++ {
+		m.Hashes[i] = sha256.Sum256(SyntheticPiece(i, pieceSize))
+	}
+	return m, nil
+}
+
+// SyntheticPiece returns the deterministic content of piece i in a synthetic
+// file: a repeating 8-byte little-endian pattern derived from the index.
+func SyntheticPiece(i, pieceSize int) []byte {
+	buf := make([]byte, pieceSize)
+	seed := uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for off := 0; off < pieceSize; off += 8 {
+		v := seed + uint64(off)
+		for b := 0; b < 8 && off+b < pieceSize; b++ {
+			buf[off+b] = byte(v >> (8 * uint(b)))
+		}
+	}
+	return buf
+}
+
+// Store holds verified piece data for one peer. It verifies every Put
+// against the manifest hash, so corrupt or forged pieces never enter a
+// peer's store. Safe for concurrent use (the live network node accesses it
+// from multiple goroutines).
+type Store struct {
+	mu       sync.RWMutex
+	manifest *Manifest
+	have     *Bitfield
+	data     map[int][]byte
+}
+
+// NewStore returns an empty store for the given manifest.
+func NewStore(m *Manifest) *Store {
+	return &Store{
+		manifest: m,
+		have:     NewBitfield(m.NumPieces()),
+		data:     make(map[int][]byte),
+	}
+}
+
+// NewSeedStore returns a store pre-populated with every piece of content.
+// The content must match the manifest.
+func NewSeedStore(m *Manifest, content []byte) (*Store, error) {
+	s := NewStore(m)
+	for i := 0; i < m.NumPieces(); i++ {
+		lo := i * m.PieceSize
+		hi := min(lo+m.PieceSize, len(content))
+		if lo >= len(content) {
+			return nil, fmt.Errorf("piece: content too short for manifest: %w", ErrOutOfRange)
+		}
+		if err := s.Put(i, content[lo:hi]); err != nil {
+			return nil, fmt.Errorf("seeding piece %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// Manifest returns the store's manifest.
+func (s *Store) Manifest() *Manifest { return s.manifest }
+
+// Put verifies data against the manifest hash for piece i and stores it.
+// It returns ErrHashMismatch if verification fails and ErrOutOfRange for a
+// bad index. Re-putting a held piece is a verified no-op.
+func (s *Store) Put(i int, data []byte) error {
+	if i < 0 || i >= s.manifest.NumPieces() {
+		return fmt.Errorf("piece %d of %d: %w", i, s.manifest.NumPieces(), ErrOutOfRange)
+	}
+	if sha256.Sum256(data) != s.manifest.Hashes[i] {
+		return fmt.Errorf("piece %d: %w", i, ErrHashMismatch)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.have.Has(i) {
+		return nil
+	}
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	s.data[i] = stored
+	s.have.Set(i)
+	return nil
+}
+
+// Get returns a copy of piece i's data, or ErrNotHeld.
+func (s *Store) Get(i int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.data[i]
+	if !ok {
+		return nil, fmt.Errorf("piece %d: %w", i, ErrNotHeld)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Has reports whether piece i is held.
+func (s *Store) Has(i int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.have.Has(i)
+}
+
+// Count returns the number of held pieces.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.have.Count()
+}
+
+// Complete reports whether all pieces are held.
+func (s *Store) Complete() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.have.Complete()
+}
+
+// Bitfield returns a snapshot copy of the held-piece bitfield.
+func (s *Store) Bitfield() *Bitfield {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.have.Clone()
+}
+
+// Assemble concatenates all pieces into the original file content. It
+// returns ErrNotHeld if any piece is missing.
+func (s *Store) Assemble() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.have.Complete() {
+		return nil, fmt.Errorf("%d of %d pieces: %w", s.have.Count(), s.manifest.NumPieces(), ErrNotHeld)
+	}
+	var buf bytes.Buffer
+	buf.Grow(s.manifest.FileSize)
+	for i := 0; i < s.manifest.NumPieces(); i++ {
+		buf.Write(s.data[i])
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,182 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// writer appends big-endian primitives to a buffer.
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *writer) str(s string) { w.bytes([]byte(s)) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// reader consumes big-endian primitives from a buffer; the first error
+// sticks so call sites can decode unconditionally and check once.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = ErrMalformed
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(n) > uint64(len(r.buf)) {
+		r.err = ErrMalformed
+		return nil
+	}
+	raw := r.take(int(n))
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+// done verifies the payload was consumed exactly.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(r.buf))
+	}
+	return nil
+}
+
+func marshalPayload(m Message) ([]byte, error) {
+	var w writer
+	switch msg := m.(type) {
+	case Hello:
+		w.i32(msg.PeerID)
+		w.i32(msg.NumPieces)
+		w.str(msg.Addr)
+	case Bitfield:
+		w.i32(msg.NumPieces)
+		w.bytes(msg.Bits)
+	case Have:
+		w.i32(msg.Index)
+	case Piece:
+		w.i32(msg.Index)
+		w.u64(msg.RepaysKeyID)
+		w.bytes(msg.Data)
+	case SealedPiece:
+		w.i32(msg.Index)
+		w.u64(msg.KeyID)
+		w.buf = append(w.buf, msg.Nonce[:]...)
+		w.bytes(msg.Ciphertext)
+		w.i32(msg.OriginID)
+		w.str(msg.OriginAddr)
+		w.boolean(msg.Forwarded)
+		w.i32(msg.ForwarderID)
+	case Key:
+		w.u64(msg.KeyID)
+		w.i32(msg.Index)
+		w.buf = append(w.buf, msg.Key[:]...)
+	case Receipt:
+		w.u64(msg.KeyID)
+		w.i32(msg.From)
+	case Bye:
+		// empty payload
+	default:
+		return nil, fmt.Errorf("protocol: cannot marshal %T", m)
+	}
+	return w.buf, nil
+}
+
+func unmarshalPayload(t Type, payload []byte) (Message, error) {
+	r := &reader{buf: payload}
+	var m Message
+	switch t {
+	case TypeHello:
+		msg := Hello{PeerID: r.i32(), NumPieces: r.i32(), Addr: r.str()}
+		m = msg
+	case TypeBitfield:
+		msg := Bitfield{NumPieces: r.i32(), Bits: r.bytes()}
+		m = msg
+	case TypeHave:
+		m = Have{Index: r.i32()}
+	case TypePiece:
+		m = Piece{Index: r.i32(), RepaysKeyID: r.u64(), Data: r.bytes()}
+	case TypeSealedPiece:
+		msg := SealedPiece{Index: r.i32(), KeyID: r.u64()}
+		copy(msg.Nonce[:], r.take(len(msg.Nonce)))
+		msg.Ciphertext = r.bytes()
+		msg.OriginID = r.i32()
+		msg.OriginAddr = r.str()
+		msg.Forwarded = r.boolean()
+		msg.ForwarderID = r.i32()
+		m = msg
+	case TypeKey:
+		msg := Key{KeyID: r.u64(), Index: r.i32()}
+		copy(msg.Key[:], r.take(len(msg.Key)))
+		m = msg
+	case TypeReceipt:
+		m = Receipt{KeyID: r.u64(), From: r.i32()}
+	case TypeBye:
+		m = Bye{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
+	}
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("decoding %v: %w", t, err)
+	}
+	return m, nil
+}

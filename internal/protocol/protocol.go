@@ -1,0 +1,205 @@
+// Package protocol defines the wire messages the live cooperative-exchange
+// node (internal/node) speaks, and their binary framing.
+//
+// Frame layout: a 4-byte big-endian payload length, a 1-byte message type,
+// then the payload. Payloads use fixed-width big-endian integers,
+// length-prefixed byte strings, and raw bytes for piece data. The format is
+// deliberately free of reflection and allocation-light: Decode reads exactly
+// one frame and rejects oversized or malformed input.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxFrameSize bounds a frame payload (16 MiB): large enough for any
+// realistic piece, small enough to stop a malicious peer from ballooning
+// our memory.
+const MaxFrameSize = 16 << 20
+
+// AnyPeer is the wildcard peer ID in reciprocation demands: "any witness".
+const AnyPeer int32 = -1
+
+// Type tags a wire message.
+type Type uint8
+
+// The message types.
+const (
+	TypeHello Type = iota + 1
+	TypeBitfield
+	TypeHave
+	TypePiece
+	TypeSealedPiece
+	TypeKey
+	TypeReceipt
+	TypeBye
+)
+
+// String returns the type name.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeBitfield:
+		return "bitfield"
+	case TypeHave:
+		return "have"
+	case TypePiece:
+		return "piece"
+	case TypeSealedPiece:
+		return "sealed-piece"
+	case TypeKey:
+		return "key"
+	case TypeReceipt:
+		return "receipt"
+	case TypeBye:
+		return "bye"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Message is one wire message.
+type Message interface {
+	// MsgType returns the frame type tag.
+	MsgType() Type
+}
+
+// Hello opens a connection in both directions: who am I, how many pieces
+// does the swarm's file have, and where can I be dialed.
+type Hello struct {
+	PeerID    int32
+	NumPieces int32
+	Addr      string
+}
+
+// Bitfield announces the complete set of held pieces.
+type Bitfield struct {
+	NumPieces int32
+	Bits      []byte // ceil(NumPieces/8) bytes, LSB-first within each byte
+}
+
+// Have announces one newly acquired piece.
+type Have struct {
+	Index int32
+}
+
+// Piece delivers plaintext piece data. RepaysKeyID, when nonzero−1 (i.e.,
+// not NoRepay), marks this upload as the direct reciprocation for a sealed
+// piece the sender received earlier.
+type Piece struct {
+	Index       int32
+	RepaysKeyID uint64 // NoRepay when this is an ordinary upload
+	Data        []byte
+}
+
+// NoRepay is the RepaysKeyID value for ordinary (non-reciprocation) pieces.
+const NoRepay uint64 = math.MaxUint64
+
+// SealedPiece delivers an encrypted piece under T-Chain. Origin identifies
+// the sealing peer (it travels with forwarded seals so the witness knows
+// whom to notify).
+type SealedPiece struct {
+	Index      int32
+	KeyID      uint64
+	Nonce      [16]byte
+	Ciphertext []byte
+	OriginID   int32
+	OriginAddr string
+	// Forwarded marks a seal relayed by a newcomer as its indirect
+	// reciprocation (the relayer cannot read it either).
+	Forwarded bool
+	// ForwarderID is the relaying peer for forwarded seals.
+	ForwarderID int32
+}
+
+// Key releases the decryption key for an earlier SealedPiece.
+type Key struct {
+	KeyID uint64
+	Index int32
+	Key   [32]byte
+}
+
+// Receipt is the witness's confirmation to a seal's origin: "I received a
+// reciprocation from From" — the trigger for key release (and the message a
+// colluder forges in the paper's T-Chain collusion attack).
+type Receipt struct {
+	KeyID uint64
+	From  int32
+}
+
+// Bye announces a graceful departure.
+type Bye struct{}
+
+// MsgType returns TypeHello.
+func (Hello) MsgType() Type { return TypeHello }
+
+// MsgType returns TypeBitfield.
+func (Bitfield) MsgType() Type { return TypeBitfield }
+
+// MsgType returns TypeHave.
+func (Have) MsgType() Type { return TypeHave }
+
+// MsgType returns TypePiece.
+func (Piece) MsgType() Type { return TypePiece }
+
+// MsgType returns TypeSealedPiece.
+func (SealedPiece) MsgType() Type { return TypeSealedPiece }
+
+// MsgType returns TypeKey.
+func (Key) MsgType() Type { return TypeKey }
+
+// MsgType returns TypeReceipt.
+func (Receipt) MsgType() Type { return TypeReceipt }
+
+// MsgType returns TypeBye.
+func (Bye) MsgType() Type { return TypeBye }
+
+// Errors returned by Decode.
+var (
+	ErrFrameTooLarge = errors.New("protocol: frame exceeds MaxFrameSize")
+	ErrMalformed     = errors.New("protocol: malformed frame")
+	ErrUnknownType   = errors.New("protocol: unknown message type")
+)
+
+// Encode writes one framed message to w.
+func Encode(w io.Writer, m Message) error {
+	payload, err := marshalPayload(m)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	header := make([]byte, 5)
+	binary.BigEndian.PutUint32(header, uint32(len(payload)))
+	header[4] = byte(m.MsgType())
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("protocol: writing header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("protocol: writing payload: %w", err)
+	}
+	return nil
+}
+
+// Decode reads one framed message from r.
+func Decode(r io.Reader) (Message, error) {
+	header := make([]byte, 5)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown detection
+	}
+	size := binary.BigEndian.Uint32(header)
+	if size > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("protocol: reading payload: %w", err)
+	}
+	return unmarshalPayload(Type(header[4]), payload)
+}

@@ -1,0 +1,177 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, m); err != nil {
+		t.Fatalf("encode %T: %v", m, err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", m, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left after one frame", buf.Len())
+	}
+	return got
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []Message{
+		Hello{PeerID: 7, NumPieces: 512, Addr: "127.0.0.1:9000"},
+		Bitfield{NumPieces: 12, Bits: []byte{0xff, 0x0f}},
+		Have{Index: 42},
+		Piece{Index: 3, RepaysKeyID: NoRepay, Data: []byte("payload")},
+		Piece{Index: 3, RepaysKeyID: 77, Data: nil},
+		SealedPiece{
+			Index: 9, KeyID: 123,
+			Nonce:      [16]byte{1, 2, 3},
+			Ciphertext: []byte{9, 9, 9},
+			OriginID:   4, OriginAddr: "mem://a",
+			Forwarded: true, ForwarderID: 5,
+		},
+		Key{KeyID: 55, Index: 2, Key: [32]byte{0xaa}},
+		Receipt{KeyID: 55, From: 4},
+		Bye{},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		want := m
+		// nil vs empty slices normalize to empty on decode.
+		if p, ok := want.(Piece); ok && p.Data == nil {
+			p.Data = []byte{}
+			want = p
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip %T:\n got %#v\nwant %#v", m, got, want)
+		}
+		if got.MsgType() != m.MsgType() {
+			t.Errorf("%T type = %v", m, got.MsgType())
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for _, tt := range []Type{TypeHello, TypeBitfield, TypeHave, TypePiece, TypeSealedPiece, TypeKey, TypeReceipt, TypeBye} {
+		if s := tt.String(); s == "" || strings.HasPrefix(s, "type(") {
+			t.Errorf("type %d has no name: %q", tt, s)
+		}
+	}
+	if Type(200).String() != "type(200)" {
+		t.Error("unknown type string wrong")
+	}
+}
+
+func TestDecodeRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0, 99}) // empty payload, type 99
+	if _, err := Decode(&buf); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestDecodeRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, byte(TypeBye)})
+	if _, err := Decode(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	var buf bytes.Buffer
+	// Have payload is 4 bytes; declare 8.
+	buf.Write([]byte{0, 0, 0, 8, byte(TypeHave)})
+	buf.Write(make([]byte, 8))
+	if _, err := Decode(&buf); !errors.Is(err, ErrMalformed) {
+		t.Errorf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestDecodeRejectsTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	// Piece with a data length pointing past the payload end.
+	buf.Write([]byte{0, 0, 0, 16, byte(TypePiece)})
+	payload := make([]byte, 16)
+	payload[15] = 0xff // data length claims 255 bytes, none present
+	buf.Write(payload)
+	if _, err := Decode(&buf); err == nil {
+		t.Error("truncated piece accepted")
+	}
+}
+
+func TestDecodeEOFPassesThrough(t *testing.T) {
+	if _, err := Decode(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestEncodeRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	big := Piece{Index: 0, RepaysKeyID: NoRepay, Data: make([]byte, MaxFrameSize)}
+	if err := Encode(&buf, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := int32(0); i < 10; i++ {
+		if err := Encode(&buf, Have{Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(0); i < 10; i++ {
+		m, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.(Have).Index != i {
+			t.Fatalf("frame %d = %+v", i, m)
+		}
+	}
+}
+
+func TestPieceRoundTripProperty(t *testing.T) {
+	f := func(index int32, keyID uint64, data []byte) bool {
+		var buf bytes.Buffer
+		if err := Encode(&buf, Piece{Index: index, RepaysKeyID: keyID, Data: data}); err != nil {
+			return len(data) > MaxFrameSize-64
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		p, ok := got.(Piece)
+		return ok && p.Index == index && p.RepaysKeyID == keyID && bytes.Equal(p.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFuzzDoesNotPanic(t *testing.T) {
+	// Arbitrary garbage must produce errors, never panics.
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %x: %v", raw, r)
+			}
+		}()
+		_, _ = Decode(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

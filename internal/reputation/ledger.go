@@ -1,0 +1,83 @@
+// Package reputation implements the global reputation substrate the paper's
+// reputation-based algorithm relies on (Section III-A): every user is
+// assumed to know the total amount of data each other user has uploaded,
+// and upload preference is proportional to that score.
+//
+// The ledger deliberately accepts unverified self-reports — that is the
+// design weakness the paper's collusion attack (Table III, collusion
+// probability 1) exploits, and the attack package drives it through
+// ReportCredit.
+package reputation
+
+import (
+	"sync"
+)
+
+// Ledger tracks cumulative upload contributions per peer. Safe for
+// concurrent use: the simulator mutates it from one goroutine, but the live
+// network node updates it from many.
+type Ledger struct {
+	mu     sync.RWMutex
+	scores map[int]float64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{scores: make(map[int]float64)}
+}
+
+// Credit records that peer uploaded bytes of verified data. Non-positive
+// amounts are ignored.
+func (l *Ledger) Credit(peer int, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.scores[peer] += bytes
+}
+
+// ReportCredit records an *unverified* contribution claim on behalf of
+// peer. It is functionally identical to Credit — which is precisely the
+// vulnerability: the basic reputation algorithm cannot distinguish false
+// praise from real uploads. Kept as a separate entry point so call sites
+// document whether a credit was observed or merely claimed.
+func (l *Ledger) ReportCredit(peer int, bytes float64) {
+	l.Credit(peer, bytes)
+}
+
+// Score returns peer's cumulative reputation (0 for unknown peers).
+func (l *Ledger) Score(peer int) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.scores[peer]
+}
+
+// Reset erases peer's reputation, modelling a whitewashing identity reset.
+func (l *Ledger) Reset(peer int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.scores, peer)
+}
+
+// Total returns the sum of all scores.
+func (l *Ledger) Total() float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var sum float64
+	for _, s := range l.scores {
+		sum += s
+	}
+	return sum
+}
+
+// Snapshot returns a copy of all scores, for metrics and debugging.
+func (l *Ledger) Snapshot() map[int]float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[int]float64, len(l.scores))
+	for k, v := range l.scores {
+		out[k] = v
+	}
+	return out
+}

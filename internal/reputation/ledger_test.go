@@ -1,0 +1,84 @@
+package reputation
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCreditAndScore(t *testing.T) {
+	l := NewLedger()
+	if l.Score(1) != 0 {
+		t.Error("unknown peer has nonzero score")
+	}
+	l.Credit(1, 100)
+	l.Credit(1, 50)
+	l.Credit(2, 25)
+	if got := l.Score(1); got != 150 {
+		t.Errorf("Score(1) = %g", got)
+	}
+	if got := l.Total(); got != 175 {
+		t.Errorf("Total = %g", got)
+	}
+}
+
+func TestCreditIgnoresNonPositive(t *testing.T) {
+	l := NewLedger()
+	l.Credit(1, 0)
+	l.Credit(1, -10)
+	if l.Score(1) != 0 {
+		t.Error("non-positive credit recorded")
+	}
+}
+
+func TestReportCreditIsUnverified(t *testing.T) {
+	// The collusion vulnerability: claimed credit is indistinguishable
+	// from observed credit.
+	l := NewLedger()
+	l.ReportCredit(7, 1000)
+	if l.Score(7) != 1000 {
+		t.Error("false praise not recorded — the modelled vulnerability is gone")
+	}
+}
+
+func TestResetModelsWhitewashing(t *testing.T) {
+	l := NewLedger()
+	l.Credit(3, 500)
+	l.Reset(3)
+	if l.Score(3) != 0 {
+		t.Error("Reset did not clear the score")
+	}
+	l.Reset(99) // unknown peer: no-op
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	l := NewLedger()
+	l.Credit(1, 10)
+	snap := l.Snapshot()
+	snap[1] = 999
+	if l.Score(1) != 10 {
+		t.Error("Snapshot aliases internal state")
+	}
+	if len(snap) != 1 {
+		t.Errorf("snapshot size %d", len(snap))
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Credit(id, 1)
+				l.Score(id)
+				l.Total()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := l.Total(); got != 1600 {
+		t.Errorf("Total = %g, want 1600", got)
+	}
+}

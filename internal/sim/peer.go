@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/bandwidth"
+	"repro/internal/eventsim"
+	"repro/internal/incentive"
+	"repro/internal/piece"
+)
+
+// SeederID is the pseudo-peer ID of the seeder in strategy callbacks.
+const SeederID incentive.PeerID = -2
+
+// peer is one simulated swarm member.
+type peer struct {
+	id          incentive.PeerID
+	capacity    float64
+	alloc       *bandwidth.Allocator
+	have        *piece.Bitfield
+	pending     map[int]bool // pieces currently in flight toward this peer
+	strategy    incentive.Strategy
+	view        *peerView
+	neighbors   []*peer
+	neighborSet map[incentive.PeerID]bool
+
+	freeRider bool
+	aborted   bool // crashed mid-download (failure injection)
+	arrival   float64
+	joined    bool
+	active    bool // joined and not yet departed
+
+	// distrust marks peers that reneged on a T-Chain reciprocation with
+	// this peer; they are never served again (the mechanism's local
+	// reputation component).
+	distrust map[incentive.PeerID]bool
+
+	bootstrapAt float64 // time of first credited piece, -1 if never
+	finishAt    float64 // completion time, -1 if never
+
+	uploaded     float64 // bytes sent (link usage)
+	creditedDown float64 // bytes received and credited (plaintext)
+	rawDown      float64 // bytes received including uncredited ciphertext
+
+	retry *eventsim.Timer // pending idle-retry, nil when none
+}
+
+// addNeighbor creates the (symmetric) edge p—q if absent.
+func (p *peer) addNeighbor(q *peer) {
+	if p == q || p.neighborSet[q.id] {
+		return
+	}
+	p.neighborSet[q.id] = true
+	p.neighbors = append(p.neighbors, q)
+	q.neighborSet[p.id] = true
+	q.neighbors = append(q.neighbors, p)
+}
+
+// dropNeighbor removes q from p's adjacency (one direction).
+func (p *peer) dropNeighbor(q *peer) {
+	if !p.neighborSet[q.id] {
+		return
+	}
+	delete(p.neighborSet, q.id)
+	for i, n := range p.neighbors {
+		if n == q {
+			p.neighbors[i] = p.neighbors[len(p.neighbors)-1]
+			p.neighbors = p.neighbors[:len(p.neighbors)-1]
+			break
+		}
+	}
+}
+
+// peerView adapts a peer to incentive.NodeView. One instance per peer,
+// reused across decisions; the scratch slice keeps Neighbors allocation-free
+// on the hot path.
+type peerView struct {
+	swarm   *Swarm
+	peer    *peer
+	scratch []incentive.PeerID
+}
+
+var _ incentive.NodeView = (*peerView)(nil)
+
+func (v *peerView) Self() incentive.PeerID { return v.peer.id }
+func (v *peerView) Now() float64           { return v.swarm.engine.Now() }
+func (v *peerView) RNG() *rand.Rand        { return v.swarm.rng }
+
+// Neighbors returns the IDs of currently active neighbors. The returned
+// slice is valid until the next call on this view.
+func (v *peerView) Neighbors() []incentive.PeerID {
+	v.scratch = v.scratch[:0]
+	for _, n := range v.peer.neighbors {
+		if n.active && !v.peer.distrust[n.id] {
+			v.scratch = append(v.scratch, n.id)
+		}
+	}
+	return v.scratch
+}
+
+// WantsFromMe reports whether the identified peer needs a piece we hold.
+func (v *peerView) WantsFromMe(id incentive.PeerID) bool {
+	other := v.swarm.lookup(id)
+	if other == nil || !other.active {
+		return false
+	}
+	return other.have.Needs(v.peer.have)
+}
+
+// INeedFrom reports whether the identified peer holds a piece we need.
+func (v *peerView) INeedFrom(id incentive.PeerID) bool {
+	if id == SeederID {
+		return !v.peer.have.Complete()
+	}
+	other := v.swarm.lookup(id)
+	if other == nil {
+		return false
+	}
+	return v.peer.have.Needs(other.have)
+}
+
+// PieceCount returns how many pieces the identified peer holds.
+func (v *peerView) PieceCount(id incentive.PeerID) int {
+	if id == SeederID {
+		return v.swarm.cfg.NumPieces
+	}
+	other := v.swarm.lookup(id)
+	if other == nil {
+		return 0
+	}
+	return other.have.Count()
+}
+
+// Reputation returns the global ledger score for the identified peer.
+func (v *peerView) Reputation(id incentive.PeerID) float64 {
+	return v.swarm.ledger.Score(int(id))
+}

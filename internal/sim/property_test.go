@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algo"
+	"repro/internal/attack"
+)
+
+// TestSimulationInvariantsProperty drives many small randomized scenarios
+// through the simulator and checks the invariants that must hold for every
+// configuration:
+//
+//  1. bytes are conserved: credited ≤ raw received ≤ total uploaded,
+//  2. a finished peer downloaded exactly the file size,
+//  3. susceptibility lies in [0, 1] and is 0 without free-riders,
+//  4. bootstrap precedes finish for every peer,
+//  5. the monotone series never decrease.
+func TestSimulationInvariantsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test runs many simulations")
+	}
+	f := func(seed int64, algoPick, frPick, atkPick uint8) bool {
+		algorithms := append(algo.All(), algo.PropShare)
+		a := algorithms[int(algoPick)%len(algorithms)]
+		cfg := Default(a, 40, 16)
+		cfg.Seed = seed
+		cfg.Horizon = 400
+		cfg.MaxNeighbors = 12
+		if frPick%3 == 0 {
+			cfg.FreeRiderFraction = 0.2
+			kinds := []attack.Kind{attack.Passive, attack.Collusion, attack.Whitewash, attack.FalsePraise}
+			cfg.Attack = attack.Plan{Kind: kinds[int(atkPick)%len(kinds)]}
+			if atkPick%2 == 0 {
+				cfg.Attack = cfg.Attack.WithLargeView()
+			}
+		}
+		swarm, err := NewSwarm(cfg)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		res, err := swarm.Run()
+		if err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+
+		var raw, credited float64
+		for _, p := range res.Peers {
+			raw += p.RawDown
+			credited += p.Downloaded
+			if p.Downloaded > p.RawDown+1e-6 {
+				t.Logf("peer %d credited more than received", p.ID)
+				return false
+			}
+			if p.FinishAt >= 0 {
+				if math.Abs(p.Downloaded-cfg.FileSize()) > 1e-6 {
+					t.Logf("peer %d finished with %g bytes", p.ID, p.Downloaded)
+					return false
+				}
+				if p.BootstrapAt < 0 || p.BootstrapAt > p.FinishAt {
+					t.Logf("peer %d finished before bootstrapping", p.ID)
+					return false
+				}
+			}
+		}
+		if raw > res.TotalUploaded+1e-6 {
+			t.Logf("received %g > uploaded %g", raw, res.TotalUploaded)
+			return false
+		}
+		susc := res.Susceptibility()
+		if susc < 0 || susc > 1 {
+			t.Logf("susceptibility %g out of range", susc)
+			return false
+		}
+		if cfg.FreeRiderFraction == 0 && susc != 0 {
+			t.Logf("susceptibility %g without free-riders", susc)
+			return false
+		}
+		for _, name := range []string{SeriesBootstrapped, SeriesCompleted} {
+			pts := res.Series[name].Points
+			for i := 1; i < len(pts); i++ {
+				if pts[i].V < pts[i-1].V-1e-12 {
+					t.Logf("series %s decreased", name)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

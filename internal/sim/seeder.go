@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"repro/internal/bandwidth"
+)
+
+// seeder is the origin server: it holds every piece and uploads
+// continuously at its configured rate, choosing uniformly among active
+// incomplete peers and serving the locally rarest piece. The seeder takes
+// part in every algorithm identically — it is the n_S bootstrap source of
+// the paper's Table II analysis.
+type seeder struct {
+	swarm    *Swarm
+	alloc    *bandwidth.Allocator
+	uploaded float64
+	retrying bool
+	offline  bool // the seeder exited (failure injection)
+	// distrust marks peers that reneged on reciprocating a seeder upload
+	// under T-Chain; the seeder stops serving them.
+	distrust map[int]bool
+}
+
+func newSeeder(s *Swarm) *seeder {
+	rate := s.cfg.SeederRate
+	if rate <= 0 {
+		rate = 1 // a dormant seeder still needs a valid allocator
+	}
+	return &seeder{
+		swarm:    s,
+		alloc:    bandwidth.NewAllocator(rate, s.cfg.SeederSlots),
+		distrust: make(map[int]bool),
+	}
+}
+
+// schedule fills the seeder's free slots, polling again later if no peer
+// currently needs anything.
+func (sd *seeder) schedule() {
+	if sd.swarm.cfg.SeederRate <= 0 || sd.offline {
+		return
+	}
+	for sd.alloc.Free() > 0 {
+		if !sd.startUpload() {
+			sd.armRetry()
+			return
+		}
+	}
+}
+
+func (sd *seeder) armRetry() {
+	if sd.retrying || !sd.swarm.live() {
+		return
+	}
+	sd.retrying = true
+	delay := sd.swarm.cfg.PollInterval * (0.5 + sd.swarm.rng.Float64())
+	sd.swarm.engine.After(delay, func(float64) {
+		sd.retrying = false
+		sd.schedule()
+	})
+}
+
+// startUpload picks a random active incomplete peer and sends it a rarest
+// missing piece. Reports whether a transfer began.
+func (sd *seeder) startUpload() bool {
+	s := sd.swarm
+	// Reservoir-sample an eligible receiver.
+	count := 0
+	var receiver *peer
+	for _, p := range s.peers {
+		if !p.active || p.have.Complete() || sd.distrust[int(p.id)] {
+			continue
+		}
+		count++
+		if s.rng.Intn(count) == 0 {
+			receiver = p
+		}
+	}
+	if receiver == nil {
+		return false
+	}
+	pieceIdx := s.pickPiece(nil, receiver)
+	if pieceIdx < 0 {
+		return false
+	}
+	duration, ok := sd.alloc.Acquire(s.cfg.PieceSize)
+	if !ok {
+		return false
+	}
+	receiver.pending[pieceIdx] = true
+	s.engine.After(duration, func(now float64) {
+		sd.deliver(receiver, pieceIdx, now)
+	})
+	return true
+}
+
+// deliver completes a seeder transfer. The T-Chain key-release rule applies
+// to the seeder too: a free-rider that will not reciprocate (indirectly —
+// the seeder needs nothing) gets ciphertext it cannot decrypt.
+func (sd *seeder) deliver(receiver *peer, pieceIdx int, now float64) {
+	s := sd.swarm
+	sd.alloc.Release()
+	bytes := s.cfg.PieceSize
+	sd.uploaded += bytes
+	s.totalUploaded += bytes
+	delete(receiver.pending, pieceIdx)
+
+	if receiver.active {
+		receiver.rawDown += bytes
+		if s.credited(nil, receiver) {
+			s.credit(SeederID, receiver, pieceIdx, bytes, now)
+		} else {
+			sd.distrust[int(receiver.id)] = true
+		}
+	}
+	sd.schedule()
+	if receiver.active {
+		s.kick(receiver)
+	}
+}

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algo"
+	"repro/internal/attack"
+	"repro/internal/bandwidth"
+	"repro/internal/eventsim"
+	"repro/internal/incentive"
+	"repro/internal/piece"
+	"repro/internal/reputation"
+	"repro/internal/stats"
+)
+
+// Swarm is one simulation instance. Construct with NewSwarm, execute with
+// Run; a Swarm is single-use.
+type Swarm struct {
+	cfg          Config
+	engine       *eventsim.Engine
+	rng          *rand.Rand
+	peers        []*peer
+	ledger       *reputation.Ledger
+	availability *piece.Availability
+	seeder       *seeder
+
+	arrivedCount   int
+	activeCount    int
+	completedCount int // compliant completions
+	numCompliant   int
+
+	totalUploaded     float64 // all link bytes, peers + seeder
+	peerUploaded      float64 // link bytes uploaded by peers only
+	freeRiderCredited float64 // peer-uploaded bytes credited to free-riders
+
+	series   map[string]*stats.TimeSeries
+	snapshot *AvailabilitySnapshot
+	ran      bool
+}
+
+// NewSwarm validates cfg and builds the initial event schedule: peer
+// arrivals across the flash-crowd window, the seeder, and the metric
+// sampler.
+func NewSwarm(cfg Config) (*Swarm, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Swarm{
+		cfg:          cfg,
+		engine:       eventsim.New(),
+		rng:          stats.NewRNG(cfg.Seed),
+		ledger:       reputation.NewLedger(),
+		availability: piece.NewAvailability(cfg.NumPieces),
+		series:       make(map[string]*stats.TimeSeries),
+	}
+	for _, name := range []string{
+		SeriesFairness, SeriesContribution, SeriesBootstrapped,
+		SeriesCompleted, SeriesSusceptibility,
+	} {
+		s.series[name] = stats.NewTimeSeries(name)
+	}
+
+	capacities, err := cfg.Bandwidth.Sample(s.rng, cfg.NumPeers)
+	if err != nil {
+		return nil, err
+	}
+
+	numFreeRiders := int(float64(cfg.NumPeers) * cfg.FreeRiderFraction)
+	freeRiderIdx := make(map[int]bool, numFreeRiders)
+	for _, idx := range stats.SampleWithoutReplacement(s.rng, cfg.NumPeers, numFreeRiders) {
+		freeRiderIdx[idx] = true
+	}
+
+	arrivals := s.arrivalTimes(cfg)
+	s.peers = make([]*peer, cfg.NumPeers)
+	for i := 0; i < cfg.NumPeers; i++ {
+		p := &peer{
+			id:          incentive.PeerID(i),
+			capacity:    capacities[i],
+			alloc:       bandwidth.NewAllocator(capacities[i], cfg.UploadSlots),
+			have:        piece.NewBitfield(cfg.NumPieces),
+			pending:     make(map[int]bool),
+			neighborSet: make(map[incentive.PeerID]bool),
+			distrust:    make(map[incentive.PeerID]bool),
+			freeRider:   freeRiderIdx[i],
+			arrival:     arrivals[i],
+			bootstrapAt: -1,
+			finishAt:    -1,
+		}
+		p.view = &peerView{swarm: s, peer: p}
+		if p.freeRider {
+			p.strategy = attack.NewFreeRider(cfg.Algorithm)
+		} else {
+			strat, err := incentive.New(cfg.Algorithm, cfg.Incentive, s.ledger)
+			if err != nil {
+				return nil, fmt.Errorf("sim: building strategy: %w", err)
+			}
+			p.strategy = strat
+		}
+		if !p.freeRider {
+			s.numCompliant++
+		}
+		s.peers[i] = p
+		s.engine.Schedule(p.arrival, func(float64) { s.join(p) })
+	}
+
+	s.seeder = newSeeder(s)
+	s.engine.Schedule(0, func(float64) { s.seeder.schedule() })
+	s.engine.Schedule(cfg.SampleInterval, s.sample)
+	if cfg.SnapshotAt > 0 {
+		s.engine.Schedule(cfg.SnapshotAt, s.takeSnapshot)
+	}
+	s.scheduleFailures()
+	s.scheduleAttacks()
+	return s, nil
+}
+
+// arrivalTimes draws each peer's join time per the configured process.
+func (s *Swarm) arrivalTimes(cfg Config) []float64 {
+	out := make([]float64, cfg.NumPeers)
+	switch cfg.Arrival {
+	case ArrivalPoisson:
+		t := 0.0
+		for i := range out {
+			t += stats.Exponential(s.rng, cfg.MeanInterarrival)
+			out[i] = t
+		}
+	default: // flash crowd
+		for i := range out {
+			out[i] = s.rng.Float64() * cfg.ArrivalWindow
+		}
+	}
+	return out
+}
+
+// lookup resolves a peer ID; the seeder and out-of-range IDs return nil.
+func (s *Swarm) lookup(id incentive.PeerID) *peer {
+	if id < 0 || int(id) >= len(s.peers) {
+		return nil
+	}
+	return s.peers[id]
+}
+
+// join activates a peer at its arrival time and wires its neighborhood.
+func (s *Swarm) join(p *peer) {
+	p.joined = true
+	p.active = true
+	s.arrivedCount++
+	s.activeCount++
+
+	// Connect to up to MaxNeighbors random active peers.
+	candidates := make([]*peer, 0, s.activeCount)
+	for _, q := range s.peers {
+		if q != p && q.active {
+			candidates = append(candidates, q)
+		}
+	}
+	stats.Shuffle(s.rng, candidates)
+	limit := min(s.cfg.MaxNeighbors, len(candidates))
+	for _, q := range candidates[:limit] {
+		p.addNeighbor(q)
+	}
+	// Large-view free-riders connect to everyone: existing large-view
+	// attackers grab the newcomer, and a joining large-view attacker grabs
+	// every active peer.
+	if s.cfg.FreeRiderFraction > 0 && s.cfg.Attack.LargeView {
+		for _, q := range candidates {
+			if q.freeRider || p.freeRider {
+				p.addNeighbor(q)
+			}
+		}
+	}
+	s.kick(p)
+	// A newcomer is a fresh upload opportunity for its neighbors.
+	for _, q := range p.neighbors {
+		s.kick(q)
+	}
+}
+
+// depart deactivates a peer after completion, per the paper's
+// leave-on-completion churn, removing it from all neighborhoods.
+func (s *Swarm) depart(p *peer) {
+	if !p.active {
+		return
+	}
+	p.active = false
+	s.activeCount--
+	if p.retry != nil {
+		p.retry.Cancel()
+		p.retry = nil
+	}
+	s.availability.RemoveBitfield(p.have)
+	for _, q := range p.neighbors {
+		q.dropNeighbor(p)
+		q.strategy.Forget(p.id)
+	}
+	p.neighbors = nil
+	p.neighborSet = make(map[incentive.PeerID]bool)
+}
+
+// Run executes the simulation to the horizon (or until the swarm drains)
+// and returns the collected results. It can only be called once.
+func (s *Swarm) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("sim: swarm already ran")
+	}
+	s.ran = true
+	if err := s.engine.Run(s.cfg.Horizon); err != nil && !errors.Is(err, eventsim.ErrStopped) {
+		return nil, err
+	}
+	s.recordSample(s.engine.Now())
+	return s.buildResult(), nil
+}
+
+// live reports whether anything can still happen: peers yet to arrive or
+// active peers still downloading.
+func (s *Swarm) live() bool {
+	if s.arrivedCount < len(s.peers) {
+		return true
+	}
+	for _, p := range s.peers {
+		if p.active && !p.have.Complete() {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleAttacks installs the recurring attack events for the configured
+// plan (whitewashing identity resets, false-praise reports).
+func (s *Swarm) scheduleAttacks() {
+	if s.cfg.FreeRiderFraction <= 0 {
+		return
+	}
+	plan := s.cfg.Attack
+	switch plan.Kind {
+	case attack.Whitewash:
+		var tick func(now float64)
+		tick = func(now float64) {
+			if !s.live() {
+				return
+			}
+			for _, p := range s.peers {
+				if p.freeRider && p.active {
+					s.whitewash(p)
+				}
+			}
+			s.engine.After(plan.WhitewashInterval, tick)
+		}
+		s.engine.Schedule(plan.WhitewashInterval, tick)
+
+	case attack.FalsePraise:
+		var tick func(now float64)
+		tick = func(now float64) {
+			if !s.live() {
+				return
+			}
+			for _, p := range s.peers {
+				if p.freeRider && p.active {
+					s.ledger.ReportCredit(int(p.id), plan.PraiseBytes)
+				}
+			}
+			s.engine.After(plan.PraiseInterval, tick)
+		}
+		s.engine.Schedule(plan.PraiseInterval, tick)
+	}
+}
+
+// scheduleFailures installs the failure-injection events: random
+// mid-download peer crashes and the seeder's exit.
+func (s *Swarm) scheduleFailures() {
+	if s.cfg.AbortRate > 0 {
+		var compliant []*peer
+		for _, p := range s.peers {
+			if !p.freeRider {
+				compliant = append(compliant, p)
+			}
+		}
+		count := int(float64(len(compliant)) * s.cfg.AbortRate)
+		for _, idx := range stats.SampleWithoutReplacement(s.rng, len(compliant), count) {
+			p := compliant[idx]
+			// Crash sometime after arrival, within the first half of the
+			// horizon — late enough to have participated.
+			at := p.arrival + s.rng.Float64()*(s.cfg.Horizon/2-p.arrival)
+			if at <= p.arrival {
+				at = p.arrival + 1
+			}
+			s.engine.Schedule(at, func(float64) {
+				if p.active && !p.have.Complete() {
+					p.aborted = true
+					s.numCompliant-- // it can never complete; don't wait for it
+					s.depart(p)
+					s.maybeStopCompliantDone()
+				}
+			})
+		}
+	}
+	if s.cfg.SeederExitAt > 0 {
+		s.engine.Schedule(s.cfg.SeederExitAt, func(float64) {
+			s.seeder.offline = true
+		})
+	}
+}
+
+// maybeStopCompliantDone re-checks the early-stop condition after the
+// compliant population shrinks.
+func (s *Swarm) maybeStopCompliantDone() {
+	if s.cfg.StopWhenCompliantDone && s.completedCount >= s.numCompliant {
+		s.recordSample(s.engine.Now())
+		s.engine.Stop()
+	}
+}
+
+// whitewash models a free-rider discarding its identity: every compliant
+// peer forgets its counters about the attacker and the global ledger entry
+// is erased, so deficit and reputation history reset to newcomer state.
+func (s *Swarm) whitewash(p *peer) {
+	for _, q := range p.neighbors {
+		q.strategy.Forget(p.id)
+	}
+	s.ledger.Reset(int(p.id))
+}
+
+// Algorithm returns the configured mechanism (used by metrics and tests).
+func (s *Swarm) Algorithm() algo.Algorithm { return s.cfg.Algorithm }

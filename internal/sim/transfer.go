@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"repro/internal/algo"
+	"repro/internal/attack"
+	"repro/internal/incentive"
+	"repro/internal/piece"
+)
+
+// kick attempts to fill all of p's free upload slots, and arranges an idle
+// retry if the strategy currently has nothing to send.
+func (s *Swarm) kick(p *peer) {
+	if !p.active {
+		return
+	}
+	for p.alloc.Free() > 0 {
+		if !s.startUpload(p) {
+			s.armRetry(p)
+			return
+		}
+	}
+	// All slots busy: the next delivery completion re-kicks.
+	if p.retry != nil {
+		p.retry.Cancel()
+		p.retry = nil
+	}
+}
+
+// armRetry schedules a single jittered poll for a peer whose strategy had
+// nothing to send. At most one retry is outstanding per peer.
+func (s *Swarm) armRetry(p *peer) {
+	if p.retry != nil && !p.retry.Canceled() {
+		return
+	}
+	delay := s.cfg.PollInterval * (0.5 + s.rng.Float64())
+	p.retry = s.engine.After(delay, func(float64) {
+		p.retry = nil
+		s.kick(p)
+	})
+}
+
+// startUpload asks p's strategy for a receiver, picks a piece, and starts
+// the transfer. It reports whether a transfer began.
+func (s *Swarm) startUpload(p *peer) bool {
+	receiverID := p.strategy.NextReceiver(p.view)
+	if receiverID == incentive.NoPeer {
+		return false
+	}
+	receiver := s.lookup(receiverID)
+	if receiver == nil || !receiver.active {
+		return false
+	}
+	pieceIdx := s.pickPiece(p.have, receiver)
+	if pieceIdx < 0 {
+		return false
+	}
+	duration, ok := p.alloc.Acquire(s.cfg.PieceSize)
+	if !ok {
+		return false
+	}
+	receiver.pending[pieceIdx] = true
+	s.engine.After(duration, func(now float64) {
+		s.deliver(p, receiver, pieceIdx, now)
+	})
+	return true
+}
+
+// pickPiece selects, local-rarest-first, a piece the receiver needs from
+// the sender's holdings, excluding pieces already in flight toward the
+// receiver. senderHave == nil means the seeder (holds everything).
+func (s *Swarm) pickPiece(senderHave *piece.Bitfield, receiver *peer) int {
+	var candidates []int
+	if senderHave == nil {
+		candidates = candidatesFromSeeder(receiver)
+	} else {
+		candidates = receiver.have.MissingFrom(senderHave)
+	}
+	filtered := candidates[:0]
+	for _, c := range candidates {
+		if !receiver.pending[c] {
+			filtered = append(filtered, c)
+		}
+	}
+	return s.availability.RarestFirst(s.rng, filtered)
+}
+
+// candidatesFromSeeder lists all pieces the receiver still needs.
+func candidatesFromSeeder(receiver *peer) []int {
+	out := make([]int, 0, receiver.have.Size()-receiver.have.Count())
+	for i := 0; i < receiver.have.Size(); i++ {
+		if !receiver.have.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// deliver completes a peer-to-peer transfer: releases the sender's slot,
+// applies the T-Chain key-release rule, credits the receiver, and re-kicks
+// both parties.
+func (s *Swarm) deliver(sender, receiver *peer, pieceIdx int, now float64) {
+	sender.alloc.Release()
+	bytes := s.cfg.PieceSize
+	sender.uploaded += bytes
+	s.totalUploaded += bytes
+	s.peerUploaded += bytes
+	delete(receiver.pending, pieceIdx)
+
+	if receiver.active {
+		receiver.rawDown += bytes
+		if s.credited(sender, receiver) {
+			if receiver.freeRider {
+				s.freeRiderCredited += bytes
+			}
+			s.credit(sender.id, receiver, pieceIdx, bytes, now)
+			if !sender.freeRider {
+				sender.strategy.OnSent(sender.view, receiver.id, bytes)
+			}
+		} else {
+			// The receiver reneged on the T-Chain reciprocation: the key
+			// is withheld and the sender never serves this peer again.
+			sender.distrust[receiver.id] = true
+		}
+	}
+	s.kick(sender)
+	if receiver.active {
+		s.kick(receiver)
+	}
+}
+
+// credited applies the mechanism's enforcement to a delivery. Everything is
+// credited except T-Chain uploads to free-riders: T-Chain withholds the
+// decryption key until the receiver reciprocates, which a free-rider never
+// does. A colluding free-rider still succeeds when the exchange would be
+// *indirect* and the randomly designated reciprocation witness is a fellow
+// colluder who falsely confirms receipt (Section IV-C).
+func (s *Swarm) credited(sender, receiver *peer) bool {
+	if !receiver.freeRider || s.cfg.Algorithm != algo.TChain {
+		return true
+	}
+	if s.cfg.Attack.Kind != attack.Collusion {
+		return false
+	}
+	// Direct reciprocation demanded? Then the free-rider's refusal is
+	// detected immediately and no key is released.
+	if sender != nil && sender.have.Needs(receiver.have) {
+		return false
+	}
+	// Indirect: the sender designates a random third peer as the
+	// reciprocation target; collusion works only if it is a colluder.
+	witness := s.randomActivePeerExcept(sender, receiver)
+	return witness != nil && witness.freeRider
+}
+
+// credit records a successful (plaintext) piece delivery.
+func (s *Swarm) credit(senderID incentive.PeerID, receiver *peer, pieceIdx int, bytes, now float64) {
+	if !receiver.have.Set(pieceIdx) {
+		return // duplicate delivery; piece already held
+	}
+	s.availability.AddPiece(pieceIdx)
+	receiver.creditedDown += bytes
+	if receiver.bootstrapAt < 0 {
+		receiver.bootstrapAt = now
+	}
+	s.ledger.Credit(int(senderID), bytes)
+	receiver.strategy.OnReceived(receiver.view, senderID, bytes)
+
+	if receiver.have.Complete() {
+		receiver.finishAt = now
+		if !receiver.freeRider {
+			s.completedCount++
+		}
+		if s.cfg.LeaveOnComplete {
+			s.depart(receiver)
+		}
+		if s.cfg.StopWhenCompliantDone && s.completedCount == s.numCompliant {
+			s.recordSample(now)
+			s.engine.Stop()
+		}
+	}
+}
+
+// randomActivePeerExcept returns a uniformly random active peer other than
+// the two parties, or nil if none exists. sender may be nil (the seeder).
+func (s *Swarm) randomActivePeerExcept(sender, receiver *peer) *peer {
+	count := 0
+	var chosen *peer
+	for _, p := range s.peers {
+		if !p.active || p == receiver || (sender != nil && p == sender) {
+			continue
+		}
+		count++
+		if s.rng.Intn(count) == 0 {
+			chosen = p
+		}
+	}
+	return chosen
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+func TestLogFactorialSmallValues(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		got := math.Exp(LogFactorial(n))
+		if !almostEqual(got, w, 1e-9) {
+			t.Errorf("exp(LogFactorial(%d)) = %g, want %g", n, got, w)
+		}
+	}
+}
+
+func TestLogFactorialPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LogFactorial(-1) did not panic")
+		}
+	}()
+	LogFactorial(-1)
+}
+
+func TestBinomialKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{52, 5, 2598960}, {100, 50, 1.0089134454556417e29},
+		{5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		got := Binomial(c.n, c.k)
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Binomial(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialSymmetryProperty(t *testing.T) {
+	f := func(n, k uint8) bool {
+		nn := int(n % 60)
+		kk := int(k % 60)
+		return almostEqual(LogBinomial(nn, kk), LogBinomial(nn, nn-kk), 1e-9) ||
+			(kk > nn) // both -Inf handled by almostEqual equality, skip degenerate
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialPascalProperty(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) for 1 <= k <= n-1.
+	f := func(n, k uint8) bool {
+		nn := 2 + int(n%40)
+		kk := 1 + int(k)%(nn-1)
+		lhs := Binomial(nn, kk)
+		rhs := Binomial(nn-1, kk-1) + Binomial(nn-1, kk)
+		return almostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialRatio(t *testing.T) {
+	if got := BinomialRatio(10, 3, 10, 3); got != 1 {
+		t.Errorf("equal ratio = %g, want 1", got)
+	}
+	// Large arguments that overflow individually must stay finite as a ratio.
+	got := BinomialRatio(2000, 1000, 2000, 999)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("large ratio not finite: %g", got)
+	}
+	// C(2000,1000)/C(2000,999) = 1001/1001... = (2000-999)/1000 ratio check:
+	// C(n,k)/C(n,k-1) = (n-k+1)/k
+	want := float64(2000-1000+1) / 1000
+	if !almostEqual(got, want, 1e-9) {
+		t.Errorf("ratio = %g, want %g", got, want)
+	}
+	if got := BinomialRatio(5, 6, 5, 2); got != 0 {
+		t.Errorf("zero numerator = %g, want 0", got)
+	}
+	if got := BinomialRatio(5, 2, 5, 6); !math.IsInf(got, 1) {
+		t.Errorf("zero denominator = %g, want +Inf", got)
+	}
+	if got := BinomialRatio(5, 6, 5, 7); !math.IsNaN(got) {
+		t.Errorf("0/0 = %g, want NaN", got)
+	}
+}
+
+func TestPow1mXN(t *testing.T) {
+	cases := []struct {
+		x, n, want float64
+	}{
+		{0.5, 2, 0.25},
+		{0, 100, 1},
+		{1, 5, 0},
+		{0.3, 0, 1},
+		{1e-9, 1e9, math.Exp(-1)}, // (1-eps)^(1/eps) -> 1/e, stable in log space
+	}
+	for _, c := range cases {
+		got := Pow1mXN(c.x, c.n)
+		if !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("Pow1mXN(%g,%g) = %g, want %g", c.x, c.n, got, c.want)
+		}
+	}
+}
+
+func TestPow1mXNMonotoneProperty(t *testing.T) {
+	// For fixed n > 0, Pow1mXN decreases in x.
+	f := func(a, b uint16) bool {
+		x1 := float64(a%1000) / 1000
+		x2 := float64(b%1000) / 1000
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return Pow1mXN(x1, 10) >= Pow1mXN(x2, 10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

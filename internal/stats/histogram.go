@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Values outside the
+// range are clamped into the first/last bin so mass is never silently lost.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+// It panics on a non-positive bin count or an empty range, which indicate
+// caller bugs.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: NewHistogram bins=%d", bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: NewHistogram empty range [%g,%g)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := int(float64(len(h.Counts)) * (v - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// CDF returns the empirical CDF evaluated at each bin's upper edge.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return out
+	}
+	acc := 0
+	for i, c := range h.Counts {
+		acc += c
+		out[i] = float64(acc) / float64(h.total)
+	}
+	return out
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// QuantileEstimate returns an estimate of the q-quantile from bin counts,
+// or NaN when the histogram is empty.
+func (h *Histogram) QuantileEstimate(q float64) float64 {
+	if h.total == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	target := q * float64(h.total)
+	acc := 0.0
+	for i, c := range h.Counts {
+		acc += float64(c)
+		if acc >= target {
+			return h.BinCenter(i)
+		}
+	}
+	return h.BinCenter(len(h.Counts) - 1)
+}
+
+// String renders a compact ASCII sketch, useful in example programs.
+func (h *Histogram) String() string {
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&sb, "%10.2f | %s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Observe(0.5) // bin 0
+	h.Observe(9.5) // bin 4
+	h.Observe(-3)  // clamps to bin 0
+	h.Observe(42)  // clamps to bin 4
+	h.Observe(5)   // bin 2
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	want := []int{2, 0, 1, 0, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Observe(v)
+	}
+	cdf := h.CDF()
+	want := []float64{0.25, 0.5, 0.75, 1}
+	for i, w := range want {
+		if !almostEqual(cdf[i], w, 1e-12) {
+			t.Errorf("cdf[%d] = %g, want %g", i, cdf[i], w)
+		}
+	}
+	empty := NewHistogram(0, 1, 2)
+	for _, v := range empty.CDF() {
+		if v != 0 {
+			t.Error("empty CDF not all zero")
+		}
+	}
+}
+
+func TestHistogramQuantileEstimate(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	got := h.QuantileEstimate(0.5)
+	if got < 45 || got > 55 {
+		t.Errorf("median estimate = %g", got)
+	}
+	if got := NewHistogram(0, 1, 2).QuantileEstimate(0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %g, want NaN", got)
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Observe(0.5)
+	out := h.String()
+	if !strings.Contains(out, "#") {
+		t.Errorf("no bar in output: %q", out)
+	}
+}

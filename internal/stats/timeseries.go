@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (time, value) observation in a TimeSeries.
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// TimeSeries accumulates timestamped observations for one metric. It is not
+// safe for concurrent use; the simulator records from a single goroutine.
+type TimeSeries struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// NewTimeSeries returns an empty series with the given metric name.
+func NewTimeSeries(name string) *TimeSeries {
+	return &TimeSeries{Name: name}
+}
+
+// Add appends an observation. Times are expected (but not required) to be
+// nondecreasing; Resample sorts defensively.
+func (ts *TimeSeries) Add(t, v float64) {
+	ts.Points = append(ts.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of observations.
+func (ts *TimeSeries) Len() int { return len(ts.Points) }
+
+// Last returns the most recent observation, or a zero Point if empty.
+func (ts *TimeSeries) Last() Point {
+	if len(ts.Points) == 0 {
+		return Point{}
+	}
+	return ts.Points[len(ts.Points)-1]
+}
+
+// At returns the last value recorded at or before time t, using step
+// interpolation (the series is a right-continuous step function). It returns
+// def if t precedes the first observation.
+func (ts *TimeSeries) At(t, def float64) float64 {
+	idx := sort.Search(len(ts.Points), func(i int) bool { return ts.Points[i].T > t })
+	if idx == 0 {
+		return def
+	}
+	return ts.Points[idx-1].V
+}
+
+// Resample returns the series sampled at a fixed interval over [0, horizon]
+// using step interpolation, which is what the figure harnesses emit.
+func (ts *TimeSeries) Resample(interval, horizon float64) *TimeSeries {
+	sorted := make([]Point, len(ts.Points))
+	copy(sorted, ts.Points)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+
+	out := NewTimeSeries(ts.Name)
+	if interval <= 0 {
+		return out
+	}
+	idx := 0
+	last := 0.0
+	for t := 0.0; t <= horizon+1e-9; t += interval {
+		for idx < len(sorted) && sorted[idx].T <= t {
+			last = sorted[idx].V
+			idx++
+		}
+		out.Add(t, last)
+	}
+	return out
+}
+
+// CSV renders the series as "t,v" lines with a header.
+func (ts *TimeSeries) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("t,")
+	sb.WriteString(ts.Name)
+	sb.WriteByte('\n')
+	for _, p := range ts.Points {
+		fmt.Fprintf(&sb, "%.4f,%.6f\n", p.T, p.V)
+	}
+	return sb.String()
+}
+
+// MergeCSV renders several series against a shared time column. All series
+// must already be resampled onto the same time grid; shorter series are
+// padded with their last value.
+func MergeCSV(series ...*TimeSeries) string {
+	var sb strings.Builder
+	sb.WriteString("t")
+	maxLen := 0
+	for _, ts := range series {
+		sb.WriteByte(',')
+		sb.WriteString(ts.Name)
+		if ts.Len() > maxLen {
+			maxLen = ts.Len()
+		}
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < maxLen; i++ {
+		var t float64
+		for _, ts := range series {
+			if i < ts.Len() {
+				t = ts.Points[i].T
+				break
+			}
+		}
+		fmt.Fprintf(&sb, "%.4f", t)
+		for _, ts := range series {
+			v := 0.0
+			switch {
+			case i < ts.Len():
+				v = ts.Points[i].V
+			case ts.Len() > 0:
+				v = ts.Points[ts.Len()-1].V
+			}
+			fmt.Fprintf(&sb, ",%.6f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeSeriesAddLast(t *testing.T) {
+	ts := NewTimeSeries("x")
+	if ts.Len() != 0 || ts.Last() != (Point{}) {
+		t.Fatal("empty series not zero")
+	}
+	ts.Add(1, 10)
+	ts.Add(2, 20)
+	if ts.Len() != 2 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+	if last := ts.Last(); last.T != 2 || last.V != 20 {
+		t.Errorf("Last = %+v", last)
+	}
+}
+
+func TestTimeSeriesAt(t *testing.T) {
+	ts := NewTimeSeries("x")
+	ts.Add(1, 10)
+	ts.Add(3, 30)
+	if got := ts.At(0.5, -1); got != -1 {
+		t.Errorf("before first = %g, want default", got)
+	}
+	if got := ts.At(1, -1); got != 10 {
+		t.Errorf("At(1) = %g, want 10", got)
+	}
+	if got := ts.At(2.9, -1); got != 10 {
+		t.Errorf("At(2.9) = %g, want 10", got)
+	}
+	if got := ts.At(100, -1); got != 30 {
+		t.Errorf("At(100) = %g, want 30", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	ts := NewTimeSeries("m")
+	ts.Add(0.5, 1)
+	ts.Add(1.5, 2)
+	ts.Add(3.2, 3)
+	rs := ts.Resample(1, 4)
+	want := []float64{0, 1, 2, 2, 3}
+	if rs.Len() != len(want) {
+		t.Fatalf("resampled len = %d, want %d", rs.Len(), len(want))
+	}
+	for i, w := range want {
+		if rs.Points[i].V != w {
+			t.Errorf("point %d = %g, want %g", i, rs.Points[i].V, w)
+		}
+	}
+	if rs := ts.Resample(0, 4); rs.Len() != 0 {
+		t.Errorf("zero interval resample len = %d", rs.Len())
+	}
+}
+
+func TestResampleUnsortedInput(t *testing.T) {
+	ts := NewTimeSeries("m")
+	ts.Add(3, 30)
+	ts.Add(1, 10)
+	rs := ts.Resample(1, 3)
+	if rs.Points[1].V != 10 || rs.Points[3].V != 30 {
+		t.Errorf("unsorted resample wrong: %+v", rs.Points)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	ts := NewTimeSeries("speed")
+	ts.Add(1, 2.5)
+	csv := ts.CSV()
+	if !strings.HasPrefix(csv, "t,speed\n") {
+		t.Errorf("missing header: %q", csv)
+	}
+	if !strings.Contains(csv, "1.0000,2.500000") {
+		t.Errorf("missing row: %q", csv)
+	}
+}
+
+func TestMergeCSV(t *testing.T) {
+	a := NewTimeSeries("a")
+	a.Add(0, 1)
+	a.Add(1, 2)
+	b := NewTimeSeries("b")
+	b.Add(0, 5)
+	merged := MergeCSV(a, b)
+	lines := strings.Split(strings.TrimSpace(merged), "\n")
+	if lines[0] != "t,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 3 {
+		t.Fatalf("line count = %d, want 3", len(lines))
+	}
+	// b is shorter; its last value pads.
+	if !strings.Contains(lines[2], ",5.000000") {
+		t.Errorf("padding row = %q", lines[2])
+	}
+}

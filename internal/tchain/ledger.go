@@ -1,0 +1,109 @@
+package tchain
+
+import (
+	"sync"
+)
+
+// ObligationKind distinguishes direct from indirect reciprocation.
+type ObligationKind int
+
+// The two reciprocation modes (Section III-A).
+const (
+	Direct ObligationKind = iota + 1
+	Indirect
+)
+
+// AnyPeer is the wildcard Target: any witness's confirmation satisfies the
+// demand. The live node uses it because the receiver, not the sender,
+// picks the indirect-reciprocation target there.
+const AnyPeer = -1
+
+// Obligation records what a receiver owes for one sealed piece: upload a
+// piece to Target (the original sender for Direct, a designated third peer
+// for Indirect, or AnyPeer) before the key for KeyID is released.
+type Obligation struct {
+	KeyID  uint64
+	Kind   ObligationKind
+	Target int // peer ID that must receive the reciprocation, or AnyPeer
+}
+
+// ReciprocationLedger is the sender-side record of outstanding
+// reciprocation demands: which receiver owes what for which escrowed key.
+// When the (possibly third-party) confirmation arrives, the key becomes
+// releasable. Safe for concurrent use.
+type ReciprocationLedger struct {
+	mu       sync.Mutex
+	demanded map[uint64]Obligation // keyID -> what we asked for
+	receiver map[uint64]int        // keyID -> receiver peer ID
+}
+
+// NewReciprocationLedger returns an empty ledger.
+func NewReciprocationLedger() *ReciprocationLedger {
+	return &ReciprocationLedger{
+		demanded: make(map[uint64]Obligation),
+		receiver: make(map[uint64]int),
+	}
+}
+
+// Demand records that `receiver` owes the given obligation for keyID.
+func (l *ReciprocationLedger) Demand(keyID uint64, receiver int, ob Obligation) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ob.KeyID = keyID
+	l.demanded[keyID] = ob
+	l.receiver[keyID] = receiver
+}
+
+// Confirm reports a reciprocation observed: `witness` says it received a
+// piece from `from`. It returns the keyIDs now releasable — every pending
+// demand whose receiver is `from` and whose target is `witness`.
+func (l *ReciprocationLedger) Confirm(witness, from int) []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var released []uint64
+	for keyID, ob := range l.demanded {
+		if l.receiver[keyID] == from && (ob.Target == witness || ob.Target == AnyPeer) {
+			released = append(released, keyID)
+			delete(l.demanded, keyID)
+			delete(l.receiver, keyID)
+		}
+	}
+	return released
+}
+
+// Take removes the demand for keyID if it is still outstanding, reporting
+// whether it was present. Used by the endgame key-release fallback to claim
+// exactly one demand without disturbing others.
+func (l *ReciprocationLedger) Take(keyID uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.demanded[keyID]; !ok {
+		return false
+	}
+	delete(l.demanded, keyID)
+	delete(l.receiver, keyID)
+	return true
+}
+
+// Outstanding returns the number of unconfirmed demands.
+func (l *ReciprocationLedger) Outstanding() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.demanded)
+}
+
+// Forget drops all demands on a departed or distrusted receiver and
+// returns the keyIDs whose keys should be revoked.
+func (l *ReciprocationLedger) Forget(receiver int) []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var revoked []uint64
+	for keyID := range l.demanded {
+		if l.receiver[keyID] == receiver {
+			revoked = append(revoked, keyID)
+			delete(l.demanded, keyID)
+			delete(l.receiver, keyID)
+		}
+	}
+	return revoked
+}

@@ -1,0 +1,143 @@
+// Package tchain implements T-Chain's enforcement substrate [8]: pieces are
+// uploaded *encrypted*, and the decryption key is released only after the
+// uploader is satisfied that the receiver reciprocated (directly back to the
+// uploader, or indirectly to a third peer designated by the uploader).
+//
+// The simulator models this rule abstractly (credit withheld from peers
+// that renege); the live node (internal/node) uses this package for the
+// real thing: AES-256-CTR sealing, sender-side key escrow, and the
+// reciprocation ledger that decides when a key may be released. Piece
+// integrity after decryption is checked against the swarm manifest's
+// SHA-256 hashes, so a wrong or withheld key can never smuggle corrupt data
+// into a store.
+package tchain
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// KeySize is the AES-256 key length in bytes.
+const KeySize = 32
+
+// NonceSize is the CTR-mode IV length in bytes.
+const NonceSize = aes.BlockSize
+
+// Key is a piece-encryption key.
+type Key [KeySize]byte
+
+// Sealed is an encrypted piece as it travels on the wire.
+type Sealed struct {
+	// KeyID identifies the escrowed key at the sender.
+	KeyID uint64
+	// Nonce is the CTR IV.
+	Nonce [NonceSize]byte
+	// Ciphertext is the encrypted piece payload.
+	Ciphertext []byte
+}
+
+// Errors returned by this package.
+var (
+	ErrUnknownKey = errors.New("tchain: unknown or already-released key")
+	ErrEmpty      = errors.New("tchain: empty plaintext")
+)
+
+// Escrow is a sender-side key vault: Seal encrypts a piece under a fresh
+// key and parks the key; Release hands the key out exactly once, after the
+// caller has verified reciprocation. Safe for concurrent use.
+type Escrow struct {
+	mu     sync.Mutex
+	rand   io.Reader
+	nextID uint64
+	keys   map[uint64]Key
+}
+
+// NewEscrow returns an escrow drawing keys from crypto/rand.
+func NewEscrow() *Escrow {
+	return &Escrow{rand: rand.Reader, keys: make(map[uint64]Key)}
+}
+
+// NewEscrowWithRand returns an escrow drawing randomness from r —
+// deterministic tests inject a seeded reader here.
+func NewEscrowWithRand(r io.Reader) *Escrow {
+	return &Escrow{rand: r, keys: make(map[uint64]Key)}
+}
+
+// Seal encrypts plaintext under a fresh key, escrows the key, and returns
+// the sealed piece.
+func (e *Escrow) Seal(plaintext []byte) (*Sealed, error) {
+	if len(plaintext) == 0 {
+		return nil, ErrEmpty
+	}
+	var key Key
+	var nonce [NonceSize]byte
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := io.ReadFull(e.rand, key[:]); err != nil {
+		return nil, fmt.Errorf("tchain: drawing key: %w", err)
+	}
+	if _, err := io.ReadFull(e.rand, nonce[:]); err != nil {
+		return nil, fmt.Errorf("tchain: drawing nonce: %w", err)
+	}
+	ciphertext, err := xorStream(key, nonce, plaintext)
+	if err != nil {
+		return nil, err
+	}
+	id := e.nextID
+	e.nextID++
+	e.keys[id] = key
+	return &Sealed{KeyID: id, Nonce: nonce, Ciphertext: ciphertext}, nil
+}
+
+// Release removes and returns the key for keyID. The second call for the
+// same ID returns ErrUnknownKey — a key can only be handed out once.
+func (e *Escrow) Release(keyID uint64) (Key, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key, ok := e.keys[keyID]
+	if !ok {
+		return Key{}, fmt.Errorf("key %d: %w", keyID, ErrUnknownKey)
+	}
+	delete(e.keys, keyID)
+	return key, nil
+}
+
+// Revoke discards the key for keyID (the receiver reneged); the ciphertext
+// it guards becomes permanently useless.
+func (e *Escrow) Revoke(keyID uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.keys, keyID)
+}
+
+// Pending returns the number of escrowed (unreleased) keys.
+func (e *Escrow) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.keys)
+}
+
+// Open decrypts a sealed piece with the given key. Callers must verify the
+// plaintext against the manifest hash — CTR provides no integrity on its
+// own.
+func Open(s *Sealed, key Key) ([]byte, error) {
+	if s == nil || len(s.Ciphertext) == 0 {
+		return nil, ErrEmpty
+	}
+	return xorStream(key, s.Nonce, s.Ciphertext)
+}
+
+func xorStream(key Key, nonce [NonceSize]byte, data []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("tchain: %w", err)
+	}
+	out := make([]byte, len(data))
+	cipher.NewCTR(block, nonce[:]).XORKeyStream(out, data)
+	return out, nil
+}

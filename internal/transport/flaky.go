@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// Flaky wraps a Transport and silently drops a fraction of non-handshake
+// messages, for testing protocol resilience. Handshake messages (Hello,
+// Bitfield) are never dropped — a connection that cannot even open tests
+// nothing; everything after that is fair game, which exercises the node's
+// recovery paths (piece re-push after the resend cooldown, seal re-issue,
+// trusted key-release fallback).
+type Flaky struct {
+	inner    Transport
+	dropProb float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ Transport = (*Flaky)(nil)
+
+// NewFlaky wraps inner, dropping each eligible message with probability
+// dropProb (clamped to [0, 1)). The seed makes drop patterns reproducible.
+func NewFlaky(inner Transport, dropProb float64, seed int64) *Flaky {
+	if dropProb < 0 {
+		dropProb = 0
+	}
+	if dropProb >= 1 {
+		dropProb = 0.99
+	}
+	return &Flaky{inner: inner, dropProb: dropProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Listen wraps the inner listener so accepted connections drop too.
+func (f *Flaky) Listen(addr string) (Listener, error) {
+	l, err := f.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyListener{inner: l, f: f}, nil
+}
+
+// Dial wraps the dialed connection.
+func (f *Flaky) Dial(addr string) (Conn, error) {
+	c, err := f.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyConn{inner: c, f: f}, nil
+}
+
+// drop decides one message's fate.
+func (f *Flaky) drop(m protocol.Message) bool {
+	switch m.(type) {
+	case protocol.Hello, protocol.Bitfield:
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64() < f.dropProb
+}
+
+type flakyListener struct {
+	inner Listener
+	f     *Flaky
+}
+
+var _ Listener = (*flakyListener)(nil)
+
+func (l *flakyListener) Accept() (Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &flakyConn{inner: c, f: l.f}, nil
+}
+
+func (l *flakyListener) Close() error { return l.inner.Close() }
+func (l *flakyListener) Addr() string { return l.inner.Addr() }
+
+type flakyConn struct {
+	inner Conn
+	f     *Flaky
+}
+
+var _ Conn = (*flakyConn)(nil)
+
+// Send drops eligible messages with the configured probability; a dropped
+// message reports success, exactly like a datagram lost in flight.
+func (c *flakyConn) Send(m protocol.Message) error {
+	if c.f.drop(m) {
+		return nil
+	}
+	return c.inner.Send(m)
+}
+
+func (c *flakyConn) Recv() (protocol.Message, error) { return c.inner.Recv() }
+func (c *flakyConn) Close() error                    { return c.inner.Close() }
+func (c *flakyConn) RemoteAddr() string              { return c.inner.RemoteAddr() }

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// TCP is the real-network Transport: protocol frames over TCP connections.
+type TCP struct{}
+
+var _ Transport = TCP{}
+
+// NewTCP returns the TCP transport.
+func NewTCP() TCP { return TCP{} }
+
+// Listen binds a TCP address; use "127.0.0.1:0" to let the kernel pick a
+// port and read it back from Listener.Addr.
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return &tcpListener{inner: l}, nil
+}
+
+// Dial connects to a TCP listener.
+func (TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	inner net.Listener
+	once  sync.Once
+}
+
+var _ Listener = (*tcpListener)(nil)
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return newTCPConn(c), nil
+}
+
+func (l *tcpListener) Close() error {
+	var err error
+	l.once.Do(func() { err = l.inner.Close() })
+	return err
+}
+
+func (l *tcpListener) Addr() string { return l.inner.Addr().String() }
+
+type tcpConn struct {
+	inner   net.Conn
+	reader  *bufio.Reader
+	writeMu sync.Mutex
+	once    sync.Once
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{inner: c, reader: bufio.NewReaderSize(c, 64<<10)}
+}
+
+func (c *tcpConn) Send(m protocol.Message) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if err := protocol.Encode(c.inner, m); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+	return nil
+}
+
+func (c *tcpConn) Recv() (protocol.Message, error) {
+	m, err := protocol.Decode(c.reader)
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+func (c *tcpConn) Close() error {
+	var err error
+	c.once.Do(func() { err = c.inner.Close() })
+	return err
+}
+
+func (c *tcpConn) RemoteAddr() string { return c.inner.RemoteAddr().String() }

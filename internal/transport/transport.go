@@ -1,0 +1,46 @@
+// Package transport abstracts the byte pipes the live node runs over: a TCP
+// transport for real deployments and an in-memory transport for tests and
+// single-process clusters. Both carry internal/protocol frames.
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/protocol"
+)
+
+// ErrClosed is returned by operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is a bidirectional, ordered message pipe. Send is safe for
+// concurrent use; Recv must be called from a single goroutine.
+type Conn interface {
+	// Send writes one message. It returns ErrClosed after Close.
+	Send(m protocol.Message) error
+	// Recv blocks for the next message. It returns ErrClosed (or io.EOF
+	// for TCP) once the peer closes.
+	Recv() (protocol.Message, error)
+	// Close tears the connection down; it is idempotent.
+	Close() error
+	// RemoteAddr describes the peer endpoint (for logging).
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (Conn, error)
+	// Close stops accepting; it is idempotent.
+	Close() error
+	// Addr returns the bound address, suitable for Dial.
+	Addr() string
+}
+
+// Transport creates listeners and outbound connections.
+type Transport interface {
+	// Listen binds addr. For TCP, addr is host:port (port 0 picks one).
+	// For the memory transport, addr is any unique string ("" generates).
+	Listen(addr string) (Listener, error)
+	// Dial connects to a listener's address.
+	Dial(addr string) (Conn, error)
+}

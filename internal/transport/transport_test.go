@@ -1,0 +1,393 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// exerciseTransport runs the shared contract tests against any Transport.
+func exerciseTransport(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Addr() == "" {
+		t.Fatal("empty listener address")
+	}
+
+	type acceptResult struct {
+		conn Conn
+		err  error
+	}
+	accepted := make(chan acceptResult, 1)
+	go func() {
+		c, err := l.Accept()
+		accepted <- acceptResult{c, err}
+	}()
+
+	dialer, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialer.Close()
+
+	res := <-accepted
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	acceptor := res.conn
+	defer acceptor.Close()
+
+	// Ordered bidirectional delivery.
+	for i := int32(0); i < 50; i++ {
+		if err := dialer.Send(protocol.Have{Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(0); i < 50; i++ {
+		m, err := acceptor.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.(protocol.Have).Index != i {
+			t.Fatalf("out of order: got %+v want index %d", m, i)
+		}
+	}
+	if err := acceptor.Send(protocol.Piece{Index: 1, RepaysKeyID: protocol.NoRepay, Data: []byte("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := dialer.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.(protocol.Piece); string(p.Data) != "abc" {
+		t.Fatalf("payload %q", p.Data)
+	}
+
+	// Concurrent senders do not corrupt frames.
+	var wg sync.WaitGroup
+	const senders, perSender = 8, 50
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := dialer.Send(protocol.Have{Index: 7}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	recvDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < senders*perSender; i++ {
+			m, err := acceptor.Recv()
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			if m.(protocol.Have).Index != 7 {
+				recvDone <- fmt.Errorf("corrupt frame: %+v", m)
+				return
+			}
+		}
+		recvDone <- nil
+	}()
+	wg.Wait()
+	if err := <-recvDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Close tears down Recv on the other side.
+	if err := dialer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := acceptor.Recv()
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Recv succeeded after peer close")
+		}
+	case <-deadline:
+		t.Fatal("Recv did not observe peer close")
+	}
+
+	// Send after close errors.
+	if err := dialer.Send(protocol.Bye{}); err == nil {
+		t.Error("Send succeeded after close")
+	}
+	// Double close is fine.
+	if err := dialer.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestMemTransportContract(t *testing.T) {
+	exerciseTransport(t, NewMem(), "")
+}
+
+func TestTCPTransportContract(t *testing.T) {
+	exerciseTransport(t, NewTCP(), "127.0.0.1:0")
+}
+
+func TestMemDialUnknownAddress(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Dial("mem://nowhere"); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+}
+
+func TestMemDuplicateBind(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("mem://x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := m.Listen("mem://x"); err == nil {
+		t.Fatal("duplicate bind succeeded")
+	}
+}
+
+func TestMemListenerCloseUnblocksAccept(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Accept err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not unblock")
+	}
+	// Address is released after close.
+	if _, err := m.Listen(l.Addr()); err != nil {
+		t.Errorf("rebind after close: %v", err)
+	}
+	// Dialing the closed (pre-rebind) listener path still works via the
+	// registry; dialing a fully removed one fails.
+	if _, err := m.Dial("mem://definitely-not-there"); err == nil {
+		t.Error("dial to removed listener succeeded")
+	}
+}
+
+func TestTCPListenerCloseUnblocksAccept(t *testing.T) {
+	l, err := NewTCP().Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Accept err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not unblock")
+	}
+}
+
+func TestMemRecvDrainsBufferAfterPeerClose(t *testing.T) {
+	m := NewMem()
+	l, _ := m.Listen("")
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		_ = c.Send(protocol.Have{Index: 1})
+		_ = c.Send(protocol.Have{Index: 2})
+		c.Close()
+	}()
+	dialer, err := m.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for {
+		m, err := dialer.Recv()
+		if err != nil {
+			break
+		}
+		got++
+		_ = m
+	}
+	if got != 2 {
+		t.Errorf("drained %d messages, want 2", got)
+	}
+}
+
+func TestFlakyDropsApproximatelyAtRate(t *testing.T) {
+	f := NewFlaky(NewMem(), 0.3, 1)
+	l, err := f.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dialer, err := f.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialer.Close()
+	acceptor := <-accepted
+	defer acceptor.Close()
+
+	const sent = 5000
+	counted := make(chan int, 1)
+	go func() {
+		received := 0
+		for {
+			if _, err := acceptor.Recv(); err != nil {
+				break
+			}
+			received++
+		}
+		counted <- received
+	}()
+	for i := 0; i < sent; i++ {
+		if err := dialer.Send(protocol.Have{Index: int32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dialer.Close()
+	received := <-counted
+	frac := float64(received) / sent
+	if frac < 0.65 || frac > 0.75 {
+		t.Errorf("delivered fraction %.3f, want ~0.7", frac)
+	}
+}
+
+func TestFlakyNeverDropsHandshake(t *testing.T) {
+	f := NewFlaky(NewMem(), 0.99, 2)
+	l, _ := f.Listen("")
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dialer, err := f.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialer.Close()
+	acceptor := <-accepted
+	defer acceptor.Close()
+	for i := 0; i < 50; i++ {
+		if err := dialer.Send(protocol.Hello{PeerID: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := dialer.Send(protocol.Bitfield{NumPieces: 1, Bits: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := acceptor.Recv(); err != nil {
+			t.Fatalf("handshake message %d lost: %v", i, err)
+		}
+	}
+}
+
+func TestFlakyClampsDropProb(t *testing.T) {
+	if f := NewFlaky(NewMem(), -1, 1); f.dropProb != 0 {
+		t.Errorf("negative prob = %g", f.dropProb)
+	}
+	if f := NewFlaky(NewMem(), 2, 1); f.dropProb >= 1 {
+		t.Errorf("prob >= 1 not clamped: %g", f.dropProb)
+	}
+}
+
+func TestRemoteAddrNonEmpty(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   Transport
+		addr string
+	}{
+		{"mem", NewMem(), ""},
+		{"tcp", NewTCP(), "127.0.0.1:0"},
+		{"flaky", NewFlaky(NewMem(), 0.1, 1), ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l, err := tc.tr.Listen(tc.addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			accepted := make(chan Conn, 1)
+			go func() {
+				c, err := l.Accept()
+				if err == nil {
+					accepted <- c
+				}
+			}()
+			dialer, err := tc.tr.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dialer.Close()
+			acceptor := <-accepted
+			defer acceptor.Close()
+			if dialer.RemoteAddr() == "" || acceptor.RemoteAddr() == "" {
+				t.Error("empty RemoteAddr")
+			}
+		})
+	}
+}
+
+func TestTCPDialRefused(t *testing.T) {
+	// A port nobody listens on: dial must fail, not hang.
+	if _, err := NewTCP().Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestFlakyListenError(t *testing.T) {
+	mem := NewMem()
+	if _, err := mem.Listen("mem://dup"); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFlaky(mem, 0.1, 1)
+	if _, err := f.Listen("mem://dup"); err == nil {
+		t.Fatal("duplicate bind through flaky succeeded")
+	}
+	if _, err := f.Dial("mem://nowhere"); err == nil {
+		t.Fatal("flaky dial to unbound address succeeded")
+	}
+}
