@@ -1,0 +1,13 @@
+# Developer entry points. `make check` is the CI gate; `make bench`
+# records the parallel-runner trajectory numbers to BENCH_parallel.json.
+
+.PHONY: check test bench
+
+check:
+	./scripts/check.sh
+
+test:
+	go build ./... && go test ./...
+
+bench:
+	./scripts/bench.sh

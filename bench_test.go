@@ -3,9 +3,13 @@
 //
 // By default the simulation figures run at a laptop-friendly scale that
 // preserves every qualitative shape; set REPRO_FULL=1 to run at the paper's
-// 1000-peer, 128 MB scale:
+// 1000-peer, 128 MB scale. The simulation figures fan their independent
+// swarm runs out across the internal/runner worker pool; REPRO_WORKERS
+// bounds that pool (default GOMAXPROCS), so the sequential baseline is one
+// env var away:
 //
-//	go test -bench=. -benchmem                 # fast scale
+//	go test -bench=. -benchmem                 # fast scale, parallel runner
+//	REPRO_WORKERS=1 go test -bench=Figure4     # sequential baseline
 //	REPRO_FULL=1 go test -bench=Figure4 -benchtime=1x
 package repro
 
@@ -16,6 +20,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/experiment"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -124,6 +129,21 @@ func BenchmarkSimulationPerAlgorithm(b *testing.B) {
 			}
 			b.ReportMetric(simulated/b.Elapsed().Seconds(), "simsec/sec")
 		})
+	}
+}
+
+// BenchmarkReplicate measures the parallel replication runner: eight seeds
+// of one BitTorrent swarm aggregated to mean ± stderr. REPRO_WORKERS
+// bounds the pool; the per-seed results are identical at any worker count.
+func BenchmarkReplicate(b *testing.B) {
+	b.ReportAllocs()
+	cfg := sim.Default(algo.BitTorrent, 100, 48)
+	cfg.Horizon = 900
+	cfg.Seed = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Replicate(cfg, 8); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

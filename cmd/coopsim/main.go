@@ -5,6 +5,7 @@
 //	coopsim -algo tchain                         # defaults: 200 peers, 32 MB
 //	coopsim -algo bittorrent -peers 1000 -pieces 512 -freeriders 0.2
 //	coopsim -algo fairtorrent -freeriders 0.2 -largeview -json
+//	coopsim -algo tchain -reps 8 -workers 4      # mean ± stderr over 8 seeds
 package main
 
 import (
@@ -29,6 +30,8 @@ type options struct {
 	largeView  bool
 	seederRate float64
 	jsonOut    bool
+	reps       int
+	workers    int
 }
 
 func main() {
@@ -43,6 +46,8 @@ func main() {
 	flag.BoolVar(&opts.largeView, "largeview", false, "free-riders use the large-view exploit")
 	flag.Float64Var(&opts.seederRate, "seeder", 1<<20, "seeder upload rate in bytes/second")
 	flag.BoolVar(&opts.jsonOut, "json", false, "emit the full result as JSON")
+	flag.IntVar(&opts.reps, "reps", 1, "replication count; >1 runs seeds seed..seed+reps-1 and reports mean ± stderr")
+	flag.IntVar(&opts.workers, "workers", 0, "parallel worker count for replications (0: REPRO_WORKERS or GOMAXPROCS)")
 	flag.Parse()
 
 	if err := run(opts, os.Stdout); err != nil {
@@ -70,6 +75,10 @@ func run(opts options, stdout io.Writer) error {
 		simOpts = append(simOpts, core.WithFreeRiders(opts.freeRiders, plan))
 	}
 
+	if opts.reps > 1 {
+		return runReplicated(a, opts, simOpts, stdout)
+	}
+
 	res, err := core.Simulate(a, simOpts...)
 	if err != nil {
 		return err
@@ -91,6 +100,37 @@ func run(opts options, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "fairness F (Eq. 3):  %.3f (0 = perfectly fair)\n", res.LogFairness())
 	if opts.freeRiders > 0 {
 		fmt.Fprintf(stdout, "susceptibility:      %.2f%% of peer upload bandwidth\n", 100*res.Susceptibility())
+	}
+	return nil
+}
+
+// runReplicated executes reps seeded replications on the parallel runner
+// and prints each metric's mean ± standard error.
+func runReplicated(a core.Algorithm, opts options, simOpts []core.Option, stdout io.Writer) error {
+	rep, err := core.SimulateReplicated(a, opts.reps, opts.workers, simOpts...)
+	if err != nil {
+		return err
+	}
+	if opts.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	workers := opts.workers
+	if workers <= 0 {
+		workers = core.DefaultWorkers()
+	}
+	fmt.Fprintf(stdout, "algorithm:           %v\n", a)
+	fmt.Fprintf(stdout, "peers / pieces:      %d / %d\n", opts.peers, opts.pieces)
+	fmt.Fprintf(stdout, "replications:        %d (seeds %d..%d, %d workers)\n",
+		opts.reps, opts.seed, opts.seed+int64(opts.reps)-1, workers)
+	for _, name := range core.ReplicationMetrics() {
+		s := rep.Metrics[name]
+		if s.N == 0 {
+			fmt.Fprintf(stdout, "%-20s never (in any replication)\n", name+":")
+			continue
+		}
+		fmt.Fprintf(stdout, "%-20s %.4g ± %.2g (n=%d)\n", name+":", s.Mean, s.Stderr, s.N)
 	}
 	return nil
 }

@@ -62,6 +62,37 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+func TestRunReplicated(t *testing.T) {
+	var sb strings.Builder
+	opts := testOptions()
+	opts.reps = 3
+	opts.workers = 2
+	if err := run(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"replications:", "seeds 1..3", "mean_download_s:", "±"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replicated output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReplicatedJSON(t *testing.T) {
+	var sb strings.Builder
+	opts := testOptions()
+	opts.reps = 2
+	opts.jsonOut = true
+	if err := run(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"\"results\"", "\"metrics\"", "\"mean_download_s\""} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("replicated JSON missing %q", want)
+		}
+	}
+}
+
 func TestRunUnknownAlgorithm(t *testing.T) {
 	opts := testOptions()
 	opts.algoName = "bitcoin"

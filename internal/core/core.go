@@ -15,6 +15,7 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/experiment"
 	"repro/internal/incentive"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -116,17 +117,56 @@ func Simulate(a Algorithm, opts ...Option) (*Result, error) {
 	return swarm.Run()
 }
 
-// CompareAll runs the same scenario under all six mechanisms.
+// CompareAll runs the same scenario under all six mechanisms, fanning the
+// runs out across the replication runner's worker pool. Results are
+// deterministic: each run's outcome depends only on its config and seed.
 func CompareAll(opts ...Option) (map[Algorithm]*Result, error) {
-	out := make(map[Algorithm]*Result, 6)
-	for _, a := range Algorithms() {
-		res, err := Simulate(a, opts...)
-		if err != nil {
-			return nil, fmt.Errorf("core: %v: %w", a, err)
+	algos := Algorithms()
+	cfgs := make([]sim.Config, len(algos))
+	for i, a := range algos {
+		cfg := sim.Default(a, 200, 128)
+		for _, opt := range opts {
+			opt(&cfg)
 		}
-		out[a] = res
+		cfg.Algorithm = a
+		cfgs[i] = cfg
+	}
+	results, err := runner.Run(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out := make(map[Algorithm]*Result, len(algos))
+	for i, a := range algos {
+		out[a] = results[i]
 	}
 	return out, nil
+}
+
+// Replication aggregates repeated seeded runs of one scenario; see
+// SimulateReplicated.
+type Replication = runner.Replication
+
+// ReplicationMetrics lists the metric keys of Replication.Metrics in
+// presentation order.
+func ReplicationMetrics() []string { return runner.MetricNames() }
+
+// DefaultWorkers returns the parallel runner's default worker-pool size:
+// the REPRO_WORKERS environment variable when set, otherwise GOMAXPROCS.
+func DefaultWorkers() int { return runner.DefaultWorkers() }
+
+// SimulateReplicated runs reps replications of one scenario on a pool of
+// `workers` goroutines (workers <= 0 selects DefaultWorkers). Replication i
+// runs with seed base+i, where base comes from WithSeed (default 0); the
+// returned Replication reports each metric's mean ± standard error across
+// the seeds. Output is deterministic for a fixed seed and replication
+// count, regardless of the worker count.
+func SimulateReplicated(a Algorithm, reps, workers int, opts ...Option) (*Replication, error) {
+	cfg := sim.Default(a, 200, 128)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.Algorithm = a
+	return runner.New(workers).Replicate(cfg, reps)
 }
 
 // Equilibrium exposes the paper's closed-form model (Section IV-A) for a

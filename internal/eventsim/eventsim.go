@@ -5,7 +5,15 @@
 // its reproducibility from a total order over events, so all model code runs
 // on the goroutine that calls Run. Events scheduled for the same instant are
 // ordered by scheduling sequence number, which makes runs bit-for-bit
-// repeatable for a fixed seed.
+// repeatable for a fixed seed. (Many engines may run concurrently — one per
+// goroutine — as long as each engine stays confined to its goroutine; the
+// parallel replication runner in internal/runner relies on exactly that.)
+//
+// Event records are recycled through a per-engine free list: in steady state
+// a Schedule/fire cycle performs no heap allocation, which matters because
+// the swarm simulator schedules millions of events per run. Timer handles
+// carry a generation number so a stale handle held across a recycle can
+// never cancel the record's next occupant.
 package eventsim
 
 import (
@@ -23,29 +31,43 @@ var ErrStopped = errors.New("eventsim: stopped")
 // may schedule further events.
 type Handler func(now float64)
 
-// event is one queue entry. seq breaks ties between events at equal times.
+// event is one queue entry. seq breaks ties between events at equal times;
+// gen counts free-list recycles so stale Timer handles become inert.
 type event struct {
 	time     float64
 	seq      uint64
+	gen      uint64
 	handler  Handler
 	canceled bool
 	index    int // heap index, maintained by eventHeap
 }
 
-// Timer is a handle to a scheduled event that can be canceled.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled event that can be canceled. The zero
+// Timer is valid and inert: Cancel is a no-op and Canceled reports false.
+// Timers are small values; copy them freely.
+type Timer struct {
+	ev  *event
+	gen uint64
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled timer is a no-op. Cancel is O(1); the queue drops
-// canceled entries lazily when they surface.
-func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
+// Cancel prevents the event from firing. Canceling an already-fired,
+// already-canceled, or zero timer is a no-op. Cancel is O(1); the queue
+// drops canceled entries lazily when they surface, but the handler closure
+// (and everything it captures) is released immediately so a canceled timer
+// never retains model state until pop time.
+func (t Timer) Cancel() {
+	if t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled {
 		t.ev.canceled = true
+		t.ev.handler = nil
 	}
 }
 
-// Canceled reports whether Cancel was called.
-func (t *Timer) Canceled() bool { return t != nil && t.ev != nil && t.ev.canceled }
+// Canceled reports whether Cancel was called before the event fired.
+func (t Timer) Canceled() bool { return t.ev != nil && t.ev.gen == t.gen && t.ev.canceled }
+
+// Pending reports whether the event is still scheduled: not canceled, not
+// yet fired, and not a zero handle.
+func (t Timer) Pending() bool { return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled }
 
 type eventHeap []*event
 
@@ -81,6 +103,7 @@ type Engine struct {
 	now       float64
 	seq       uint64
 	queue     eventHeap
+	free      []*event // recycled event records
 	stopped   bool
 	processed uint64
 }
@@ -99,25 +122,49 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of queued (possibly canceled) events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// acquire returns a recycled event record, or a fresh one when the free
+// list is empty.
+func (e *Engine) acquire() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns a popped event to the free list, bumping its generation
+// so outstanding Timer handles go stale and dropping the handler reference.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.handler = nil
+	ev.canceled = false
+	e.free = append(e.free, ev)
+}
+
 // Schedule runs h at absolute virtual time t. Scheduling in the past (t less
 // than Now) panics: it indicates a causality bug in the model, and silently
 // clamping would corrupt results. Scheduling exactly at Now is allowed and
 // runs after currently pending events at this instant.
-func (e *Engine) Schedule(t float64, h Handler) *Timer {
+func (e *Engine) Schedule(t float64, h Handler) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("eventsim: schedule at %g before now %g", t, e.now))
 	}
 	if math.IsNaN(t) {
 		panic("eventsim: schedule at NaN")
 	}
-	ev := &event{time: t, seq: e.seq, handler: h}
+	ev := e.acquire()
+	ev.time = t
+	ev.seq = e.seq
+	ev.handler = h
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After runs h after delay d (relative scheduling). Negative delays panic.
-func (e *Engine) After(d float64, h Handler) *Timer {
+func (e *Engine) After(d float64, h Handler) Timer {
 	return e.Schedule(e.now+d, h)
 }
 
@@ -135,6 +182,7 @@ func (e *Engine) Run(horizon float64) error {
 		}
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.canceled {
+			e.release(ev)
 			continue
 		}
 		if horizon > 0 && ev.time > horizon {
@@ -143,9 +191,13 @@ func (e *Engine) Run(horizon float64) error {
 			e.now = horizon
 			return nil
 		}
-		e.now = ev.time
+		// Recycle before dispatch so the handler's own scheduling reuses
+		// this record; the handler and time are copied out first.
+		h, t := ev.handler, ev.time
+		e.release(ev)
+		e.now = t
 		e.processed++
-		ev.handler(e.now)
+		h(e.now)
 	}
 	return nil
 }
@@ -155,11 +207,14 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*event)
 		if ev.canceled {
+			e.release(ev)
 			continue
 		}
-		e.now = ev.time
+		h, t := ev.handler, ev.time
+		e.release(ev)
+		e.now = t
 		e.processed++
-		ev.handler(e.now)
+		h(e.now)
 		return true
 	}
 	return false

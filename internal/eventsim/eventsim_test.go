@@ -127,10 +127,98 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("canceled event fired")
 	}
-	// Canceling nil and double-cancel are no-ops.
-	var nilTimer *Timer
-	nilTimer.Cancel()
+	// Canceling the zero Timer and double-cancel are no-ops.
+	var zero Timer
+	zero.Cancel()
 	timer.Cancel()
+}
+
+func TestCancelReleasesHandler(t *testing.T) {
+	// The lazy-cancel leak fix: Cancel must drop the handler closure
+	// immediately, not when the entry surfaces from the queue.
+	e := New()
+	timer := e.Schedule(1, func(float64) { t.Error("canceled fired") })
+	if timer.ev.handler == nil {
+		t.Fatal("handler missing before cancel")
+	}
+	timer.Cancel()
+	if timer.ev.handler != nil {
+		t.Error("Cancel left the handler closure reachable")
+	}
+	if timer.Pending() {
+		t.Error("Pending() = true after Cancel")
+	}
+}
+
+func TestRunDropsCanceledEntries(t *testing.T) {
+	// Canceled entries are dropped (and recycled) as they surface; the
+	// queue fully drains without firing them.
+	e := New()
+	timers := make([]Timer, 0, 10)
+	for i := 0; i < 10; i++ {
+		timers = append(timers, e.Schedule(float64(i+1), func(float64) { t.Error("canceled fired") }))
+	}
+	for _, timer := range timers {
+		timer.Cancel()
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d before run, want 10", e.Pending())
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after run, want 0", e.Pending())
+	}
+	if e.Processed() != 0 {
+		t.Errorf("Processed = %d, want 0 (all events canceled)", e.Processed())
+	}
+	if len(e.free) != 10 {
+		t.Errorf("free list holds %d records, want 10", len(e.free))
+	}
+}
+
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	// A Timer held across its event's firing must not cancel the record's
+	// next occupant after free-list reuse.
+	e := New()
+	stale := e.Schedule(1, func(float64) {})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	fresh := e.Schedule(2, func(float64) { fired = true })
+	if fresh.ev != stale.ev {
+		t.Fatal("expected the event record to be recycled")
+	}
+	stale.Cancel()
+	if stale.Canceled() {
+		t.Error("stale handle reports Canceled")
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("stale Cancel killed the recycled event")
+	}
+}
+
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	// Once the free list is primed, a schedule/fire cycle reuses its event
+	// record and the value Timer never escapes.
+	e := New()
+	e.Schedule(0, func(float64) {})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	h := Handler(func(float64) {})
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now(), h)
+		e.Step()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state schedule/fire allocates %.1f objects/op, want 0", allocs)
+	}
 }
 
 func TestSchedulePastPanics(t *testing.T) {

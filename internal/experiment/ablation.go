@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/attack"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -19,20 +20,38 @@ func runOne(cfg sim.Config) (*sim.Result, error) {
 	return sw.Run()
 }
 
+// runBatch fans a sweep's independent configurations out across the runner
+// pool. Results come back in submission order, so callers can zip them with
+// the parameter values that produced them and render rows exactly as the
+// old sequential loops did.
+func runBatch(cfgs []sim.Config) ([]*sim.Result, error) {
+	results, err := runner.Run(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return results, nil
+}
+
 // AblationAlphaBT sweeps BitTorrent's optimistic-unchoke share: the design
 // tradeoff between bootstrap speed (α up) and free-riding exposure (α up).
 func AblationAlphaBT(scale Scale, w io.Writer, sink *trace.Sink) error {
 	tbl := trace.NewTable("Ablation: BitTorrent optimistic-unchoke share alpha_BT",
 		"alpha_BT", "MeanBoot(s)", "MeanDL(s)", "Susceptibility")
-	for _, alpha := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+	alphas := []float64{0.05, 0.1, 0.2, 0.4, 0.8}
+	cfgs := make([]sim.Config, 0, len(alphas))
+	for _, alpha := range alphas {
 		cfg := simConfig(algo.BitTorrent, scale)
 		cfg.Incentive.AlphaBT = alpha
 		cfg.FreeRiderFraction = 0.2
 		cfg.Attack = attack.Plan{Kind: attack.Passive}
-		res, err := runOne(cfg)
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, alpha := range alphas {
+		res := results[i]
 		tbl.AddRow(alpha, fmtOr(res.MeanBootstrapTime(), "never"),
 			fmtOr(res.MeanDownloadTime(), "never"), res.Susceptibility())
 	}
@@ -47,13 +66,19 @@ func AblationAlphaBT(scale Scale, w io.Writer, sink *trace.Sink) error {
 func AblationNBT(scale Scale, w io.Writer, sink *trace.Sink) error {
 	tbl := trace.NewTable("Ablation: BitTorrent reciprocity slots n_BT",
 		"n_BT", "MeanDL(s)", "Fairness(d/u)", "F(Eq.3)")
-	for _, nbt := range []int{1, 2, 4, 8, 16} {
+	slots := []int{1, 2, 4, 8, 16}
+	cfgs := make([]sim.Config, 0, len(slots))
+	for _, nbt := range slots {
 		cfg := simConfig(algo.BitTorrent, scale)
 		cfg.Incentive.NBT = nbt
-		res, err := runOne(cfg)
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, nbt := range slots {
+		res := results[i]
 		tbl.AddRow(nbt, fmtOr(res.MeanDownloadTime(), "never"),
 			fmtOr(res.FinalFairness(), "n/a"), fmtOr(res.LogFairness(), "n/a"))
 	}
@@ -68,18 +93,29 @@ func AblationNBT(scale Scale, w io.Writer, sink *trace.Sink) error {
 func AblationSeeder(scale Scale, w io.Writer, sink *trace.Sink) error {
 	tbl := trace.NewTable("Ablation: seeder capacity vs bootstrap and completion",
 		"SeederRate(B/s)", "Algorithm", "MeanBoot(s)", "MeanDL(s)", "Completed")
+	type point struct {
+		rate float64
+		a    algo.Algorithm
+	}
+	var points []point
+	var cfgs []sim.Config
 	for _, rate := range []float64{1 << 18, 1 << 20, 1 << 22} {
 		for _, a := range []algo.Algorithm{algo.Reciprocity, algo.BitTorrent, algo.Altruism} {
 			cfg := simConfig(a, scale)
 			cfg.SeederRate = rate
-			res, err := runOne(cfg)
-			if err != nil {
-				return err
-			}
-			tbl.AddRow(rate, a.String(), fmtOr(res.MeanBootstrapTime(), "never"),
-				fmtOr(res.MeanDownloadTime(), "never"),
-				fmt.Sprintf("%.0f%%", 100*res.CompletionFraction()))
+			points = append(points, point{rate, a})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, pt := range points {
+		res := results[i]
+		tbl.AddRow(pt.rate, pt.a.String(), fmtOr(res.MeanBootstrapTime(), "never"),
+			fmtOr(res.MeanDownloadTime(), "never"),
+			fmt.Sprintf("%.0f%%", 100*res.CompletionFraction()))
 	}
 	if err := tbl.WriteText(w); err != nil {
 		return err
@@ -92,6 +128,12 @@ func AblationSeeder(scale Scale, w io.Writer, sink *trace.Sink) error {
 func AblationNeighborView(scale Scale, w io.Writer, sink *trace.Sink) error {
 	tbl := trace.NewTable("Ablation: neighbor-set size vs large-view susceptibility (BitTorrent, 20% free-riders)",
 		"MaxNeighbors", "LargeView", "Susceptibility", "MeanDL(s)")
+	type point struct {
+		neighbors int
+		largeView bool
+	}
+	var points []point
+	var cfgs []sim.Config
 	for _, neighbors := range []int{10, 25, 50} {
 		for _, largeView := range []bool{false, true} {
 			cfg := simConfig(algo.BitTorrent, scale)
@@ -101,12 +143,17 @@ func AblationNeighborView(scale Scale, w io.Writer, sink *trace.Sink) error {
 			if largeView {
 				cfg.Attack = cfg.Attack.WithLargeView()
 			}
-			res, err := runOne(cfg)
-			if err != nil {
-				return err
-			}
-			tbl.AddRow(neighbors, largeView, res.Susceptibility(), fmtOr(res.MeanDownloadTime(), "never"))
+			points = append(points, point{neighbors, largeView})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, pt := range points {
+		res := results[i]
+		tbl.AddRow(pt.neighbors, pt.largeView, res.Susceptibility(), fmtOr(res.MeanDownloadTime(), "never"))
 	}
 	if err := tbl.WriteText(w); err != nil {
 		return err
@@ -119,14 +166,20 @@ func AblationNeighborView(scale Scale, w io.Writer, sink *trace.Sink) error {
 func AblationWhitewash(scale Scale, w io.Writer, sink *trace.Sink) error {
 	tbl := trace.NewTable("Ablation: FairTorrent whitewash interval (20% free-riders)",
 		"Interval(s)", "Susceptibility", "CompliantMeanDL(s)")
-	for _, interval := range []float64{10, 30, 60, 120, 1e9} {
+	intervals := []float64{10, 30, 60, 120, 1e9}
+	cfgs := make([]sim.Config, 0, len(intervals))
+	for _, interval := range intervals {
 		cfg := simConfig(algo.FairTorrent, scale)
 		cfg.FreeRiderFraction = 0.2
 		cfg.Attack = attack.Plan{Kind: attack.Whitewash, WhitewashInterval: interval}
-		res, err := runOne(cfg)
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, interval := range intervals {
+		res := results[i]
 		label := fmt.Sprintf("%.0f", interval)
 		if interval >= 1e9 {
 			label = "never"
@@ -148,14 +201,19 @@ func AblationFalsePraise(scale Scale, w io.Writer, sink *trace.Sink) error {
 		{Kind: attack.Passive},
 		{Kind: attack.FalsePraise, PraiseInterval: 5, PraiseBytes: 64 << 20},
 	}
+	cfgs := make([]sim.Config, 0, len(plans))
 	for _, plan := range plans {
 		cfg := simConfig(algo.Reputation, scale)
 		cfg.FreeRiderFraction = 0.2
 		cfg.Attack = plan
-		res, err := runOne(cfg)
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, plan := range plans {
+		res := results[i]
 		tbl.AddRow(plan.Kind.String(), res.Susceptibility(), fmtOr(res.MeanDownloadTime(), "never"))
 	}
 	if err := tbl.WriteText(w); err != nil {
@@ -170,12 +228,17 @@ func AblationFalsePraise(scale Scale, w io.Writer, sink *trace.Sink) error {
 func AblationIndirect(scale Scale, w io.Writer, sink *trace.Sink) error {
 	tbl := trace.NewTable("Ablation: bootstrapping with and without indirect reciprocity",
 		"Mechanism", "MeanBoot(s)", "Bootstrapped@30s")
-	for _, a := range []algo.Algorithm{algo.TChain, algo.BitTorrent, algo.Reciprocity} {
-		cfg := simConfig(a, scale)
-		res, err := runOne(cfg)
-		if err != nil {
-			return err
-		}
+	algos := []algo.Algorithm{algo.TChain, algo.BitTorrent, algo.Reciprocity}
+	cfgs := make([]sim.Config, 0, len(algos))
+	for _, a := range algos {
+		cfgs = append(cfgs, simConfig(a, scale))
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, a := range algos {
+		res := results[i]
 		tbl.AddRow(a.String(), fmtOr(res.MeanBootstrapTime(), "never"),
 			fmt.Sprintf("%.0f%%", 100*res.BootstrapFraction(30)))
 	}

@@ -130,6 +130,33 @@ func TestSimulationFigures(t *testing.T) {
 	}
 }
 
+// TestParallelOutputByteIdentical verifies the runner's determinism
+// contract end-to-end: for a fixed seed set, the rendered experiment output
+// is byte-for-byte identical whether the underlying swarms ran on one
+// worker or fanned out across several.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each experiment twice")
+	}
+	scale := Scale{NumPeers: 60, NumPieces: 24, Horizon: 600, Seed: 3}
+	for _, name := range []string{"figure4", "figure5", "ablation-seeder", "ablation-arrival"} {
+		render := func(workers string) string {
+			t.Setenv("REPRO_WORKERS", workers)
+			var sb strings.Builder
+			if err := Run(name, scale, &sb, nil); err != nil {
+				t.Fatalf("%s (workers=%s): %v", name, workers, err)
+			}
+			return sb.String()
+		}
+		sequential := render("1")
+		parallel := render("8")
+		if sequential != parallel {
+			t.Errorf("%s: parallel output differs from sequential:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+				name, sequential, parallel)
+		}
+	}
+}
+
 // TestValidateAvailability checks the model-vs-simulator cross-validation:
 // the flash-crowd phase must show the bootstrapping obstruction (pi_DR far
 // below pi_A) and the model must track the simulator.

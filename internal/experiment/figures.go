@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/attack"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -22,22 +23,26 @@ func simConfig(a algo.Algorithm, scale Scale) sim.Config {
 }
 
 // runAll executes one run per algorithm, applying mod to each config first.
+// The six runs are independent, so they fan out across the runner pool;
+// results come back in algo.All() order, keeping the rendered tables
+// byte-identical to the old sequential loop.
 func runAll(scale Scale, mod func(*sim.Config)) (map[algo.Algorithm]*sim.Result, error) {
-	out := make(map[algo.Algorithm]*sim.Result, 6)
-	for _, a := range algo.All() {
+	algos := algo.All()
+	cfgs := make([]sim.Config, len(algos))
+	for i, a := range algos {
 		cfg := simConfig(a, scale)
 		if mod != nil {
 			mod(&cfg)
 		}
-		sw, err := sim.NewSwarm(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %v: %w", a, err)
-		}
-		res, err := sw.Run()
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %v: %w", a, err)
-		}
-		out[a] = res
+		cfgs[i] = cfg
+	}
+	results, err := runner.Run(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	out := make(map[algo.Algorithm]*sim.Result, len(algos))
+	for i, a := range algos {
+		out[a] = results[i]
 	}
 	return out, nil
 }

@@ -40,18 +40,19 @@ func ValidateAvailability(scale Scale, w io.Writer, sink *trace.Sink) error {
 		{"mid-swarm", 0.5},
 		{"endgame", 0.95},
 	}
-	var snaps []*sim.AvailabilitySnapshot
+	cfgs := make([]sim.Config, 0, len(phases))
 	for _, phase := range phases {
 		cfg := simConfig(algo.Altruism, scale)
 		cfg.SnapshotAt = meanDL * phase.fraction
-		swarm, err := sim.NewSwarm(cfg)
-		if err != nil {
-			return err
-		}
-		res, err := swarm.Run()
-		if err != nil {
-			return err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	var snaps []*sim.AvailabilitySnapshot
+	for i, phase := range phases {
+		cfg, res := cfgs[i], results[i]
 		snap := res.Snapshot()
 		if snap == nil || snap.Pairs == 0 {
 			return fmt.Errorf("experiment: %s snapshot missed (swarm drained at %.0fs)", phase.name, res.Duration)
@@ -94,6 +95,12 @@ func ValidateAvailability(scale Scale, w io.Writer, sink *trace.Sink) error {
 func AblationPropShare(scale Scale, w io.Writer, sink *trace.Sink) error {
 	tbl := trace.NewTable("Ablation: BitTorrent vs PropShare (extension), with and without 20% free-riders",
 		"Mechanism", "FreeRiders", "MeanDL(s)", "F(Eq.3)", "Susceptibility")
+	type point struct {
+		a  algo.Algorithm
+		fr float64
+	}
+	var points []point
+	var cfgs []sim.Config
 	for _, a := range []algo.Algorithm{algo.BitTorrent, algo.PropShare} {
 		for _, fr := range []float64{0, 0.2} {
 			cfg := simConfig(a, scale)
@@ -101,15 +108,20 @@ func AblationPropShare(scale Scale, w io.Writer, sink *trace.Sink) error {
 			if fr > 0 {
 				cfg.Attack = attack.Plan{Kind: attack.Passive}
 			}
-			res, err := runOne(cfg)
-			if err != nil {
-				return err
-			}
-			tbl.AddRow(a.String(), fmt.Sprintf("%.0f%%", fr*100),
-				fmtOr(res.MeanDownloadTime(), "never"),
-				fmtOr(res.LogFairness(), "n/a"),
-				res.Susceptibility())
+			points = append(points, point{a, fr})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, pt := range points {
+		res := results[i]
+		tbl.AddRow(pt.a.String(), fmt.Sprintf("%.0f%%", pt.fr*100),
+			fmtOr(res.MeanDownloadTime(), "never"),
+			fmtOr(res.LogFairness(), "n/a"),
+			res.Susceptibility())
 	}
 	if err := tbl.WriteText(w); err != nil {
 		return err
@@ -122,6 +134,12 @@ func AblationPropShare(scale Scale, w io.Writer, sink *trace.Sink) error {
 func AblationArrival(scale Scale, w io.Writer, sink *trace.Sink) error {
 	tbl := trace.NewTable("Ablation: flash crowd vs Poisson arrivals",
 		"Mechanism", "Arrivals", "MeanBoot(s)", "MeanDL(s)", "Completed")
+	type point struct {
+		a     algo.Algorithm
+		label string
+	}
+	var points []point
+	var cfgs []sim.Config
 	for _, a := range []algo.Algorithm{algo.TChain, algo.BitTorrent, algo.Reputation, algo.Altruism} {
 		for _, pattern := range []sim.ArrivalPattern{sim.ArrivalFlashCrowd, sim.ArrivalPoisson} {
 			cfg := simConfig(a, scale)
@@ -132,15 +150,20 @@ func AblationArrival(scale Scale, w io.Writer, sink *trace.Sink) error {
 				cfg.MeanInterarrival = scale.Horizon / 4 / float64(scale.NumPeers)
 				label = "poisson"
 			}
-			res, err := runOne(cfg)
-			if err != nil {
-				return err
-			}
-			tbl.AddRow(a.String(), label,
-				fmtOr(res.MeanBootstrapTime(), "never"),
-				fmtOr(res.MeanDownloadTime(), "never"),
-				fmt.Sprintf("%.0f%%", 100*res.CompletionFraction()))
+			points = append(points, point{a, label})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, pt := range points {
+		res := results[i]
+		tbl.AddRow(pt.a.String(), pt.label,
+			fmtOr(res.MeanBootstrapTime(), "never"),
+			fmtOr(res.MeanDownloadTime(), "never"),
+			fmt.Sprintf("%.0f%%", 100*res.CompletionFraction()))
 	}
 	if err := tbl.WriteText(w); err != nil {
 		return err
@@ -154,6 +177,12 @@ func AblationArrival(scale Scale, w io.Writer, sink *trace.Sink) error {
 func AblationChurn(scale Scale, w io.Writer, sink *trace.Sink) error {
 	tbl := trace.NewTable("Ablation: failure injection (15% peer crashes; seeder exits at horizon/8)",
 		"Mechanism", "Failures", "SurvivorCompleted", "MeanDL(s)")
+	type point struct {
+		a     algo.Algorithm
+		label string
+	}
+	var points []point
+	var cfgs []sim.Config
 	for _, a := range []algo.Algorithm{algo.TChain, algo.BitTorrent, algo.Altruism} {
 		for _, injected := range []bool{false, true} {
 			cfg := simConfig(a, scale)
@@ -163,14 +192,19 @@ func AblationChurn(scale Scale, w io.Writer, sink *trace.Sink) error {
 				cfg.SeederExitAt = scale.Horizon / 8
 				label = "crashes+seeder-exit"
 			}
-			res, err := runOne(cfg)
-			if err != nil {
-				return err
-			}
-			tbl.AddRow(a.String(), label,
-				fmt.Sprintf("%.0f%%", 100*res.CompletionFraction()),
-				fmtOr(res.MeanDownloadTime(), "never"))
+			points = append(points, point{a, label})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, pt := range points {
+		res := results[i]
+		tbl.AddRow(pt.a.String(), pt.label,
+			fmt.Sprintf("%.0f%%", 100*res.CompletionFraction()),
+			fmtOr(res.MeanDownloadTime(), "never"))
 	}
 	if err := tbl.WriteText(w); err != nil {
 		return err

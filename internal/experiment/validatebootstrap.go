@@ -37,16 +37,20 @@ func ValidateBootstrap(scale Scale, w io.Writer, sink *trace.Sink) error {
 	}
 	slots := int(scale.Horizon)
 	var curves []*stats.TimeSeries
+	cfgs := make([]sim.Config, 0, len(algo.All()))
 	for _, a := range algo.All() {
+		cfgs = append(cfgs, simConfig(a, scale))
+	}
+	results, err := runBatch(cfgs)
+	if err != nil {
+		return err
+	}
+	for i, a := range algo.All() {
 		curve, err := analysis.BootstrapCurve(a, base, slots)
 		if err != nil {
 			return err
 		}
-		res, err := runOne(simConfig(a, scale))
-		if err != nil {
-			return err
-		}
-		simSeries := res.Series[sim.SeriesBootstrapped]
+		simSeries := results[i].Series[sim.SeriesBootstrapped]
 		tbl.AddRow(a.String(),
 			slotOr(analysis.TimeToFraction(curve, 0.5)),
 			fmtOr(timeToSimFraction(simSeries, 0.5), "never"),

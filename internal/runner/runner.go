@@ -1,0 +1,210 @@
+// Package runner is the deterministic fan-out layer for batch simulation:
+// a bounded worker pool that executes independent swarm runs on parallel
+// goroutines while preserving the sequential path's output bit-for-bit.
+//
+// The determinism contract has three parts:
+//
+//  1. Each job is a self-contained sim.Config whose Seed drives a private
+//     RNG, so a run's outcome depends only on its config — never on which
+//     worker executed it or in what order jobs were picked up.
+//  2. Results are returned in submission order, so tables rendered from a
+//     batch are byte-identical to those from an inline sequential loop.
+//  3. Errors are reported for the lowest-indexed failing job, so failures
+//     are reproducible regardless of scheduling.
+//
+// The worker count defaults to GOMAXPROCS and can be overridden with the
+// REPRO_WORKERS environment variable or an explicit New(workers).
+package runner
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// EnvWorkers is the environment variable that overrides the default worker
+// count (used by the CLI tools and the root benchmark harness).
+const EnvWorkers = "REPRO_WORKERS"
+
+// DefaultWorkers returns the pool size used when none is given: the value
+// of REPRO_WORKERS if set to a positive integer, otherwise GOMAXPROCS.
+func DefaultWorkers() int {
+	if v := os.Getenv(EnvWorkers); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool executes batches of independent simulation runs across a fixed
+// number of worker goroutines. A Pool is stateless between calls and safe
+// for concurrent use.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count; workers <= 0 selects
+// DefaultWorkers().
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes every config on the pool and returns the results in
+// submission order. Each swarm runs on its own goroutine with its own
+// seed-derived RNG, so the output is identical to running the configs
+// sequentially. On failure it returns the error of the lowest-indexed
+// failing job.
+func (p *Pool) Run(cfgs []sim.Config) ([]*sim.Result, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	results := make([]*sim.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := min(p.workers, len(cfgs))
+	if workers <= 1 {
+		for i := range cfgs {
+			results[i], errs[i] = runOne(cfgs[i])
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = runOne(cfgs[i])
+				}
+			}()
+		}
+		for i := range cfgs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: job %d (%v, seed %d): %w",
+				i, cfgs[i].Algorithm, cfgs[i].Seed, err)
+		}
+	}
+	return results, nil
+}
+
+// runOne builds and executes a single swarm.
+func runOne(cfg sim.Config) (*sim.Result, error) {
+	sw, err := sim.NewSwarm(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sw.Run()
+}
+
+// Run executes the configs on a pool of DefaultWorkers() workers. This is
+// the entry point the experiment harnesses use.
+func Run(cfgs []sim.Config) ([]*sim.Result, error) {
+	return New(0).Run(cfgs)
+}
+
+// Per-replication metric names, the keys of Replication.Metrics.
+const (
+	// MetricCompletion is the fraction of compliant peers that finished.
+	MetricCompletion = "completion"
+	// MetricMeanDownload is the mean compliant download time in seconds.
+	MetricMeanDownload = "mean_download_s"
+	// MetricMedianDownload is the median compliant download time in seconds.
+	MetricMedianDownload = "median_download_s"
+	// MetricFairness is the end-of-run mean d/u ratio (1 = perfectly fair).
+	MetricFairness = "fairness_du"
+	// MetricLogFairness is the paper's Eq. 3 statistic (0 = perfectly fair).
+	MetricLogFairness = "fairness_eq3"
+	// MetricMeanBootstrap is the mean time to the first credited piece.
+	MetricMeanBootstrap = "mean_bootstrap_s"
+	// MetricSusceptibility is the fraction of peer upload bytes captured by
+	// free-riders.
+	MetricSusceptibility = "susceptibility"
+	// MetricDuration is the simulated run length in seconds.
+	MetricDuration = "duration_s"
+)
+
+// MetricNames lists the replication metrics in presentation order.
+func MetricNames() []string {
+	return []string{
+		MetricCompletion, MetricMeanDownload, MetricMedianDownload,
+		MetricFairness, MetricLogFairness, MetricMeanBootstrap,
+		MetricSusceptibility, MetricDuration,
+	}
+}
+
+// Replication aggregates repeated runs of one scenario under different
+// seeds. Metrics maps each metric name to a stats.Summary whose Mean and
+// Stderr give the headline "mean ± stderr" numbers; replications where a
+// metric is undefined (NaN — e.g. download time when nobody finished) are
+// excluded from that metric's summary, so Summary.N may be below the
+// replication count.
+type Replication struct {
+	// Config is the base configuration; replication i ran with seed
+	// Config.Seed + i.
+	Config sim.Config `json:"config"`
+	// Results holds the per-replication outcomes in seed order.
+	Results []*sim.Result `json:"results"`
+	// Metrics summarizes each scalar metric across replications.
+	Metrics map[string]stats.Summary `json:"metrics"`
+}
+
+// Replicate runs reps copies of cfg with seeds cfg.Seed, cfg.Seed+1, ...,
+// cfg.Seed+reps-1 on the pool and aggregates the per-run scalar metrics.
+func (p *Pool) Replicate(cfg sim.Config, reps int) (*Replication, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("runner: replication count %d must be >= 1", reps)
+	}
+	cfgs := make([]sim.Config, reps)
+	for i := range cfgs {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		cfgs[i] = c
+	}
+	results, err := p.Run(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	samples := make(map[string][]float64, 8)
+	for _, r := range results {
+		samples[MetricCompletion] = append(samples[MetricCompletion], r.CompletionFraction())
+		samples[MetricMeanDownload] = append(samples[MetricMeanDownload], r.MeanDownloadTime())
+		median := math.NaN() // NaN (excluded) when nobody finished
+		if dl := r.DownloadTimeSummary(); dl.N > 0 {
+			median = dl.Median
+		}
+		samples[MetricMedianDownload] = append(samples[MetricMedianDownload], median)
+		samples[MetricFairness] = append(samples[MetricFairness], r.FinalFairness())
+		samples[MetricLogFairness] = append(samples[MetricLogFairness], r.LogFairness())
+		samples[MetricMeanBootstrap] = append(samples[MetricMeanBootstrap], r.MeanBootstrapTime())
+		samples[MetricSusceptibility] = append(samples[MetricSusceptibility], r.Susceptibility())
+		samples[MetricDuration] = append(samples[MetricDuration], r.Duration)
+	}
+	metrics := make(map[string]stats.Summary, len(samples))
+	for name, xs := range samples {
+		metrics[name] = stats.Summarize(xs)
+	}
+	return &Replication{Config: cfg, Results: results, Metrics: metrics}, nil
+}
+
+// Replicate runs reps seed-derived copies of cfg on a default-sized pool.
+func Replicate(cfg sim.Config, reps int) (*Replication, error) {
+	return New(0).Replicate(cfg, reps)
+}

@@ -42,7 +42,7 @@ type peer struct {
 	creditedDown float64 // bytes received and credited (plaintext)
 	rawDown      float64 // bytes received including uncredited ciphertext
 
-	retry *eventsim.Timer // pending idle-retry, nil when none
+	retry eventsim.Timer // pending idle-retry; the zero Timer when none
 }
 
 // addNeighbor creates the (symmetric) edge p—q if absent.

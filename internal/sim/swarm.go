@@ -187,10 +187,8 @@ func (s *Swarm) depart(p *peer) {
 	}
 	p.active = false
 	s.activeCount--
-	if p.retry != nil {
-		p.retry.Cancel()
-		p.retry = nil
-	}
+	p.retry.Cancel()
+	p.retry = eventsim.Timer{}
 	s.availability.RemoveBitfield(p.have)
 	for _, q := range p.neighbors {
 		q.dropNeighbor(p)

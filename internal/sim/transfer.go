@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/algo"
 	"repro/internal/attack"
+	"repro/internal/eventsim"
 	"repro/internal/incentive"
 	"repro/internal/piece"
 )
@@ -20,21 +21,19 @@ func (s *Swarm) kick(p *peer) {
 		}
 	}
 	// All slots busy: the next delivery completion re-kicks.
-	if p.retry != nil {
-		p.retry.Cancel()
-		p.retry = nil
-	}
+	p.retry.Cancel()
+	p.retry = eventsim.Timer{}
 }
 
 // armRetry schedules a single jittered poll for a peer whose strategy had
 // nothing to send. At most one retry is outstanding per peer.
 func (s *Swarm) armRetry(p *peer) {
-	if p.retry != nil && !p.retry.Canceled() {
+	if p.retry.Pending() {
 		return
 	}
 	delay := s.cfg.PollInterval * (0.5 + s.rng.Float64())
 	p.retry = s.engine.After(delay, func(float64) {
-		p.retry = nil
+		p.retry = eventsim.Timer{}
 		s.kick(p)
 	})
 }

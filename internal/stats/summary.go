@@ -5,11 +5,14 @@ import (
 	"sort"
 )
 
-// Summary holds descriptive statistics for a sample.
+// Summary holds descriptive statistics for a sample. Stderr is the
+// standard error of the mean (Stddev/√N), the spread the replication
+// runner reports as "mean ± stderr" across repeated seeded runs.
 type Summary struct {
 	N      int
 	Mean   float64
 	Stddev float64
+	Stderr float64
 	Min    float64
 	Max    float64
 	Median float64
@@ -46,6 +49,7 @@ func Summarize(xs []float64) Summary {
 		N:      len(clean),
 		Mean:   mean,
 		Stddev: math.Sqrt(variance),
+		Stderr: math.Sqrt(variance / n),
 		Min:    clean[0],
 		Max:    clean[len(clean)-1],
 		Median: quantileSorted(clean, 0.5),

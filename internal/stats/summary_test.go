@@ -23,6 +23,17 @@ func TestSummarizeBasic(t *testing.T) {
 	if !almostEqual(s.Stddev, math.Sqrt(2), 1e-12) {
 		t.Errorf("Stddev = %g, want sqrt(2)", s.Stddev)
 	}
+	if !almostEqual(s.Stderr, math.Sqrt(2)/math.Sqrt(5), 1e-12) {
+		t.Errorf("Stderr = %g, want sqrt(2)/sqrt(5)", s.Stderr)
+	}
+}
+
+func TestSummarizeStderrSingleSample(t *testing.T) {
+	// One sample: no spread, zero standard error.
+	s := Summarize([]float64{42})
+	if s.Stderr != 0 || s.Stddev != 0 {
+		t.Errorf("single-sample Stderr,Stddev = %g,%g want 0,0", s.Stderr, s.Stddev)
+	}
 }
 
 func TestSummarizeEmptyAndNaN(t *testing.T) {

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench.sh — records the two headline performance numbers of the parallel
+# runner PR to BENCH_parallel.json for trajectory tracking:
+#   - BenchmarkFigure4: end-to-end figure regeneration (six swarms fanned
+#     out across the runner pool; REPRO_WORKERS=1 gives the sequential
+#     baseline)
+#   - BenchmarkSelfScheduling: the eventsim hot path (free-listed event
+#     records; allocs/op is the headline)
+# BENCHTIME overrides -benchtime (default 1x for Figure4, auto for eventsim).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workers="${REPRO_WORKERS:-$(nproc 2>/dev/null || echo 1)}"
+
+fig_line=$(go test -run=NONE -bench='^BenchmarkFigure4$' -benchtime="${BENCHTIME:-1x}" -benchmem . | grep '^BenchmarkFigure4')
+eng_line=$(go test -run=NONE -bench='^BenchmarkSelfScheduling$' -benchmem ./internal/eventsim | grep '^BenchmarkSelfScheduling')
+
+# Benchmark lines look like:
+#   BenchmarkFigure4  1  277334415 ns/op  56711744 B/op  643535 allocs/op
+json_entry() {
+  echo "$2" | awk -v name="$1" '{printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7}'
+}
+
+{
+  echo '{'
+  echo "  \"recorded_at\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"workers\": ${workers:-1},"
+  echo '  "benchmarks": ['
+  json_entry "BenchmarkFigure4" "$fig_line"
+  echo ','
+  json_entry "BenchmarkSelfScheduling" "$eng_line"
+  echo ''
+  echo '  ]'
+  echo '}'
+} > BENCH_parallel.json
+
+echo "wrote BENCH_parallel.json:"
+cat BENCH_parallel.json

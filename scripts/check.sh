@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# check.sh — the repo's tier-1 gate plus the race detector: vet, build,
+# and the full test suite under -race (the parallel replication runner is
+# exercised concurrently by the experiment tests).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check: OK"
