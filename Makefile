@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the CI gate; `make bench`
 # records the parallel-runner trajectory numbers to BENCH_parallel.json.
 
-.PHONY: check test bench
+.PHONY: check test bench bench-observability
 
 check:
 	./scripts/check.sh
@@ -11,3 +11,6 @@ test:
 
 bench:
 	./scripts/bench.sh
+
+bench-observability:
+	./scripts/bench.sh observability

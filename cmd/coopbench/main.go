@@ -8,6 +8,7 @@
 //	coopbench -full                    # the paper's 1000-peer, 128 MB scale
 //	coopbench -only figure5 -out out/  # one figure, with CSV artifacts
 //	coopbench -ablations               # run the ablation sweeps instead
+//	coopbench -json -out out/          # timing summary as JSON, tables as artifacts
 package main
 
 import (
@@ -18,14 +19,24 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
+// benchOptions collects the flag values; factored out so tests can drive run.
+type benchOptions struct {
+	full      bool
+	only      string
+	ablations bool
+	output    cli.OutputFlags
+}
+
 func main() {
-	full := flag.Bool("full", false, "run at the paper's full scale (1000 peers, 512 pieces; minutes of runtime)")
-	only := flag.String("only", "", "single experiment to run (see -list)")
-	out := flag.String("out", "", "directory for CSV artifacts (empty: none)")
-	ablations := flag.Bool("ablations", false, "run the ablation sweeps instead of the figures")
+	var opts benchOptions
+	flag.BoolVar(&opts.full, "full", false, "run at the paper's full scale (1000 peers, 512 pieces; minutes of runtime)")
+	flag.StringVar(&opts.only, "only", "", "single experiment to run (see -list)")
+	flag.BoolVar(&opts.ablations, "ablations", false, "run the ablation sweeps instead of the figures")
+	opts.output.Register(flag.CommandLine)
 	list := flag.Bool("list", false, "list runnable experiments and exit")
 	flag.Parse()
 
@@ -33,20 +44,20 @@ func main() {
 		fmt.Println(strings.Join(core.Experiments(), "\n"))
 		return
 	}
-	if err := run(*full, *only, *out, *ablations, os.Stdout); err != nil {
+	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "coopbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(full bool, only, outDir string, ablations bool, stdout io.Writer) error {
+func run(opts benchOptions, stdout io.Writer) error {
 	scale := core.TestScale()
-	if full {
+	if opts.full {
 		scale = core.FullScale()
 	}
 
 	names := []string{"figure4", "figure5", "figure6"}
-	if ablations {
+	if opts.ablations {
 		names = []string{
 			"ablation-alphabt", "ablation-nbt", "ablation-seeder",
 			"ablation-largeview", "ablation-whitewash", "ablation-praise",
@@ -54,16 +65,44 @@ func run(full bool, only, outDir string, ablations bool, stdout io.Writer) error
 			"ablation-churn",
 		}
 	}
-	if only != "" {
-		names = []string{only}
+	if opts.only != "" {
+		names = []string{opts.only}
 	}
 
+	// In JSON mode the text report is suppressed; the tables are still
+	// available as -out artifacts, and stdout carries only the summary.
+	report := stdout
+	if opts.output.JSON {
+		report = io.Discard
+	}
+	var phases cli.Phases
 	for _, name := range names {
-		started := time.Now()
-		if err := core.RunExperiment(name, scale, stdout, outDir); err != nil {
+		err := phases.Run(name, func() error {
+			return core.RunExperiment(name, scale, report, opts.output.Dir)
+		})
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", name, time.Since(started).Round(time.Millisecond))
+		wall := phases.Entries()[phases.Len()-1].Wall
+		fmt.Fprintf(report, "[%s completed in %v]\n\n", name, wall.Round(time.Millisecond))
+	}
+	if opts.output.JSON {
+		type phaseJSON struct {
+			Name   string  `json:"name"`
+			WallMS float64 `json:"wall_ms"`
+		}
+		summary := struct {
+			Experiments []phaseJSON `json:"experiments"`
+			TotalMS     float64     `json:"total_ms"`
+		}{TotalMS: float64(phases.Total()) / float64(time.Millisecond)}
+		for _, e := range phases.Entries() {
+			summary.Experiments = append(summary.Experiments,
+				phaseJSON{Name: e.Name, WallMS: float64(e.Wall) / float64(time.Millisecond)})
+		}
+		return cli.WriteJSON(stdout, summary)
+	}
+	if phases.Len() > 1 {
+		phases.Report(stdout)
 	}
 	return nil
 }

@@ -7,7 +7,7 @@ import (
 
 func TestRunSingleFigure(t *testing.T) {
 	var sb strings.Builder
-	if err := run(false, "figure4", "", false, &sb); err != nil {
+	if err := run(benchOptions{only: "figure4"}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -16,11 +16,14 @@ func TestRunSingleFigure(t *testing.T) {
 			t.Errorf("output missing %q", want)
 		}
 	}
+	if strings.Contains(out, "phase wall-clock breakdown") {
+		t.Error("breakdown printed for a single experiment")
+	}
 }
 
 func TestRunSingleAblation(t *testing.T) {
 	var sb strings.Builder
-	if err := run(false, "ablation-indirect", "", true, &sb); err != nil {
+	if err := run(benchOptions{only: "ablation-indirect", ablations: true}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Ablation") {
@@ -28,8 +31,26 @@ func TestRunSingleAblation(t *testing.T) {
 	}
 }
 
+func TestRunJSONSummary(t *testing.T) {
+	var sb strings.Builder
+	opts := benchOptions{only: "figure4"}
+	opts.output.JSON = true
+	if err := run(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"\"experiments\"", "\"figure4\"", "\"wall_ms\"", "\"total_ms\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Figure 4:") {
+		t.Error("text report leaked into JSON mode")
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(false, "figure99", "", false, &strings.Builder{}); err == nil {
+	if err := run(benchOptions{only: "figure99"}, &strings.Builder{}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -8,6 +8,7 @@
 //	coopmodel                     # print every analytical artifact
 //	coopmodel -only table2        # print one artifact
 //	coopmodel -out results/model  # also write CSV artifacts
+//	coopmodel -json -out out/     # timing summary as JSON, tables as artifacts
 package main
 
 import (
@@ -15,32 +16,64 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
+// modelOptions collects the flag values; factored out so tests can drive run.
+type modelOptions struct {
+	only   string
+	output cli.OutputFlags
+}
+
 func main() {
-	only := flag.String("only", "", "single artifact to print (table1, table2, table3, figure2, figure3, lemma3, prop3)")
-	out := flag.String("out", "", "directory for CSV artifacts (empty: none)")
+	var opts modelOptions
+	flag.StringVar(&opts.only, "only", "", "single artifact to print (table1, table2, table3, figure2, figure3, lemma3, prop3)")
+	opts.output.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*only, *out, os.Stdout); err != nil {
+	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "coopmodel: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(only, outDir string, stdout io.Writer) error {
+func run(opts modelOptions, stdout io.Writer) error {
 	names := []string{"table1", "figure2", "figure3", "table2", "lemma3", "table3", "prop3"}
-	if only != "" {
-		names = []string{only}
+	if opts.only != "" {
+		names = []string{opts.only}
 	}
 	scale := core.TestScale() // analytical artifacts ignore the scale
+	report := stdout
+	if opts.output.JSON {
+		report = io.Discard
+	}
+	var phases cli.Phases
 	for _, name := range names {
-		if err := core.RunExperiment(name, scale, stdout, outDir); err != nil {
+		err := phases.Run(name, func() error {
+			return core.RunExperiment(name, scale, report, opts.output.Dir)
+		})
+		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout)
+		fmt.Fprintln(report)
+	}
+	if opts.output.JSON {
+		type phaseJSON struct {
+			Name   string  `json:"name"`
+			WallMS float64 `json:"wall_ms"`
+		}
+		summary := struct {
+			Artifacts []phaseJSON `json:"artifacts"`
+			TotalMS   float64     `json:"total_ms"`
+		}{TotalMS: float64(phases.Total()) / float64(time.Millisecond)}
+		for _, e := range phases.Entries() {
+			summary.Artifacts = append(summary.Artifacts,
+				phaseJSON{Name: e.Name, WallMS: float64(e.Wall) / float64(time.Millisecond)})
+		}
+		return cli.WriteJSON(stdout, summary)
 	}
 	return nil
 }

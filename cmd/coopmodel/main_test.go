@@ -8,7 +8,7 @@ import (
 
 func TestRunAllArtifacts(t *testing.T) {
 	var sb strings.Builder
-	if err := run("", "", &sb); err != nil {
+	if err := run(modelOptions{}, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -24,7 +24,9 @@ func TestRunAllArtifacts(t *testing.T) {
 func TestRunSingleArtifactWithArtifacts(t *testing.T) {
 	var sb strings.Builder
 	dir := filepath.Join(t.TempDir(), "model")
-	if err := run("table2", dir, &sb); err != nil {
+	opts := modelOptions{only: "table2"}
+	opts.output.Dir = dir
+	if err := run(opts, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "91.8%") {
@@ -36,8 +38,26 @@ func TestRunSingleArtifactWithArtifacts(t *testing.T) {
 	}
 }
 
+func TestRunJSONSummary(t *testing.T) {
+	var sb strings.Builder
+	opts := modelOptions{only: "table1"}
+	opts.output.JSON = true
+	if err := run(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"\"artifacts\"", "\"table1\"", "\"wall_ms\"", "\"total_ms\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Table I:") {
+		t.Error("text report leaked into JSON mode")
+	}
+}
+
 func TestRunUnknownArtifact(t *testing.T) {
-	if err := run("table9", "", &strings.Builder{}); err == nil {
+	if err := run(modelOptions{only: "table9"}, &strings.Builder{}); err == nil {
 		t.Fatal("unknown artifact accepted")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/cli"
 	"repro/internal/node"
 	"repro/internal/piece"
 	"repro/internal/transport"
@@ -57,6 +58,7 @@ type seedOptions struct {
 	pieceSize    int
 	uploadRate   float64
 	id           int
+	output       cli.OutputFlags
 }
 
 func seedFlags(args []string) (seedOptions, error) {
@@ -69,6 +71,7 @@ func seedFlags(args []string) (seedOptions, error) {
 	fs.IntVar(&opts.pieceSize, "piecesize", 256<<10, "piece size in bytes")
 	fs.Float64Var(&opts.uploadRate, "rate", 0, "upload throttle in bytes/second (0 = unthrottled)")
 	fs.IntVar(&opts.id, "id", 0, "node ID (unique within the swarm)")
+	opts.output.RegisterJSON(fs)
 	if err := fs.Parse(args); err != nil {
 		return opts, err
 	}
@@ -91,7 +94,9 @@ func seedMain(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer n.Stop()
-	fmt.Fprintln(stdout, "seeding; press Ctrl-C to stop")
+	if !opts.output.JSON {
+		fmt.Fprintln(stdout, "seeding; press Ctrl-C to stop")
+	}
 	waitForInterrupt()
 	return nil
 }
@@ -140,6 +145,20 @@ func startSeed(opts seedOptions, stdout io.Writer) (*node.Node, error) {
 	if err := n.Start(); err != nil {
 		return nil, err
 	}
+	if opts.output.JSON {
+		err := cli.WriteJSON(stdout, struct {
+			File      string `json:"file"`
+			Pieces    int    `json:"pieces"`
+			PieceSize int    `json:"piece_size"`
+			Algorithm string `json:"algorithm"`
+			Listen    string `json:"listen"`
+			Manifest  string `json:"manifest"`
+		}{opts.filePath, manifest.NumPieces(), opts.pieceSize, mechanism.String(), n.Addr(), opts.manifestPath})
+		if err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
 	fmt.Fprintf(stdout, "seeding %s (%d pieces x %d KB, %v) on %s\n",
 		opts.filePath, manifest.NumPieces(), opts.pieceSize/1024, mechanism, n.Addr())
 	fmt.Fprintf(stdout, "manifest written to %s\n", opts.manifestPath)
@@ -150,21 +169,13 @@ func startSeed(opts seedOptions, stdout io.Writer) (*node.Node, error) {
 type getOptions struct {
 	manifestPath string
 	outPath      string
-	peers        multiFlag
+	peers        cli.StringList
 	listen       string
 	algoName     string
 	uploadRate   float64
 	id           int
 	timeout      time.Duration
-}
-
-// multiFlag collects repeated -peer flags.
-type multiFlag []string
-
-func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
-func (m *multiFlag) Set(v string) error {
-	*m = append(*m, v)
-	return nil
+	output       cli.OutputFlags
 }
 
 func getFlags(args []string) (getOptions, error) {
@@ -178,6 +189,7 @@ func getFlags(args []string) (getOptions, error) {
 	fs.Float64Var(&opts.uploadRate, "rate", 0, "upload throttle in bytes/second (0 = unthrottled)")
 	fs.IntVar(&opts.id, "id", 1, "node ID (unique within the swarm)")
 	fs.DurationVar(&opts.timeout, "timeout", 10*time.Minute, "give up after this long")
+	opts.output.RegisterJSON(fs)
 	if err := fs.Parse(args); err != nil {
 		return opts, err
 	}
@@ -233,8 +245,10 @@ func runGet(opts getOptions, stdout io.Writer) error {
 	}
 	defer n.Stop()
 
-	fmt.Fprintf(stdout, "downloading %d pieces (%v) from %d peer(s)\n",
-		manifest.NumPieces(), mechanism, len(opts.peers))
+	if !opts.output.JSON {
+		fmt.Fprintf(stdout, "downloading %d pieces (%v) from %d peer(s)\n",
+			manifest.NumPieces(), mechanism, len(opts.peers))
+	}
 	started := time.Now()
 	if !n.WaitComplete(opts.timeout) {
 		s := n.Stats()
@@ -246,6 +260,15 @@ func runGet(opts getOptions, stdout io.Writer) error {
 	}
 	if err := os.WriteFile(opts.outPath, content, 0o644); err != nil {
 		return err
+	}
+	if opts.output.JSON {
+		return cli.WriteJSON(stdout, struct {
+			Bytes     int     `json:"bytes"`
+			Pieces    int     `json:"pieces"`
+			WallMS    float64 `json:"wall_ms"`
+			Out       string  `json:"out"`
+			Algorithm string  `json:"algorithm"`
+		}{len(content), manifest.NumPieces(), float64(time.Since(started).Microseconds()) / 1000, opts.outPath, mechanism.String()})
 	}
 	fmt.Fprintf(stdout, "downloaded and verified %d bytes in %v -> %s\n",
 		len(content), time.Since(started).Round(time.Millisecond), opts.outPath)

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/cli"
 )
 
 func TestSeedFlags(t *testing.T) {
@@ -33,12 +35,15 @@ func TestGetFlags(t *testing.T) {
 			t.Errorf("case %d accepted", i)
 		}
 	}
-	opts, err := getFlags([]string{"-manifest", "m.json", "-out", "f.bin", "-peer", "a:1", "-peer", "b:2"})
+	opts, err := getFlags([]string{"-manifest", "m.json", "-out", "f.bin", "-peer", "a:1", "-peer", "b:2", "-json"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(opts.peers) != 2 {
 		t.Errorf("peers = %v", opts.peers)
+	}
+	if !opts.output.JSON {
+		t.Error("-json not parsed")
 	}
 }
 
@@ -77,7 +82,7 @@ func TestSeedAndGetEndToEnd(t *testing.T) {
 	err = runGet(getOptions{
 		manifestPath: filepath.Join(dir, "payload.manifest"),
 		outPath:      outPath,
-		peers:        multiFlag{seed.Addr()},
+		peers:        cli.StringList{seed.Addr()},
 		listen:       "127.0.0.1:0",
 		algoName:     "tchain",
 		id:           1,
@@ -99,7 +104,7 @@ func TestRunGetBadManifest(t *testing.T) {
 	err := runGet(getOptions{
 		manifestPath: filepath.Join(t.TempDir(), "missing.json"),
 		outPath:      "out.bin",
-		peers:        multiFlag{"127.0.0.1:1"},
+		peers:        cli.StringList{"127.0.0.1:1"},
 		algoName:     "tchain",
 		timeout:      time.Second,
 	}, &strings.Builder{})

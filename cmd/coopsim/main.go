@@ -6,51 +6,53 @@
 //	coopsim -algo bittorrent -peers 1000 -pieces 512 -freeriders 0.2
 //	coopsim -algo fairtorrent -freeriders 0.2 -largeview -json
 //	coopsim -algo tchain -reps 8 -workers 4      # mean ± stderr over 8 seeds
+//	coopsim -algo tchain -cpuprofile cpu.pprof   # profile the run
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 )
 
 // options collects the flag values; factored out so tests can drive run.
 type options struct {
 	algoName   string
-	peers      int
-	pieces     int
-	seed       int64
-	horizon    float64
+	scale      cli.ScaleFlags
 	freeRiders float64
 	largeView  bool
 	seederRate float64
-	jsonOut    bool
-	reps       int
-	workers    int
+	output     cli.OutputFlags
+	rep        cli.ReplicationFlags
+	profile    cli.ProfileFlags
 }
 
 func main() {
-	var opts options
+	opts := options{scale: cli.DefaultScale(), rep: cli.ReplicationFlags{Reps: 1}}
 	flag.StringVar(&opts.algoName, "algo", "tchain",
 		"incentive mechanism: reciprocity, tchain, bittorrent, fairtorrent, reputation, altruism, propshare")
-	flag.IntVar(&opts.peers, "peers", 200, "flash-crowd size")
-	flag.IntVar(&opts.pieces, "pieces", 128, "file pieces (256 KB each)")
-	flag.Int64Var(&opts.seed, "seed", 1, "random seed")
-	flag.Float64Var(&opts.horizon, "horizon", 12000, "simulated-time cap in seconds")
+	opts.scale.Register(flag.CommandLine)
 	flag.Float64Var(&opts.freeRiders, "freeriders", 0, "fraction of free-riding peers")
 	flag.BoolVar(&opts.largeView, "largeview", false, "free-riders use the large-view exploit")
 	flag.Float64Var(&opts.seederRate, "seeder", 1<<20, "seeder upload rate in bytes/second")
-	flag.BoolVar(&opts.jsonOut, "json", false, "emit the full result as JSON")
-	flag.IntVar(&opts.reps, "reps", 1, "replication count; >1 runs seeds seed..seed+reps-1 and reports mean ± stderr")
-	flag.IntVar(&opts.workers, "workers", 0, "parallel worker count for replications (0: REPRO_WORKERS or GOMAXPROCS)")
+	opts.output.RegisterJSON(flag.CommandLine)
+	opts.rep.Register(flag.CommandLine)
+	opts.profile.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(opts, os.Stdout); err != nil {
+	err := opts.profile.Start()
+	if err == nil {
+		err = run(opts, os.Stdout)
+	}
+	if perr := opts.profile.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "coopsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -62,9 +64,9 @@ func run(opts options, stdout io.Writer) error {
 		return err
 	}
 	simOpts := []core.Option{
-		core.WithScale(opts.peers, opts.pieces),
-		core.WithSeed(opts.seed),
-		core.WithHorizon(opts.horizon),
+		core.WithScale(opts.scale.Peers, opts.scale.Pieces),
+		core.WithSeed(opts.scale.Seed),
+		core.WithHorizon(opts.scale.Horizon),
 		core.WithSeeder(opts.seederRate),
 	}
 	if opts.freeRiders > 0 {
@@ -75,24 +77,26 @@ func run(opts options, stdout io.Writer) error {
 		simOpts = append(simOpts, core.WithFreeRiders(opts.freeRiders, plan))
 	}
 
-	if opts.reps > 1 {
+	if opts.rep.Reps > 1 {
 		return runReplicated(a, opts, simOpts, stdout)
 	}
 
-	res, err := core.Simulate(a, simOpts...)
+	res, manifest, err := core.SimulateManifested(a, simOpts...)
 	if err != nil {
 		return err
 	}
 
-	if opts.jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+	if opts.output.JSON {
+		return cli.WriteJSON(stdout, struct {
+			Result   *core.Result   `json:"result"`
+			Manifest *core.Manifest `json:"manifest"`
+		}{res, manifest})
 	}
 
 	fmt.Fprintf(stdout, "algorithm:           %v\n", a)
-	fmt.Fprintf(stdout, "peers / pieces:      %d / %d (%.0f MB)\n", opts.peers, opts.pieces, res.Config.FileSize()/(1<<20))
+	fmt.Fprintf(stdout, "peers / pieces:      %d / %d (%.0f MB)\n", opts.scale.Peers, opts.scale.Pieces, res.Config.FileSize()/(1<<20))
 	fmt.Fprintf(stdout, "simulated duration:  %.0f s (%d events)\n", res.Duration, res.EventsProcessed)
+	fmt.Fprintf(stdout, "wall clock:          %.1f ms setup + %.1f ms run\n", manifest.SetupMS, manifest.RunMS)
 	fmt.Fprintf(stdout, "completion:          %.1f%% of compliant peers\n", 100*res.CompletionFraction())
 	fmt.Fprintf(stdout, "mean download time:  %s\n", fmtSeconds(res.MeanDownloadTime()))
 	fmt.Fprintf(stdout, "mean bootstrap time: %s\n", fmtSeconds(res.MeanBootstrapTime()))
@@ -107,23 +111,21 @@ func run(opts options, stdout io.Writer) error {
 // runReplicated executes reps seeded replications on the parallel runner
 // and prints each metric's mean ± standard error.
 func runReplicated(a core.Algorithm, opts options, simOpts []core.Option, stdout io.Writer) error {
-	rep, err := core.SimulateReplicated(a, opts.reps, opts.workers, simOpts...)
+	rep, err := core.SimulateReplicated(a, opts.rep.Reps, opts.rep.Workers, simOpts...)
 	if err != nil {
 		return err
 	}
-	if opts.jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+	if opts.output.JSON {
+		return cli.WriteJSON(stdout, rep)
 	}
-	workers := opts.workers
+	workers := opts.rep.Workers
 	if workers <= 0 {
 		workers = core.DefaultWorkers()
 	}
 	fmt.Fprintf(stdout, "algorithm:           %v\n", a)
-	fmt.Fprintf(stdout, "peers / pieces:      %d / %d\n", opts.peers, opts.pieces)
+	fmt.Fprintf(stdout, "peers / pieces:      %d / %d\n", opts.scale.Peers, opts.scale.Pieces)
 	fmt.Fprintf(stdout, "replications:        %d (seeds %d..%d, %d workers)\n",
-		opts.reps, opts.seed, opts.seed+int64(opts.reps)-1, workers)
+		opts.rep.Reps, opts.scale.Seed, opts.scale.Seed+int64(opts.rep.Reps)-1, workers)
 	for _, name := range core.ReplicationMetrics() {
 		s := rep.Metrics[name]
 		if s.N == 0 {

@@ -4,16 +4,16 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/cli"
 )
 
 func testOptions() options {
 	return options{
 		algoName:   "tchain",
-		peers:      60,
-		pieces:     24,
-		seed:       1,
-		horizon:    600,
+		scale:      cli.ScaleFlags{Peers: 60, Pieces: 24, Seed: 1, Horizon: 600},
 		seederRate: 1 << 20,
+		rep:        cli.ReplicationFlags{Reps: 1},
 	}
 }
 
@@ -24,7 +24,7 @@ func TestRunTextOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"T-Chain", "completion:", "fairness (d/u):", "mean download time:"} {
+	for _, want := range []string{"T-Chain", "completion:", "fairness (d/u):", "mean download time:", "wall clock:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
@@ -50,7 +50,7 @@ func TestRunWithFreeRiders(t *testing.T) {
 func TestRunJSONOutput(t *testing.T) {
 	var sb strings.Builder
 	opts := testOptions()
-	opts.jsonOut = true
+	opts.output.JSON = true
 	if err := run(opts, &sb); err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +62,26 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+func TestRunJSONIncludesManifest(t *testing.T) {
+	var sb strings.Builder
+	opts := testOptions()
+	opts.output.JSON = true
+	if err := run(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"\"manifest\"", "\"hook_counts\"", "\"run_ms\"", "\"summary\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing manifest field %q", want)
+		}
+	}
+}
+
 func TestRunReplicated(t *testing.T) {
 	var sb strings.Builder
 	opts := testOptions()
-	opts.reps = 3
-	opts.workers = 2
+	opts.rep.Reps = 3
+	opts.rep.Workers = 2
 	if err := run(opts, &sb); err != nil {
 		t.Fatal(err)
 	}
@@ -81,12 +96,12 @@ func TestRunReplicated(t *testing.T) {
 func TestRunReplicatedJSON(t *testing.T) {
 	var sb strings.Builder
 	opts := testOptions()
-	opts.reps = 2
-	opts.jsonOut = true
+	opts.rep.Reps = 2
+	opts.output.JSON = true
 	if err := run(opts, &sb); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"\"results\"", "\"metrics\"", "\"mean_download_s\""} {
+	for _, want := range []string{"\"results\"", "\"metrics\"", "\"mean_download_s\"", "\"manifests\""} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("replicated JSON missing %q", want)
 		}
@@ -103,7 +118,7 @@ func TestRunUnknownAlgorithm(t *testing.T) {
 
 func TestRunInvalidScale(t *testing.T) {
 	opts := testOptions()
-	opts.peers = 1
+	opts.scale.Peers = 1
 	if err := run(opts, &strings.Builder{}); err == nil {
 		t.Fatal("invalid scale accepted")
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/experiment"
 	"repro/internal/incentive"
+	"repro/internal/probe"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -48,73 +49,85 @@ type AttackPlan = attack.Plan
 // MostEffectiveAttack returns the paper's per-algorithm strongest attack.
 func MostEffectiveAttack(a Algorithm) AttackPlan { return attack.MostEffective(a) }
 
-// Option customizes a simulation scenario.
-type Option func(*sim.Config)
+// Option customizes a simulation scenario. It is an alias for sim.Option,
+// so options built here and in the sim package compose freely.
+type Option = sim.Option
 
 // WithScale sets the swarm size and file granularity (peers × pieces of
 // 256 KB). The paper's full scale is WithScale(1000, 512).
-func WithScale(peers, pieces int) Option {
-	return func(c *sim.Config) {
-		c.NumPeers = peers
-		c.NumPieces = pieces
-	}
-}
+func WithScale(peers, pieces int) Option { return sim.WithScale(peers, pieces) }
 
 // WithSeed fixes the run's random seed; equal seeds replay bit-for-bit.
-func WithSeed(seed int64) Option {
-	return func(c *sim.Config) { c.Seed = seed }
-}
+func WithSeed(seed int64) Option { return sim.WithSeed(seed) }
 
 // WithHorizon caps the simulated time in seconds.
-func WithHorizon(seconds float64) Option {
-	return func(c *sim.Config) { c.Horizon = seconds }
-}
+func WithHorizon(seconds float64) Option { return sim.WithHorizon(seconds) }
 
 // WithFreeRiders makes `fraction` of the peers free-ride using the given
 // plan (see MostEffectiveAttack).
 func WithFreeRiders(fraction float64, plan AttackPlan) Option {
-	return func(c *sim.Config) {
-		c.FreeRiderFraction = fraction
-		c.Attack = plan
-	}
+	return sim.WithFreeRiders(fraction, plan)
 }
 
 // WithBandwidth sets the peer upload-capacity mix.
-func WithBandwidth(d bandwidth.Distribution) Option {
-	return func(c *sim.Config) { c.Bandwidth = d }
-}
+func WithBandwidth(d bandwidth.Distribution) Option { return sim.WithBandwidth(d) }
 
 // WithIncentiveParams tunes α_BT, n_BT, α_R, and the tit-for-tat round.
-func WithIncentiveParams(p incentive.Params) Option {
-	return func(c *sim.Config) { c.Incentive = p }
-}
+func WithIncentiveParams(p incentive.Params) Option { return sim.WithIncentive(p) }
 
 // WithSeeder sets the origin server's upload rate in bytes/second.
-func WithSeeder(rate float64) Option {
-	return func(c *sim.Config) { c.SeederRate = rate }
-}
+func WithSeeder(rate float64) Option { return sim.WithSeeder(rate) }
 
 // WithConfig applies an arbitrary low-level mutation for knobs the other
 // options do not cover.
-func WithConfig(mod func(*sim.Config)) Option {
-	return func(c *sim.Config) { mod(c) }
-}
+func WithConfig(mod func(*sim.Config)) Option { return sim.WithConfig(mod) }
+
+// Probe observes a simulation run through the swarm's hook stream; see the
+// probe package for the hook catalogue and the Base embedding helper.
+type Probe = probe.Probe
+
+// NewCounterProbe returns a probe that tallies every hook event — the
+// cheapest way to see what a run did (see Manifest.HookCounts for the
+// batch-run equivalent).
+func NewCounterProbe() *probe.Counter { return &probe.Counter{} }
+
+// Manifest is the structured record of one run: validated config, seed,
+// timings, event counts, and final metrics. See SimulateManifested and
+// Replication.Manifests.
+type Manifest = runner.Manifest
 
 // Simulate runs one flash-crowd scenario under the given mechanism and
 // returns its metrics and time series. Defaults follow the paper's
 // Section V-A setup at a laptop-friendly scale (200 peers, 128 pieces);
 // use WithScale(1000, 512) for the full-paper scale.
 func Simulate(a Algorithm, opts ...Option) (*Result, error) {
-	cfg := sim.Default(a, 200, 128)
-	for _, opt := range opts {
-		opt(&cfg)
-	}
+	return SimulateObserved(a, nil, opts...)
+}
+
+// SimulateObserved is Simulate with a probe attached for the duration of
+// the run; p may be nil.
+func SimulateObserved(a Algorithm, p Probe, opts ...Option) (*Result, error) {
+	cfg := sim.Default(a, 200, 128, opts...)
 	cfg.Algorithm = a
 	swarm, err := sim.NewSwarm(cfg)
 	if err != nil {
 		return nil, err
 	}
+	if err := swarm.Attach(p); err != nil {
+		return nil, err
+	}
 	return swarm.Run()
+}
+
+// SimulateManifested is Simulate plus the run's manifest.
+func SimulateManifested(a Algorithm, opts ...Option) (*Result, *Manifest, error) {
+	cfg := sim.Default(a, 200, 128, opts...)
+	cfg.Algorithm = a
+	results, manifests, err := runner.New(1).RunManifested([]sim.Config{cfg})
+	if err != nil {
+		return nil, nil, err
+	}
+	return results[0], manifests[0], nil
 }
 
 // CompareAll runs the same scenario under all six mechanisms, fanning the
@@ -124,10 +137,7 @@ func CompareAll(opts ...Option) (map[Algorithm]*Result, error) {
 	algos := Algorithms()
 	cfgs := make([]sim.Config, len(algos))
 	for i, a := range algos {
-		cfg := sim.Default(a, 200, 128)
-		for _, opt := range opts {
-			opt(&cfg)
-		}
+		cfg := sim.Default(a, 200, 128, opts...)
 		cfg.Algorithm = a
 		cfgs[i] = cfg
 	}
@@ -161,10 +171,7 @@ func DefaultWorkers() int { return runner.DefaultWorkers() }
 // the seeds. Output is deterministic for a fixed seed and replication
 // count, regardless of the worker count.
 func SimulateReplicated(a Algorithm, reps, workers int, opts ...Option) (*Replication, error) {
-	cfg := sim.Default(a, 200, 128)
-	for _, opt := range opts {
-		opt(&cfg)
-	}
+	cfg := sim.Default(a, 200, 128, opts...)
 	cfg.Algorithm = a
 	return runner.New(workers).Replicate(cfg, reps)
 }

@@ -23,11 +23,23 @@ func runOne(cfg sim.Config) (*sim.Result, error) {
 // runBatch fans a sweep's independent configurations out across the runner
 // pool. Results come back in submission order, so callers can zip them with
 // the parameter values that produced them and render rows exactly as the
-// old sequential loops did.
-func runBatch(cfgs []sim.Config) ([]*sim.Result, error) {
-	results, err := runner.Run(cfgs)
+// old sequential loops did. With a live sink, the batch runs manifested and
+// every member's run manifest is persisted as <name>-manifests.json; the
+// results are byte-identical either way.
+func runBatch(name string, sink *trace.Sink, cfgs []sim.Config) ([]*sim.Result, error) {
+	if sink == nil {
+		results, err := runner.Run(cfgs)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		return results, nil
+	}
+	results, manifests, err := runner.RunManifested(cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	if err := sink.AddJSON(name+"-manifests", manifests); err != nil {
+		return nil, err
 	}
 	return results, nil
 }
@@ -40,13 +52,12 @@ func AblationAlphaBT(scale Scale, w io.Writer, sink *trace.Sink) error {
 	alphas := []float64{0.05, 0.1, 0.2, 0.4, 0.8}
 	cfgs := make([]sim.Config, 0, len(alphas))
 	for _, alpha := range alphas {
-		cfg := simConfig(algo.BitTorrent, scale)
-		cfg.Incentive.AlphaBT = alpha
-		cfg.FreeRiderFraction = 0.2
-		cfg.Attack = attack.Plan{Kind: attack.Passive}
-		cfgs = append(cfgs, cfg)
+		cfgs = append(cfgs, simConfig(algo.BitTorrent, scale,
+			sim.WithFreeRiders(0.2, attack.Plan{Kind: attack.Passive}),
+			sim.WithConfig(func(c *sim.Config) { c.Incentive.AlphaBT = alpha }),
+		))
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("ablation-alphabt", sink, cfgs)
 	if err != nil {
 		return err
 	}
@@ -69,11 +80,11 @@ func AblationNBT(scale Scale, w io.Writer, sink *trace.Sink) error {
 	slots := []int{1, 2, 4, 8, 16}
 	cfgs := make([]sim.Config, 0, len(slots))
 	for _, nbt := range slots {
-		cfg := simConfig(algo.BitTorrent, scale)
-		cfg.Incentive.NBT = nbt
-		cfgs = append(cfgs, cfg)
+		cfgs = append(cfgs, simConfig(algo.BitTorrent, scale,
+			sim.WithConfig(func(c *sim.Config) { c.Incentive.NBT = nbt }),
+		))
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("ablation-nbt", sink, cfgs)
 	if err != nil {
 		return err
 	}
@@ -101,13 +112,11 @@ func AblationSeeder(scale Scale, w io.Writer, sink *trace.Sink) error {
 	var cfgs []sim.Config
 	for _, rate := range []float64{1 << 18, 1 << 20, 1 << 22} {
 		for _, a := range []algo.Algorithm{algo.Reciprocity, algo.BitTorrent, algo.Altruism} {
-			cfg := simConfig(a, scale)
-			cfg.SeederRate = rate
 			points = append(points, point{rate, a})
-			cfgs = append(cfgs, cfg)
+			cfgs = append(cfgs, simConfig(a, scale, sim.WithSeeder(rate)))
 		}
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("ablation-seeder", sink, cfgs)
 	if err != nil {
 		return err
 	}
@@ -136,18 +145,18 @@ func AblationNeighborView(scale Scale, w io.Writer, sink *trace.Sink) error {
 	var cfgs []sim.Config
 	for _, neighbors := range []int{10, 25, 50} {
 		for _, largeView := range []bool{false, true} {
-			cfg := simConfig(algo.BitTorrent, scale)
-			cfg.MaxNeighbors = neighbors
-			cfg.FreeRiderFraction = 0.2
-			cfg.Attack = attack.Plan{Kind: attack.Passive}
+			plan := attack.Plan{Kind: attack.Passive}
 			if largeView {
-				cfg.Attack = cfg.Attack.WithLargeView()
+				plan = plan.WithLargeView()
 			}
 			points = append(points, point{neighbors, largeView})
-			cfgs = append(cfgs, cfg)
+			cfgs = append(cfgs, simConfig(algo.BitTorrent, scale,
+				sim.WithNeighbors(neighbors),
+				sim.WithFreeRiders(0.2, plan),
+			))
 		}
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("ablation-largeview", sink, cfgs)
 	if err != nil {
 		return err
 	}
@@ -169,12 +178,11 @@ func AblationWhitewash(scale Scale, w io.Writer, sink *trace.Sink) error {
 	intervals := []float64{10, 30, 60, 120, 1e9}
 	cfgs := make([]sim.Config, 0, len(intervals))
 	for _, interval := range intervals {
-		cfg := simConfig(algo.FairTorrent, scale)
-		cfg.FreeRiderFraction = 0.2
-		cfg.Attack = attack.Plan{Kind: attack.Whitewash, WhitewashInterval: interval}
-		cfgs = append(cfgs, cfg)
+		cfgs = append(cfgs, simConfig(algo.FairTorrent, scale,
+			sim.WithFreeRiders(0.2, attack.Plan{Kind: attack.Whitewash, WhitewashInterval: interval}),
+		))
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("ablation-whitewash", sink, cfgs)
 	if err != nil {
 		return err
 	}
@@ -203,12 +211,9 @@ func AblationFalsePraise(scale Scale, w io.Writer, sink *trace.Sink) error {
 	}
 	cfgs := make([]sim.Config, 0, len(plans))
 	for _, plan := range plans {
-		cfg := simConfig(algo.Reputation, scale)
-		cfg.FreeRiderFraction = 0.2
-		cfg.Attack = plan
-		cfgs = append(cfgs, cfg)
+		cfgs = append(cfgs, simConfig(algo.Reputation, scale, sim.WithFreeRiders(0.2, plan)))
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("ablation-praise", sink, cfgs)
 	if err != nil {
 		return err
 	}
@@ -233,7 +238,7 @@ func AblationIndirect(scale Scale, w io.Writer, sink *trace.Sink) error {
 	for _, a := range algos {
 		cfgs = append(cfgs, simConfig(a, scale))
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("ablation-indirect", sink, cfgs)
 	if err != nil {
 		return err
 	}

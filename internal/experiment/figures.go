@@ -7,38 +7,36 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/attack"
-	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
 // simConfig builds the Section V configuration for one algorithm at the
-// given scale.
-func simConfig(a algo.Algorithm, scale Scale) sim.Config {
-	cfg := sim.Default(a, scale.NumPeers, scale.NumPieces)
-	cfg.Horizon = scale.Horizon
-	cfg.Seed = scale.Seed
-	return cfg
+// given scale, with any extra options applied on top.
+func simConfig(a algo.Algorithm, scale Scale, opts ...sim.Option) sim.Config {
+	base := []sim.Option{sim.WithHorizon(scale.Horizon), sim.WithSeed(scale.Seed)}
+	return sim.Default(a, scale.NumPeers, scale.NumPieces, append(base, opts...)...)
 }
 
-// runAll executes one run per algorithm, applying mod to each config first.
-// The six runs are independent, so they fan out across the runner pool;
-// results come back in algo.All() order, keeping the rendered tables
-// byte-identical to the old sequential loop.
-func runAll(scale Scale, mod func(*sim.Config)) (map[algo.Algorithm]*sim.Result, error) {
+// runAll executes one run per algorithm, applying the per-algorithm options
+// to each config first. The six runs are independent, so they fan out across
+// the runner pool; results come back in algo.All() order, keeping the
+// rendered tables byte-identical to the old sequential loop. With a live
+// sink, each batch member's run manifest is persisted as <name>-manifests.
+func runAll(scale Scale, name string, sink *trace.Sink, perAlgo func(algo.Algorithm) []sim.Option) (map[algo.Algorithm]*sim.Result, error) {
 	algos := algo.All()
 	cfgs := make([]sim.Config, len(algos))
 	for i, a := range algos {
-		cfg := simConfig(a, scale)
-		if mod != nil {
-			mod(&cfg)
+		var opts []sim.Option
+		if perAlgo != nil {
+			opts = perAlgo(a)
 		}
-		cfgs[i] = cfg
+		cfgs[i] = simConfig(a, scale, opts...)
 	}
-	results, err := runner.Run(cfgs)
+	results, err := runBatch(name, sink, cfgs)
 	if err != nil {
-		return nil, fmt.Errorf("experiment: %w", err)
+		return nil, err
 	}
 	out := make(map[algo.Algorithm]*sim.Result, len(algos))
 	for i, a := range algos {
@@ -121,7 +119,7 @@ func summarizeRuns(title, prefix string, results map[algo.Algorithm]*sim.Result,
 // Figure4 reproduces the compliant-swarm comparison: (a) download-time
 // efficiency, (b) fairness over time, (c) bootstrapping speed.
 func Figure4(scale Scale, w io.Writer, sink *trace.Sink) error {
-	results, err := runAll(scale, nil)
+	results, err := runAll(scale, "figure4", sink, nil)
 	if err != nil {
 		return err
 	}
@@ -133,9 +131,8 @@ func Figure4(scale Scale, w io.Writer, sink *trace.Sink) error {
 // most effective attack (collusion for T-Chain, whitewashing for
 // FairTorrent, passive otherwise).
 func Figure5(scale Scale, w io.Writer, sink *trace.Sink) error {
-	results, err := runAll(scale, func(cfg *sim.Config) {
-		cfg.FreeRiderFraction = 0.2
-		cfg.Attack = attack.MostEffective(cfg.Algorithm)
+	results, err := runAll(scale, "figure5", sink, func(a algo.Algorithm) []sim.Option {
+		return []sim.Option{sim.WithFreeRiders(0.2, attack.MostEffective(a))}
 	})
 	if err != nil {
 		return err
@@ -146,9 +143,8 @@ func Figure5(scale Scale, w io.Writer, sink *trace.Sink) error {
 
 // Figure6 adds the large-view exploit on top of Figure 5's attacks.
 func Figure6(scale Scale, w io.Writer, sink *trace.Sink) error {
-	results, err := runAll(scale, func(cfg *sim.Config) {
-		cfg.FreeRiderFraction = 0.2
-		cfg.Attack = attack.MostEffective(cfg.Algorithm).WithLargeView()
+	results, err := runAll(scale, "figure6", sink, func(a algo.Algorithm) []sim.Option {
+		return []sim.Option{sim.WithFreeRiders(0.2, attack.MostEffective(a).WithLargeView())}
 	})
 	if err != nil {
 		return err

@@ -42,11 +42,10 @@ func ValidateAvailability(scale Scale, w io.Writer, sink *trace.Sink) error {
 	}
 	cfgs := make([]sim.Config, 0, len(phases))
 	for _, phase := range phases {
-		cfg := simConfig(algo.Altruism, scale)
-		cfg.SnapshotAt = meanDL * phase.fraction
-		cfgs = append(cfgs, cfg)
+		cfgs = append(cfgs, simConfig(algo.Altruism, scale,
+			sim.WithSnapshotAt(meanDL*phase.fraction)))
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("validate-availability", sink, cfgs)
 	if err != nil {
 		return err
 	}
@@ -103,16 +102,15 @@ func AblationPropShare(scale Scale, w io.Writer, sink *trace.Sink) error {
 	var cfgs []sim.Config
 	for _, a := range []algo.Algorithm{algo.BitTorrent, algo.PropShare} {
 		for _, fr := range []float64{0, 0.2} {
-			cfg := simConfig(a, scale)
-			cfg.FreeRiderFraction = fr
+			var opts []sim.Option
 			if fr > 0 {
-				cfg.Attack = attack.Plan{Kind: attack.Passive}
+				opts = append(opts, sim.WithFreeRiders(fr, attack.Plan{Kind: attack.Passive}))
 			}
 			points = append(points, point{a, fr})
-			cfgs = append(cfgs, cfg)
+			cfgs = append(cfgs, simConfig(a, scale, opts...))
 		}
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("ablation-propshare", sink, cfgs)
 	if err != nil {
 		return err
 	}
@@ -142,19 +140,18 @@ func AblationArrival(scale Scale, w io.Writer, sink *trace.Sink) error {
 	var cfgs []sim.Config
 	for _, a := range []algo.Algorithm{algo.TChain, algo.BitTorrent, algo.Reputation, algo.Altruism} {
 		for _, pattern := range []sim.ArrivalPattern{sim.ArrivalFlashCrowd, sim.ArrivalPoisson} {
-			cfg := simConfig(a, scale)
-			cfg.Arrival = pattern
 			label := "flash-crowd"
+			opt := sim.WithArrival(pattern, 0)
 			if pattern == sim.ArrivalPoisson {
 				// Spread the same population over ~a quarter of the horizon.
-				cfg.MeanInterarrival = scale.Horizon / 4 / float64(scale.NumPeers)
+				opt = sim.WithArrival(pattern, scale.Horizon/4/float64(scale.NumPeers))
 				label = "poisson"
 			}
 			points = append(points, point{a, label})
-			cfgs = append(cfgs, cfg)
+			cfgs = append(cfgs, simConfig(a, scale, opt))
 		}
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("ablation-arrival", sink, cfgs)
 	if err != nil {
 		return err
 	}
@@ -185,18 +182,17 @@ func AblationChurn(scale Scale, w io.Writer, sink *trace.Sink) error {
 	var cfgs []sim.Config
 	for _, a := range []algo.Algorithm{algo.TChain, algo.BitTorrent, algo.Altruism} {
 		for _, injected := range []bool{false, true} {
-			cfg := simConfig(a, scale)
+			var opts []sim.Option
 			label := "none"
 			if injected {
-				cfg.AbortRate = 0.15
-				cfg.SeederExitAt = scale.Horizon / 8
+				opts = append(opts, sim.WithChurn(0.15, scale.Horizon/8))
 				label = "crashes+seeder-exit"
 			}
 			points = append(points, point{a, label})
-			cfgs = append(cfgs, cfg)
+			cfgs = append(cfgs, simConfig(a, scale, opts...))
 		}
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("ablation-churn", sink, cfgs)
 	if err != nil {
 		return err
 	}

@@ -41,7 +41,7 @@ func ValidateBootstrap(scale Scale, w io.Writer, sink *trace.Sink) error {
 	for _, a := range algo.All() {
 		cfgs = append(cfgs, simConfig(a, scale))
 	}
-	results, err := runBatch(cfgs)
+	results, err := runBatch("validate-bootstrap", sink, cfgs)
 	if err != nil {
 		return err
 	}

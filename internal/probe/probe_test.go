@@ -1,0 +1,125 @@
+package probe
+
+import "testing"
+
+// recorder logs hook invocations in order.
+type recorder struct {
+	Base
+	log []string
+}
+
+func (r *recorder) BeginRun(RunInfo)           { r.log = append(r.log, "begin") }
+func (r *recorder) Sample(float64)             { r.log = append(r.log, "sample") }
+func (r *recorder) EndRun(float64)             { r.log = append(r.log, "end") }
+func (r *recorder) PeerJoin(float64, PeerInfo) { r.log = append(r.log, "join") }
+func (r *recorder) Credit(float64, CreditInfo) { r.log = append(r.log, "credit") }
+func (r *recorder) TransferStart(_ float64, t Transfer) {
+	r.log = append(r.log, "start")
+}
+
+func TestMultiCollapses(t *testing.T) {
+	if got := Multi(); got != nil {
+		t.Errorf("Multi() = %v, want nil", got)
+	}
+	if got := Multi(nil, nil); got != nil {
+		t.Errorf("Multi(nil, nil) = %v, want nil", got)
+	}
+	r := &recorder{}
+	if got := Multi(nil, r, nil); got != Probe(r) {
+		t.Errorf("Multi with one live probe should return it unchanged, got %T", got)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &recorder{}, &recorder{}
+	m := Multi(a, b)
+	m.BeginRun(RunInfo{NumPeers: 3})
+	m.PeerJoin(1, PeerInfo{ID: 0})
+	m.Credit(2, CreditInfo{From: SeederID, To: 0, Bytes: 7})
+	m.Sample(3)
+	m.EndRun(4)
+	want := []string{"begin", "join", "credit", "sample", "end"}
+	for _, r := range []*recorder{a, b} {
+		if len(r.log) != len(want) {
+			t.Fatalf("log = %v, want %v", r.log, want)
+		}
+		for i := range want {
+			if r.log[i] != want[i] {
+				t.Fatalf("log = %v, want %v", r.log, want)
+			}
+		}
+	}
+}
+
+func TestBaseImplementsProbe(t *testing.T) {
+	var p Probe = Base{}
+	// Every hook must be callable as a no-op.
+	p.BeginRun(RunInfo{})
+	p.PeerJoin(0, PeerInfo{})
+	p.PeerLeave(0, 0)
+	p.PeerAbort(0, 0)
+	p.PeerBootstrap(0, 0)
+	p.PeerComplete(0, 0)
+	p.Unchoke(0, 0, 0)
+	p.TransferStart(0, Transfer{})
+	p.TransferFinish(0, Transfer{})
+	p.Credit(0, CreditInfo{})
+	p.FreeRiderCredit(0, 0, 0)
+	p.SeederExit(0)
+	p.Sample(0)
+	p.EndRun(0)
+}
+
+func TestCounter(t *testing.T) {
+	c := &Counter{}
+	c.BeginRun(RunInfo{})
+	c.PeerJoin(0, PeerInfo{ID: 1})
+	c.PeerJoin(1, PeerInfo{ID: 2})
+	c.Unchoke(1, 1, 2)
+	c.TransferStart(1, Transfer{From: 1, To: 2, Bytes: 10})
+	c.TransferFinish(2, Transfer{From: 1, To: 2, Bytes: 10})
+	c.Credit(2, CreditInfo{From: 1, To: 2, Bytes: 10})
+	c.FreeRiderCredit(2, 2, 10)
+	c.PeerBootstrap(2, 2)
+	c.PeerComplete(3, 2)
+	c.PeerLeave(3, 2)
+	c.PeerAbort(4, 1)
+	c.SeederExit(5)
+	c.Sample(5)
+	c.EndRun(5)
+
+	counts := c.Counts()
+	want := map[string]uint64{
+		HookPeerJoin: 2, HookPeerLeave: 1, HookPeerAbort: 1,
+		HookPeerBootstrap: 1, HookPeerComplete: 1, HookUnchoke: 1,
+		HookTransferStart: 1, HookTransferFinish: 1, HookCredit: 1,
+		HookFreeRiderCredit: 1, HookSeederExit: 1, HookSample: 1,
+	}
+	for _, name := range HookNames() {
+		if counts[name] != want[name] {
+			t.Errorf("Counts[%s] = %d, want %d", name, counts[name], want[name])
+		}
+	}
+	if got := c.Total(); got != 13 {
+		t.Errorf("Total() = %d, want 13", got)
+	}
+	if got := c.CreditedBytes(); got != 10 {
+		t.Errorf("CreditedBytes() = %v, want 10", got)
+	}
+	if got := c.FreeRiderBytes(); got != 10 {
+		t.Errorf("FreeRiderBytes() = %v, want 10", got)
+	}
+}
+
+func TestHookNamesMatchCounts(t *testing.T) {
+	c := &Counter{}
+	counts := c.Counts()
+	if len(HookNames()) != len(counts) {
+		t.Fatalf("HookNames has %d entries, Counts has %d", len(HookNames()), len(counts))
+	}
+	for _, name := range HookNames() {
+		if _, ok := counts[name]; !ok {
+			t.Errorf("HookNames entry %q missing from Counts", name)
+		}
+	}
+}

@@ -72,11 +72,36 @@ func (p *Pool) Run(cfgs []sim.Config) ([]*sim.Result, error) {
 		return nil, nil
 	}
 	results := make([]*sim.Result, len(cfgs))
-	errs := make([]error, len(cfgs))
-	workers := min(p.workers, len(cfgs))
+	err := p.forEach(len(cfgs), func(i int) error {
+		res, err := runOne(cfgs[i])
+		results[i] = res
+		return err
+	})
+	if err := p.wrapJobError(cfgs, err); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// jobError carries the lowest failing job index out of forEach.
+type jobError struct {
+	index int
+	err   error
+}
+
+func (e *jobError) Error() string { return e.err.Error() }
+func (e *jobError) Unwrap() error { return e.err }
+
+// forEach runs job(0..n-1) across the pool's workers (sequentially for a
+// single worker) and returns a *jobError for the lowest-indexed failure,
+// or nil. Job completion order is unconstrained; callers index into
+// pre-sized slices to preserve submission order.
+func (p *Pool) forEach(n int, job func(i int) error) error {
+	errs := make([]error, n)
+	workers := min(p.workers, n)
 	if workers <= 1 {
-		for i := range cfgs {
-			results[i], errs[i] = runOne(cfgs[i])
+		for i := 0; i < n; i++ {
+			errs[i] = job(i)
 		}
 	} else {
 		jobs := make(chan int)
@@ -86,11 +111,11 @@ func (p *Pool) Run(cfgs []sim.Config) ([]*sim.Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					results[i], errs[i] = runOne(cfgs[i])
+					errs[i] = job(i)
 				}
 			}()
 		}
-		for i := range cfgs {
+		for i := 0; i < n; i++ {
 			jobs <- i
 		}
 		close(jobs)
@@ -98,11 +123,23 @@ func (p *Pool) Run(cfgs []sim.Config) ([]*sim.Result, error) {
 	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("runner: job %d (%v, seed %d): %w",
-				i, cfgs[i].Algorithm, cfgs[i].Seed, err)
+			return &jobError{index: i, err: err}
 		}
 	}
-	return results, nil
+	return nil
+}
+
+// wrapJobError annotates a forEach failure with the offending config.
+func (p *Pool) wrapJobError(cfgs []sim.Config, err error) error {
+	if err == nil {
+		return nil
+	}
+	je, ok := err.(*jobError)
+	if !ok {
+		return err
+	}
+	return fmt.Errorf("runner: job %d (%v, seed %d): %w",
+		je.index, cfgs[je.index].Algorithm, cfgs[je.index].Seed, je.err)
 }
 
 // runOne builds and executes a single swarm.
@@ -162,6 +199,8 @@ type Replication struct {
 	Config sim.Config `json:"config"`
 	// Results holds the per-replication outcomes in seed order.
 	Results []*sim.Result `json:"results"`
+	// Manifests holds the per-replication run manifests in seed order.
+	Manifests []*Manifest `json:"manifests"`
 	// Metrics summarizes each scalar metric across replications.
 	Metrics map[string]stats.Summary `json:"metrics"`
 }
@@ -178,7 +217,7 @@ func (p *Pool) Replicate(cfg sim.Config, reps int) (*Replication, error) {
 		c.Seed = cfg.Seed + int64(i)
 		cfgs[i] = c
 	}
-	results, err := p.Run(cfgs)
+	results, manifests, err := p.RunManifested(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +240,7 @@ func (p *Pool) Replicate(cfg sim.Config, reps int) (*Replication, error) {
 	for name, xs := range samples {
 		metrics[name] = stats.Summarize(xs)
 	}
-	return &Replication{Config: cfg, Results: results, Metrics: metrics}, nil
+	return &Replication{Config: cfg, Results: results, Manifests: manifests, Metrics: metrics}, nil
 }
 
 // Replicate runs reps seed-derived copies of cfg on a default-sized pool.

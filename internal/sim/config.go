@@ -83,9 +83,10 @@ type Config struct {
 // Default returns the paper's experiment shape at a configurable scale:
 // numPeers peers in a 10 s flash crowd downloading numPieces pieces of
 // 256 KB each from one seeder, leaving on completion. The paper's full
-// scale is Default(a, 1000, 512).
-func Default(a algo.Algorithm, numPeers, numPieces int) Config {
-	return Config{
+// scale is Default(a, 1000, 512). Options are applied in order on top of
+// the defaults; direct field mutation afterwards remains equivalent.
+func Default(a algo.Algorithm, numPeers, numPieces int, opts ...Option) Config {
+	cfg := Config{
 		Algorithm:             a,
 		NumPeers:              numPeers,
 		NumPieces:             numPieces,
@@ -103,6 +104,10 @@ func Default(a algo.Algorithm, numPeers, numPieces int) Config {
 		StopWhenCompliantDone: true,
 		PollInterval:          1,
 	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
 }
 
 // Validate normalizes and checks the configuration in place.

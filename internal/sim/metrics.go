@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 
+	"repro/internal/probe"
 	"repro/internal/stats"
 )
 
@@ -33,49 +34,140 @@ const (
 	SeriesSusceptibility = "susceptibility"
 )
 
-// sample is the recurring metrics event.
-func (s *Swarm) sample(now float64) {
-	s.recordSample(now)
-	if s.live() {
-		s.engine.After(s.cfg.SampleInterval, s.sample)
+// metricsCollector records the paper's five time series. It is the
+// simulator's built-in probe: every number it produces is derived from
+// the probe.Probe hook stream alone (it never reads swarm internals),
+// which proves the probe API carries enough signal to reproduce the
+// Figures 4–6 evaluation. The swarm attaches one per run.
+type metricsCollector struct {
+	probe.Base
+
+	numPeers int
+	peers    []metricPeer
+
+	completed         int     // compliant completions
+	totalUploaded     float64 // all link bytes, peers + seeder
+	peerUploaded      float64 // link bytes uploaded by peers only
+	freeRiderCredited float64 // peer-uploaded bytes credited to free-riders
+
+	series map[string]*stats.TimeSeries
+}
+
+// metricPeer is the collector's per-peer view, maintained exclusively
+// from hook events.
+type metricPeer struct {
+	uploaded     float64
+	credited     float64
+	joined       bool
+	active       bool
+	freeRider    bool
+	bootstrapped bool
+}
+
+var _ probe.Probe = (*metricsCollector)(nil)
+
+// BeginRun sizes the per-peer records and creates the series.
+func (m *metricsCollector) BeginRun(info probe.RunInfo) {
+	m.numPeers = info.NumPeers
+	m.peers = make([]metricPeer, info.NumPeers)
+	m.series = make(map[string]*stats.TimeSeries)
+	for _, name := range []string{
+		SeriesFairness, SeriesContribution, SeriesBootstrapped,
+		SeriesCompleted, SeriesSusceptibility,
+	} {
+		m.series[name] = stats.NewTimeSeries(name)
 	}
 }
 
-func (s *Swarm) recordSample(now float64) {
+// PeerJoin marks the peer joined and active.
+func (m *metricsCollector) PeerJoin(_ float64, p probe.PeerInfo) {
+	rec := &m.peers[p.ID]
+	rec.joined = true
+	rec.active = true
+	rec.freeRider = p.FreeRider
+}
+
+// PeerLeave marks the peer inactive.
+func (m *metricsCollector) PeerLeave(_ float64, id int) {
+	m.peers[id].active = false
+}
+
+// PeerBootstrap marks the peer's first credited piece.
+func (m *metricsCollector) PeerBootstrap(_ float64, id int) {
+	m.peers[id].bootstrapped = true
+}
+
+// PeerComplete counts compliant completions for the completed series.
+func (m *metricsCollector) PeerComplete(_ float64, id int) {
+	if !m.peers[id].freeRider {
+		m.completed++
+	}
+}
+
+// TransferFinish accumulates link-level upload volumes.
+func (m *metricsCollector) TransferFinish(_ float64, t probe.Transfer) {
+	m.totalUploaded += t.Bytes
+	if t.From >= 0 {
+		m.peers[t.From].uploaded += t.Bytes
+		m.peerUploaded += t.Bytes
+	}
+}
+
+// Credit accumulates the receiver's credited (plaintext) volume.
+func (m *metricsCollector) Credit(_ float64, c probe.CreditInfo) {
+	m.peers[c.To].credited += c.Bytes
+}
+
+// FreeRiderCredit accumulates the susceptibility numerator.
+func (m *metricsCollector) FreeRiderCredit(_ float64, _ int, bytes float64) {
+	m.freeRiderCredited += bytes
+}
+
+// Sample appends one point to each series from the collector's state.
+func (m *metricsCollector) Sample(now float64) {
 	var fairSum, contribSum float64
 	var fairCount, contribCount int
 	bootstrapped := 0
-	for _, p := range s.peers {
+	for i := range m.peers {
+		p := &m.peers[i]
 		if !p.joined {
 			continue
 		}
-		if p.bootstrapAt >= 0 {
+		if p.bootstrapped {
 			bootstrapped++
 		}
 		if !p.freeRider && p.active {
-			if p.uploaded > 0 && p.creditedDown > 0 {
-				fairSum += p.creditedDown / p.uploaded
+			if p.uploaded > 0 && p.credited > 0 {
+				fairSum += p.credited / p.uploaded
 				fairCount++
 			}
-			if p.creditedDown > 0 {
-				contribSum += p.uploaded / p.creditedDown
+			if p.credited > 0 {
+				contribSum += p.uploaded / p.credited
 				contribCount++
 			}
 		}
 	}
 	if fairCount > 0 {
-		s.series[SeriesFairness].Add(now, fairSum/float64(fairCount))
+		m.series[SeriesFairness].Add(now, fairSum/float64(fairCount))
 	}
 	if contribCount > 0 {
-		s.series[SeriesContribution].Add(now, contribSum/float64(contribCount))
+		m.series[SeriesContribution].Add(now, contribSum/float64(contribCount))
 	}
 	// Fraction of the full population, matching the paper's z(t)/N.
-	s.series[SeriesBootstrapped].Add(now, float64(bootstrapped)/float64(len(s.peers)))
-	s.series[SeriesCompleted].Add(now, float64(s.completedCount)/float64(len(s.peers)))
-	if s.peerUploaded > 0 {
-		s.series[SeriesSusceptibility].Add(now, s.freeRiderCredited/s.peerUploaded)
+	m.series[SeriesBootstrapped].Add(now, float64(bootstrapped)/float64(m.numPeers))
+	m.series[SeriesCompleted].Add(now, float64(m.completed)/float64(m.numPeers))
+	if m.peerUploaded > 0 {
+		m.series[SeriesSusceptibility].Add(now, m.freeRiderCredited/m.peerUploaded)
 	} else {
-		s.series[SeriesSusceptibility].Add(now, 0)
+		m.series[SeriesSusceptibility].Add(now, 0)
+	}
+}
+
+// sample is the recurring metrics event.
+func (s *Swarm) sample(now float64) {
+	s.emitSample(now)
+	if s.live() {
+		s.engine.After(s.cfg.SampleInterval, s.sample)
 	}
 }
 
@@ -112,11 +204,11 @@ func (s *Swarm) buildResult() *Result {
 	res := &Result{
 		Config:            s.cfg,
 		Peers:             make([]PeerStats, len(s.peers)),
-		Series:            s.series,
-		TotalUploaded:     s.totalUploaded,
-		PeerUploaded:      s.peerUploaded,
+		Series:            s.metrics.series,
+		TotalUploaded:     s.metrics.totalUploaded,
+		PeerUploaded:      s.metrics.peerUploaded,
 		SeederUploaded:    s.seeder.uploaded,
-		FreeRiderCredited: s.freeRiderCredited,
+		FreeRiderCredited: s.metrics.freeRiderCredited,
 		Duration:          s.engine.Now(),
 		EventsProcessed:   s.engine.Processed(),
 		snapshot:          s.snapshot,

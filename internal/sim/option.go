@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"repro/internal/attack"
+	"repro/internal/bandwidth"
+	"repro/internal/incentive"
+)
+
+// Option customizes a Config built by Default. Options are plain
+// functions over the config, applied in order, so they compose with each
+// other and with direct field assignment — a Config struct literal (or a
+// post-hoc field mutation) remains fully supported; options are the
+// ergonomic path for the common knobs.
+type Option func(*Config)
+
+// WithSeed fixes the run's random seed; equal seeds replay bit-for-bit.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithHorizon caps the simulated time in seconds.
+func WithHorizon(seconds float64) Option {
+	return func(c *Config) { c.Horizon = seconds }
+}
+
+// WithScale sets the swarm size and file granularity (peers × pieces of
+// the configured piece size). The paper's full scale is WithScale(1000, 512).
+func WithScale(peers, pieces int) Option {
+	return func(c *Config) {
+		c.NumPeers = peers
+		c.NumPieces = pieces
+	}
+}
+
+// WithFreeRiders makes `fraction` of the peers free-ride using the given
+// attack plan (see attack.MostEffective).
+func WithFreeRiders(fraction float64, plan attack.Plan) Option {
+	return func(c *Config) {
+		c.FreeRiderFraction = fraction
+		c.Attack = plan
+	}
+}
+
+// WithBandwidth sets the peer upload-capacity mix.
+func WithBandwidth(d bandwidth.Distribution) Option {
+	return func(c *Config) { c.Bandwidth = d }
+}
+
+// WithIncentive replaces the mechanism parameters (α_BT, n_BT, α_R, round
+// length) wholesale; use WithConfig to tweak a single field of the
+// defaults.
+func WithIncentive(p incentive.Params) Option {
+	return func(c *Config) { c.Incentive = p }
+}
+
+// WithSeeder sets the origin server's upload rate in bytes/second.
+func WithSeeder(rate float64) Option {
+	return func(c *Config) { c.SeederRate = rate }
+}
+
+// WithNeighbors bounds each compliant peer's neighbor set.
+func WithNeighbors(maxNeighbors int) Option {
+	return func(c *Config) { c.MaxNeighbors = maxNeighbors }
+}
+
+// WithArrival selects the arrival process; meanInterarrival is the Poisson
+// spacing in seconds (ignored for the flash crowd).
+func WithArrival(pattern ArrivalPattern, meanInterarrival float64) Option {
+	return func(c *Config) {
+		c.Arrival = pattern
+		c.MeanInterarrival = meanInterarrival
+	}
+}
+
+// WithChurn injects failures: abortRate of compliant peers crash
+// mid-download, and the seeder exits at seederExitAt (0 disables either).
+func WithChurn(abortRate, seederExitAt float64) Option {
+	return func(c *Config) {
+		c.AbortRate = abortRate
+		c.SeederExitAt = seederExitAt
+	}
+}
+
+// WithSnapshotAt records an availability snapshot at the given virtual
+// time (used by the validation experiments).
+func WithSnapshotAt(t float64) Option {
+	return func(c *Config) { c.SnapshotAt = t }
+}
+
+// WithConfig applies an arbitrary low-level mutation for knobs the other
+// options do not cover.
+func WithConfig(mod func(*Config)) Option {
+	return func(c *Config) { mod(c) }
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/bandwidth"
+	"repro/internal/probe"
 )
 
 // seeder is the origin server: it holds every piece and uploads
@@ -77,6 +78,7 @@ func (sd *seeder) startUpload() bool {
 	if receiver == nil {
 		return false
 	}
+	s.emitUnchoke(s.engine.Now(), int(SeederID), int(receiver.id))
 	pieceIdx := s.pickPiece(nil, receiver)
 	if pieceIdx < 0 {
 		return false
@@ -86,6 +88,13 @@ func (sd *seeder) startUpload() bool {
 		return false
 	}
 	receiver.pending[pieceIdx] = true
+	s.emitTransferStart(s.engine.Now(), probe.Transfer{
+		From:     int(SeederID),
+		To:       int(receiver.id),
+		Piece:    pieceIdx,
+		Bytes:    s.cfg.PieceSize,
+		Duration: duration,
+	})
 	s.engine.After(duration, func(now float64) {
 		sd.deliver(receiver, pieceIdx, now)
 	})
@@ -100,8 +109,13 @@ func (sd *seeder) deliver(receiver *peer, pieceIdx int, now float64) {
 	sd.alloc.Release()
 	bytes := s.cfg.PieceSize
 	sd.uploaded += bytes
-	s.totalUploaded += bytes
 	delete(receiver.pending, pieceIdx)
+	s.emitTransferFinish(now, probe.Transfer{
+		From:  int(SeederID),
+		To:    int(receiver.id),
+		Piece: pieceIdx,
+		Bytes: bytes,
+	})
 
 	if receiver.active {
 		receiver.rawDown += bytes

@@ -11,6 +11,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/incentive"
 	"repro/internal/piece"
+	"repro/internal/probe"
 	"repro/internal/reputation"
 	"repro/internal/stats"
 )
@@ -31,11 +32,10 @@ type Swarm struct {
 	completedCount int // compliant completions
 	numCompliant   int
 
-	totalUploaded     float64 // all link bytes, peers + seeder
-	peerUploaded      float64 // link bytes uploaded by peers only
-	freeRiderCredited float64 // peer-uploaded bytes credited to free-riders
+	info    probe.RunInfo     // replayed to late-attached probes
+	metrics *metricsCollector // built-in probe: the paper's five series
+	probe   probe.Probe       // externally attached; nil-checked per hook
 
-	series   map[string]*stats.TimeSeries
 	snapshot *AvailabilitySnapshot
 	ran      bool
 }
@@ -53,14 +53,17 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 		rng:          stats.NewRNG(cfg.Seed),
 		ledger:       reputation.NewLedger(),
 		availability: piece.NewAvailability(cfg.NumPieces),
-		series:       make(map[string]*stats.TimeSeries),
+		metrics:      &metricsCollector{},
 	}
-	for _, name := range []string{
-		SeriesFairness, SeriesContribution, SeriesBootstrapped,
-		SeriesCompleted, SeriesSusceptibility,
-	} {
-		s.series[name] = stats.NewTimeSeries(name)
+	s.info = probe.RunInfo{
+		Algorithm: cfg.Algorithm.String(),
+		NumPeers:  cfg.NumPeers,
+		NumPieces: cfg.NumPieces,
+		PieceSize: cfg.PieceSize,
+		Horizon:   cfg.Horizon,
+		Seed:      cfg.Seed,
 	}
+	s.metrics.BeginRun(s.info)
 
 	capacities, err := cfg.Bandwidth.Sample(s.rng, cfg.NumPeers)
 	if err != nil {
@@ -149,6 +152,7 @@ func (s *Swarm) join(p *peer) {
 	p.active = true
 	s.arrivedCount++
 	s.activeCount++
+	s.emitPeerJoin(s.engine.Now(), p)
 
 	// Connect to up to MaxNeighbors random active peers.
 	candidates := make([]*peer, 0, s.activeCount)
@@ -187,6 +191,7 @@ func (s *Swarm) depart(p *peer) {
 	}
 	p.active = false
 	s.activeCount--
+	s.emitPeerLeave(s.engine.Now(), int(p.id))
 	p.retry.Cancel()
 	p.retry = eventsim.Timer{}
 	s.availability.RemoveBitfield(p.have)
@@ -208,7 +213,8 @@ func (s *Swarm) Run() (*Result, error) {
 	if err := s.engine.Run(s.cfg.Horizon); err != nil && !errors.Is(err, eventsim.ErrStopped) {
 		return nil, err
 	}
-	s.recordSample(s.engine.Now())
+	s.emitSample(s.engine.Now())
+	s.emitEndRun(s.engine.Now())
 	return s.buildResult(), nil
 }
 
@@ -285,10 +291,11 @@ func (s *Swarm) scheduleFailures() {
 			if at <= p.arrival {
 				at = p.arrival + 1
 			}
-			s.engine.Schedule(at, func(float64) {
+			s.engine.Schedule(at, func(now float64) {
 				if p.active && !p.have.Complete() {
 					p.aborted = true
 					s.numCompliant-- // it can never complete; don't wait for it
+					s.emitPeerAbort(now, int(p.id))
 					s.depart(p)
 					s.maybeStopCompliantDone()
 				}
@@ -296,8 +303,9 @@ func (s *Swarm) scheduleFailures() {
 		}
 	}
 	if s.cfg.SeederExitAt > 0 {
-		s.engine.Schedule(s.cfg.SeederExitAt, func(float64) {
+		s.engine.Schedule(s.cfg.SeederExitAt, func(now float64) {
 			s.seeder.offline = true
+			s.emitSeederExit(now)
 		})
 	}
 }
@@ -306,7 +314,7 @@ func (s *Swarm) scheduleFailures() {
 // compliant population shrinks.
 func (s *Swarm) maybeStopCompliantDone() {
 	if s.cfg.StopWhenCompliantDone && s.completedCount >= s.numCompliant {
-		s.recordSample(s.engine.Now())
+		s.emitSample(s.engine.Now())
 		s.engine.Stop()
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/incentive"
 	"repro/internal/piece"
+	"repro/internal/probe"
 )
 
 // kick attempts to fill all of p's free upload slots, and arranges an idle
@@ -45,6 +46,7 @@ func (s *Swarm) startUpload(p *peer) bool {
 	if receiverID == incentive.NoPeer {
 		return false
 	}
+	s.emitUnchoke(s.engine.Now(), int(p.id), int(receiverID))
 	receiver := s.lookup(receiverID)
 	if receiver == nil || !receiver.active {
 		return false
@@ -58,6 +60,13 @@ func (s *Swarm) startUpload(p *peer) bool {
 		return false
 	}
 	receiver.pending[pieceIdx] = true
+	s.emitTransferStart(s.engine.Now(), probe.Transfer{
+		From:     int(p.id),
+		To:       int(receiver.id),
+		Piece:    pieceIdx,
+		Bytes:    s.cfg.PieceSize,
+		Duration: duration,
+	})
 	s.engine.After(duration, func(now float64) {
 		s.deliver(p, receiver, pieceIdx, now)
 	})
@@ -101,15 +110,19 @@ func (s *Swarm) deliver(sender, receiver *peer, pieceIdx int, now float64) {
 	sender.alloc.Release()
 	bytes := s.cfg.PieceSize
 	sender.uploaded += bytes
-	s.totalUploaded += bytes
-	s.peerUploaded += bytes
 	delete(receiver.pending, pieceIdx)
+	s.emitTransferFinish(now, probe.Transfer{
+		From:  int(sender.id),
+		To:    int(receiver.id),
+		Piece: pieceIdx,
+		Bytes: bytes,
+	})
 
 	if receiver.active {
 		receiver.rawDown += bytes
 		if s.credited(sender, receiver) {
 			if receiver.freeRider {
-				s.freeRiderCredited += bytes
+				s.emitFreeRiderCredit(now, int(receiver.id), bytes)
 			}
 			s.credit(sender.id, receiver, pieceIdx, bytes, now)
 			if !sender.freeRider {
@@ -158,14 +171,21 @@ func (s *Swarm) credit(senderID incentive.PeerID, receiver *peer, pieceIdx int, 
 	}
 	s.availability.AddPiece(pieceIdx)
 	receiver.creditedDown += bytes
+	s.emitCredit(now, probe.CreditInfo{
+		From:  int(senderID),
+		To:    int(receiver.id),
+		Bytes: bytes,
+	})
 	if receiver.bootstrapAt < 0 {
 		receiver.bootstrapAt = now
+		s.emitPeerBootstrap(now, int(receiver.id))
 	}
 	s.ledger.Credit(int(senderID), bytes)
 	receiver.strategy.OnReceived(receiver.view, senderID, bytes)
 
 	if receiver.have.Complete() {
 		receiver.finishAt = now
+		s.emitPeerComplete(now, int(receiver.id))
 		if !receiver.freeRider {
 			s.completedCount++
 		}
@@ -173,7 +193,7 @@ func (s *Swarm) credit(senderID incentive.PeerID, receiver *peer, pieceIdx int, 
 			s.depart(receiver)
 		}
 		if s.cfg.StopWhenCompliantDone && s.completedCount == s.numCompliant {
-			s.recordSample(now)
+			s.emitSample(now)
 			s.engine.Stop()
 		}
 	}

@@ -14,7 +14,10 @@ var chartGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
 
 // Chart renders one or more time series as an ASCII line chart — the
 // terminal rendering of the paper's figures. Series are drawn with distinct
-// glyphs (later series win collisions), with a legend underneath.
+// glyphs (later series win collisions), with a legend underneath. The value
+// axis always includes zero and extends to the data's minimum, so negative
+// values (e.g. deficits or residuals) render at their true height instead
+// of being flattened onto the zero line.
 func Chart(title string, width, height int, series ...*stats.TimeSeries) string {
 	if width < 16 {
 		width = 16
@@ -22,7 +25,7 @@ func Chart(title string, width, height int, series ...*stats.TimeSeries) string 
 	if height < 4 {
 		height = 4
 	}
-	var tMax, vMax float64
+	var tMax, vMax, vMin float64 // vMin <= 0 <= vMax, so zero stays on the axis
 	hasData := false
 	for _, ts := range series {
 		for _, p := range ts.Points {
@@ -36,6 +39,9 @@ func Chart(title string, width, height int, series ...*stats.TimeSeries) string 
 			if p.V > vMax {
 				vMax = p.V
 			}
+			if p.V < vMin {
+				vMin = p.V
+			}
 		}
 	}
 	var sb strings.Builder
@@ -47,9 +53,10 @@ func Chart(title string, width, height int, series ...*stats.TimeSeries) string 
 		sb.WriteString("(no data)\n")
 		return sb.String()
 	}
-	if vMax <= 0 {
+	if vMax-vMin <= 0 { // every finite point is exactly zero
 		vMax = 1
 	}
+	span := vMax - vMin
 
 	grid := make([][]byte, height)
 	for r := range grid {
@@ -66,7 +73,7 @@ func Chart(title string, width, height int, series ...*stats.TimeSeries) string 
 			if math.IsNaN(v) {
 				continue
 			}
-			row := height - 1 - int(math.Round(v/vMax*float64(height-1)))
+			row := height - 1 - int(math.Round((v-vMin)/span*float64(height-1)))
 			if row < 0 {
 				row = 0
 			}
@@ -82,7 +89,7 @@ func Chart(title string, width, height int, series ...*stats.TimeSeries) string 
 		case 0:
 			label = fmt.Sprintf("%9.3g ", vMax)
 		case height - 1:
-			label = fmt.Sprintf("%9.3g ", 0.0)
+			label = fmt.Sprintf("%9.3g ", vMin)
 		}
 		sb.WriteString(label)
 		sb.WriteByte('|')

@@ -126,6 +126,43 @@ func TestChartRendersSeries(t *testing.T) {
 	}
 }
 
+func TestChartNegativeValues(t *testing.T) {
+	// A series dipping to -4 must render below the zero line, with the
+	// bottom axis label showing the true minimum rather than 0.
+	ts := stats.NewTimeSeries("deficit")
+	ts.Add(0, 2)
+	ts.Add(5, -4)
+	ts.Add(10, -4)
+	out := Chart("", 40, 8, ts)
+	if !strings.Contains(out, "-4") {
+		t.Errorf("bottom label missing the negative minimum:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	top, bottom := -1, -1
+	for i, line := range lines {
+		if strings.Contains(line, "*") {
+			if top == -1 {
+				top = i
+			}
+			bottom = i
+		}
+	}
+	if top == bottom {
+		t.Errorf("negative values flattened onto one row:\n%s", out)
+	}
+}
+
+func TestChartNonNegativeUnchanged(t *testing.T) {
+	// Charts of non-negative data must keep their original zero floor.
+	ts := stats.NewTimeSeries("frac")
+	ts.Add(0, 0)
+	ts.Add(10, 1)
+	out := Chart("", 40, 8, ts)
+	if !strings.Contains(out, "        0 |") {
+		t.Errorf("zero floor label changed:\n%s", out)
+	}
+}
+
 func TestChartEmptyAndDegenerate(t *testing.T) {
 	if out := Chart("t", 40, 8); !strings.Contains(out, "no data") {
 		t.Errorf("empty chart = %q", out)

@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
-# bench.sh — records the two headline performance numbers of the parallel
-# runner PR to BENCH_parallel.json for trajectory tracking:
-#   - BenchmarkFigure4: end-to-end figure regeneration (six swarms fanned
-#     out across the runner pool; REPRO_WORKERS=1 gives the sequential
-#     baseline)
-#   - BenchmarkSelfScheduling: the eventsim hot path (free-listed event
-#     records; allocs/op is the headline)
+# bench.sh [target] — records headline performance numbers for trajectory
+# tracking. Targets:
+#   parallel (default) -> BENCH_parallel.json
+#     - BenchmarkFigure4: end-to-end figure regeneration (six swarms fanned
+#       out across the runner pool; REPRO_WORKERS=1 gives the sequential
+#       baseline)
+#     - BenchmarkSelfScheduling: the eventsim hot path (free-listed event
+#       records; allocs/op is the headline)
+#   observability -> BENCH_observability.json
+#     - BenchmarkFigure4: the same end-to-end number, after the probe
+#       dispatch layer (allocs/op must match BENCH_parallel.json)
+#     - BenchmarkSwarmNoProbe / BenchmarkSwarmCounterProbe: one swarm with
+#       and without a probe attached; equal allocs/op is the zero-overhead
+#       guarantee scripts/check.sh enforces
+# Each target writes only its own file, so re-recording one PR's numbers
+# never clobbers another's baseline.
 # BENCHTIME overrides -benchtime (default 1x for Figure4, auto for eventsim).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+target="${1:-parallel}"
 workers="${REPRO_WORKERS:-$(nproc 2>/dev/null || echo 1)}"
-
-fig_line=$(go test -run=NONE -bench='^BenchmarkFigure4$' -benchtime="${BENCHTIME:-1x}" -benchmem . | grep '^BenchmarkFigure4')
-eng_line=$(go test -run=NONE -bench='^BenchmarkSelfScheduling$' -benchmem ./internal/eventsim | grep '^BenchmarkSelfScheduling')
 
 # Benchmark lines look like:
 #   BenchmarkFigure4  1  277334415 ns/op  56711744 B/op  643535 allocs/op
@@ -21,18 +28,48 @@ json_entry() {
   echo "$2" | awk -v name="$1" '{printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7}'
 }
 
-{
-  echo '{'
-  echo "  \"recorded_at\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
-  echo "  \"workers\": ${workers:-1},"
-  echo '  "benchmarks": ['
-  json_entry "BenchmarkFigure4" "$fig_line"
-  echo ','
-  json_entry "BenchmarkSelfScheduling" "$eng_line"
-  echo ''
-  echo '  ]'
-  echo '}'
-} > BENCH_parallel.json
+emit() { # emit <outfile> <name:line>...
+  local out="$1"
+  shift
+  {
+    echo '{'
+    echo "  \"recorded_at\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"workers\": ${workers:-1},"
+    echo '  "benchmarks": ['
+    local first=1
+    for pair in "$@"; do
+      [ "$first" = 1 ] || echo ','
+      first=0
+      json_entry "${pair%%:*}" "${pair#*:}"
+    done
+    echo ''
+    echo '  ]'
+    echo '}'
+  } > "$out"
+  echo "wrote $out:"
+  cat "$out"
+}
 
-echo "wrote BENCH_parallel.json:"
-cat BENCH_parallel.json
+case "$target" in
+parallel)
+  fig_line=$(go test -run=NONE -bench='^BenchmarkFigure4$' -benchtime="${BENCHTIME:-1x}" -benchmem . | grep '^BenchmarkFigure4')
+  eng_line=$(go test -run=NONE -bench='^BenchmarkSelfScheduling$' -benchmem ./internal/eventsim | grep '^BenchmarkSelfScheduling')
+  emit BENCH_parallel.json \
+    "BenchmarkFigure4:$fig_line" \
+    "BenchmarkSelfScheduling:$eng_line"
+  ;;
+observability)
+  fig_line=$(go test -run=NONE -bench='^BenchmarkFigure4$' -benchtime="${BENCHTIME:-1x}" -benchmem . | grep '^BenchmarkFigure4')
+  probe_out=$(go test -run=NONE -bench='^BenchmarkSwarm(NoProbe|CounterProbe)$' -benchtime="${BENCHTIME:-1x}" -benchmem ./internal/sim)
+  no_line=$(echo "$probe_out" | grep '^BenchmarkSwarmNoProbe')
+  ctr_line=$(echo "$probe_out" | grep '^BenchmarkSwarmCounterProbe')
+  emit BENCH_observability.json \
+    "BenchmarkFigure4:$fig_line" \
+    "BenchmarkSwarmNoProbe:$no_line" \
+    "BenchmarkSwarmCounterProbe:$ctr_line"
+  ;;
+*)
+  echo "bench.sh: unknown target '$target' (want parallel or observability)" >&2
+  exit 2
+  ;;
+esac

@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
-# check.sh — the repo's tier-1 gate plus the race detector: vet, build,
-# and the full test suite under -race (the parallel replication runner is
-# exercised concurrently by the experiment tests).
+# check.sh — the repo's tier-1 gate plus the race detector: formatting,
+# vet, build, the full test suite under -race (the parallel replication
+# runner is exercised concurrently by the experiment tests), and the
+# probe-overhead guard (an attached counter probe must not change the
+# swarm hot path's allocation count).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -13,5 +23,19 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== probe overhead guard =="
+bench_out=$(go test -run=NONE -bench='^BenchmarkSwarm(NoProbe|CounterProbe)$' -benchtime=1x -benchmem ./internal/sim)
+echo "$bench_out"
+no_probe=$(echo "$bench_out" | awk '/^BenchmarkSwarmNoProbe/ {print $(NF-1)}')
+counter=$(echo "$bench_out" | awk '/^BenchmarkSwarmCounterProbe/ {print $(NF-1)}')
+if [ -z "$no_probe" ] || [ -z "$counter" ]; then
+  echo "probe guard: could not parse benchmark output" >&2
+  exit 1
+fi
+if [ "$no_probe" != "$counter" ]; then
+  echo "probe guard: allocs/op diverged (no probe: $no_probe, counter probe: $counter)" >&2
+  exit 1
+fi
 
 echo "check: OK"
