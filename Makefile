@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the CI gate; `make bench`
 # records the parallel-runner trajectory numbers to BENCH_parallel.json.
 
-.PHONY: check test bench bench-observability
+.PHONY: check test bench bench-observability bench-scale
 
 check:
 	./scripts/check.sh
@@ -14,3 +14,6 @@ bench:
 
 bench-observability:
 	./scripts/bench.sh observability
+
+bench-scale:
+	./scripts/bench.sh scale

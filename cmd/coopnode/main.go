@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -250,9 +251,11 @@ func runGet(opts getOptions, stdout io.Writer) error {
 			manifest.NumPieces(), mechanism, len(opts.peers))
 	}
 	started := time.Now()
-	if !n.WaitComplete(opts.timeout) {
+	ctx, cancel := context.WithTimeout(context.Background(), opts.timeout)
+	defer cancel()
+	if err := n.WaitCompleteContext(ctx); err != nil {
 		s := n.Stats()
-		return fmt.Errorf("download incomplete after %v: %d/%d pieces", opts.timeout, s.Pieces, manifest.NumPieces())
+		return fmt.Errorf("download incomplete after %v (%w): %d/%d pieces", opts.timeout, err, s.Pieces, manifest.NumPieces())
 	}
 	content, err := store.Assemble()
 	if err != nil {

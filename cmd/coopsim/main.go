@@ -27,6 +27,8 @@ type options struct {
 	freeRiders float64
 	largeView  bool
 	seederRate float64
+	abortRate  float64
+	seederExit float64
 	output     cli.OutputFlags
 	rep        cli.ReplicationFlags
 	profile    cli.ProfileFlags
@@ -40,6 +42,8 @@ func main() {
 	flag.Float64Var(&opts.freeRiders, "freeriders", 0, "fraction of free-riding peers")
 	flag.BoolVar(&opts.largeView, "largeview", false, "free-riders use the large-view exploit")
 	flag.Float64Var(&opts.seederRate, "seeder", 1<<20, "seeder upload rate in bytes/second")
+	flag.Float64Var(&opts.abortRate, "abort", 0, "fraction of compliant peers that crash mid-download")
+	flag.Float64Var(&opts.seederExit, "seederexit", 0, "virtual time at which the seeder exits (0 = never)")
 	opts.output.RegisterJSON(flag.CommandLine)
 	opts.rep.Register(flag.CommandLine)
 	opts.profile.Register(flag.CommandLine)
@@ -75,6 +79,9 @@ func run(opts options, stdout io.Writer) error {
 			plan = plan.WithLargeView()
 		}
 		simOpts = append(simOpts, core.WithFreeRiders(opts.freeRiders, plan))
+	}
+	if opts.abortRate > 0 || opts.seederExit > 0 {
+		simOpts = append(simOpts, core.WithFaults(opts.abortRate, opts.seederExit))
 	}
 
 	if opts.rep.Reps > 1 {

@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -89,8 +90,10 @@ func run(algoName string, leechers int, withFreeRider bool, numPieces int) error
 		fmt.Printf("  node %d (%s) listening on %s\n", n.ID(), role, n.Addr())
 	}
 
-	if !cluster.WaitAllComplete(60 * time.Second) {
-		return fmt.Errorf("compliant leechers did not complete in time")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := cluster.WaitAllCompleteContext(ctx); err != nil {
+		return fmt.Errorf("compliant leechers did not complete in time: %w", err)
 	}
 	fmt.Printf("\nall %d compliant leechers completed in %v\n", leechers, time.Since(start).Round(time.Millisecond))
 

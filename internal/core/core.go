@@ -78,6 +78,16 @@ func WithIncentiveParams(p incentive.Params) Option { return sim.WithIncentive(p
 // WithSeeder sets the origin server's upload rate in bytes/second.
 func WithSeeder(rate float64) Option { return sim.WithSeeder(rate) }
 
+// WithFaults injects failures: abortRate of compliant peers crash
+// mid-download, and the seeder exits at seederExitAt (0 disables either
+// knob). It composes sim.WithAbortRate and sim.WithSeederExit.
+func WithFaults(abortRate, seederExitAt float64) Option {
+	return func(c *sim.Config) {
+		sim.WithAbortRate(abortRate)(c)
+		sim.WithSeederExit(seederExitAt)(c)
+	}
+}
+
 // WithConfig applies an arbitrary low-level mutation for knobs the other
 // options do not cover.
 func WithConfig(mod func(*sim.Config)) Option { return sim.WithConfig(mod) }

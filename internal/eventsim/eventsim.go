@@ -14,10 +14,17 @@
 // the swarm simulator schedules millions of events per run. Timer handles
 // carry a generation number so a stale handle held across a recycle can
 // never cancel the record's next occupant.
+//
+// The priority queue is a hand-rolled 4-ary heap over small value entries
+// (time, seq, record pointer) rather than container/heap over record
+// pointers: sift comparisons then touch only the contiguous entry array —
+// no interface dispatch, no pointer chasing into recycled records — and the
+// shallower tree halves the sift depth. Because (time, seq) is a strict
+// total order, every heap shape pops events in exactly the same sequence,
+// so this is invisible to simulation results.
 package eventsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -31,15 +38,13 @@ var ErrStopped = errors.New("eventsim: stopped")
 // may schedule further events.
 type Handler func(now float64)
 
-// event is one queue entry. seq breaks ties between events at equal times;
-// gen counts free-list recycles so stale Timer handles become inert.
+// event is one schedulable record. Ordering state lives in the heap entry,
+// not here; gen counts free-list recycles so stale Timer handles become
+// inert.
 type event struct {
-	time     float64
-	seq      uint64
 	gen      uint64
 	handler  Handler
 	canceled bool
-	index    int // heap index, maintained by eventHeap
 }
 
 // Timer is a handle to a scheduled event that can be canceled. The zero
@@ -69,32 +74,22 @@ func (t Timer) Canceled() bool { return t.ev != nil && t.ev.gen == t.gen && t.ev
 // yet fired, and not a zero handle.
 func (t Timer) Pending() bool { return t.ev != nil && t.ev.gen == t.gen && !t.ev.canceled }
 
-type eventHeap []*event
+// heapEntry is one priority-queue slot: the ordering key plus the record it
+// schedules. Entries are plain values so sifting stays within one cache-hot
+// array.
+type heapEntry struct {
+	time float64
+	seq  uint64
+	ev   *event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// entryLess orders entries by (time, seq) — a strict total order, since seq
+// is unique per engine.
+func entryLess(a, b heapEntry) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is the simulation core. The zero value is not usable; construct
@@ -102,7 +97,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now       float64
 	seq       uint64
-	queue     eventHeap
+	queue     []heapEntry
 	free      []*event // recycled event records
 	stopped   bool
 	processed uint64
@@ -121,6 +116,57 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of queued (possibly canceled) events.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// heapPush inserts an entry, sifting up through 4-ary parents with the
+// hole-move technique (one store per level instead of a swap).
+func (e *Engine) heapPush(en heapEntry) {
+	q := append(e.queue, en)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(en, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = en
+	e.queue = q
+}
+
+// heapPop removes and returns the minimum entry.
+func (e *Engine) heapPop() heapEntry {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = heapEntry{}
+	q = q[:n]
+	e.queue = q
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := min(c+4, n)
+			for j := c + 1; j < end; j++ {
+				if entryLess(q[j], q[m]) {
+					m = j
+				}
+			}
+			if !entryLess(q[m], last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	return top
+}
 
 // acquire returns a recycled event record, or a fresh one when the free
 // list is empty.
@@ -155,11 +201,9 @@ func (e *Engine) Schedule(t float64, h Handler) Timer {
 		panic("eventsim: schedule at NaN")
 	}
 	ev := e.acquire()
-	ev.time = t
-	ev.seq = e.seq
 	ev.handler = h
+	e.heapPush(heapEntry{time: t, seq: e.seq, ev: ev})
 	e.seq++
-	heap.Push(&e.queue, ev)
 	return Timer{ev: ev, gen: ev.gen}
 }
 
@@ -180,22 +224,21 @@ func (e *Engine) Run(horizon float64) error {
 		if e.stopped {
 			return ErrStopped
 		}
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.canceled {
-			e.release(ev)
+		if top := e.queue[0]; top.ev.canceled {
+			e.release(e.heapPop().ev)
 			continue
-		}
-		if horizon > 0 && ev.time > horizon {
-			// Put it back so a subsequent Run with a later horizon continues.
-			heap.Push(&e.queue, ev)
+		} else if horizon > 0 && top.time > horizon {
+			// Leave it queued so a subsequent Run with a later horizon
+			// continues.
 			e.now = horizon
 			return nil
 		}
+		en := e.heapPop()
 		// Recycle before dispatch so the handler's own scheduling reuses
 		// this record; the handler and time are copied out first.
-		h, t := ev.handler, ev.time
-		e.release(ev)
-		e.now = t
+		h := en.ev.handler
+		e.release(en.ev)
+		e.now = en.time
 		e.processed++
 		h(e.now)
 	}
@@ -205,14 +248,14 @@ func (e *Engine) Run(horizon float64) error {
 // Step executes exactly one event and reports whether one was available.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.canceled {
-			e.release(ev)
+		en := e.heapPop()
+		if en.ev.canceled {
+			e.release(en.ev)
 			continue
 		}
-		h, t := ev.handler, ev.time
-		e.release(ev)
-		e.now = t
+		h := en.ev.handler
+		e.release(en.ev)
+		e.now = en.time
 		e.processed++
 		h(e.now)
 		return true

@@ -185,7 +185,9 @@ func AblationChurn(scale Scale, w io.Writer, sink *trace.Sink) error {
 			var opts []sim.Option
 			label := "none"
 			if injected {
-				opts = append(opts, sim.WithChurn(0.15, scale.Horizon/8))
+				opts = append(opts,
+					sim.WithAbortRate(0.15),
+					sim.WithSeederExit(scale.Horizon/8))
 				label = "crashes+seeder-exit"
 			}
 			points = append(points, point{a, label})

@@ -1,7 +1,7 @@
 package incentive
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/algo"
 )
@@ -16,36 +16,62 @@ import (
 type bitTorrent struct {
 	params     Params
 	roundStart float64
-	current    map[PeerID]float64 // bytes received in the current round
-	previous   map[PeerID]float64 // bytes received in the previous round
+
+	// ranked holds every peer with a positive contribution window, kept
+	// sorted by (contribution desc, id asc) — the tit-for-tat ranking.
+	// Weights change only on OnReceived (one entry bubbles up) and on the
+	// round rotation (full re-sort), so each upload decision walks the
+	// prefix of an already-ranked list instead of gathering and sorting
+	// candidates from scratch.
+	ranked []contribRecord
+
+	top []PeerID // per-decision top-n_BT id slice, reused
 }
 
 var _ Strategy = (*bitTorrent)(nil)
 
 func newBitTorrent(p Params) *bitTorrent {
-	return &bitTorrent{
-		params:   p,
-		current:  make(map[PeerID]float64),
-		previous: make(map[PeerID]float64),
-	}
+	return &bitTorrent{params: p}
 }
 
 func (*bitTorrent) Algorithm() algo.Algorithm { return algo.BitTorrent }
 
-// rotate advances the contribution window when a round has elapsed.
+// compareRecordDesc is the tit-for-tat ranking: blended contribution
+// descending, ID ascending as the tiebreak — a strict total order, so the
+// ranked list has exactly one valid arrangement and incremental maintenance
+// (bubbling, re-sorting) cannot diverge from a from-scratch sort.
+func compareRecordDesc(x, y contribRecord) int {
+	cx, cy := x.cur+x.prev, y.cur+y.prev
+	switch {
+	case cx > cy:
+		return -1
+	case cx < cy:
+		return 1
+	case x.id < y.id:
+		return -1
+	case x.id > y.id:
+		return 1
+	}
+	return 0
+}
+
+// rotate advances the contribution window when a round has elapsed: each
+// entry's current total becomes its previous one, entries left with nothing
+// are dropped (they can never be ranked), and the survivors are re-ranked
+// under their new weights.
 func (b *bitTorrent) rotate(now float64) {
 	if now-b.roundStart < b.params.RoundSeconds {
 		return
 	}
-	b.previous = b.current
-	b.current = make(map[PeerID]float64, len(b.previous))
+	out := b.ranked[:0]
+	for _, r := range b.ranked {
+		if r.cur != 0 {
+			out = append(out, contribRecord{id: r.id, prev: r.cur})
+		}
+	}
+	b.ranked = out
+	slices.SortFunc(b.ranked, compareRecordDesc)
 	b.roundStart = now
-}
-
-// contribution blends the previous round's total with the current round's
-// running total, so fresh uploads count before the round closes.
-func (b *bitTorrent) contribution(p PeerID) float64 {
-	return b.previous[p] + b.current[p]
 }
 
 func (b *bitTorrent) NextReceiver(view NodeView) PeerID {
@@ -58,31 +84,23 @@ func (b *bitTorrent) NextReceiver(view NodeView) PeerID {
 		// Optimistic unchoke: uniformly random interested neighbor.
 		return randomPeer(view.RNG(), wanting)
 	}
-	// Tit-for-tat: among interested neighbors with positive contribution,
-	// serve one of the top n_BT. If nobody has contributed, this share of
-	// bandwidth idles — newcomers are reached only through the optimistic
-	// branch, which is what makes BitTorrent's bootstrapping slower than
-	// altruism's (Table II).
-	contributors := make([]PeerID, 0, len(wanting))
-	for _, p := range wanting {
-		if b.contribution(p) > 0 {
-			contributors = append(contributors, p)
+	// Tit-for-tat: serve one of the top n_BT interested contributors. The
+	// ranked list is already in (contribution desc, id asc) order, so the
+	// top set is the first n_BT entries that pass the interest filter —
+	// identical to sorting the interested contributors per decision. If
+	// nobody has contributed, this share of bandwidth idles — newcomers are
+	// reached only through the optimistic branch, which is what makes
+	// BitTorrent's bootstrapping slower than altruism's (Table II).
+	top := b.top[:0]
+	for i := range b.ranked {
+		if id := b.ranked[i].id; view.WantsFromMe(id) {
+			top = append(top, id)
+			if len(top) == b.params.NBT {
+				break
+			}
 		}
 	}
-	if len(contributors) == 0 {
-		return NoPeer
-	}
-	sort.Slice(contributors, func(i, j int) bool {
-		ci, cj := b.contribution(contributors[i]), b.contribution(contributors[j])
-		if ci != cj {
-			return ci > cj
-		}
-		return contributors[i] < contributors[j] // deterministic tie-break
-	})
-	top := contributors
-	if len(top) > b.params.NBT {
-		top = top[:b.params.NBT]
-	}
+	b.top = top
 	return randomPeer(view.RNG(), top)
 }
 
@@ -90,10 +108,30 @@ func (b *bitTorrent) OnSent(NodeView, PeerID, float64) {}
 
 func (b *bitTorrent) OnReceived(view NodeView, from PeerID, bytes float64) {
 	b.rotate(view.Now())
-	b.current[from] += bytes
+	i := len(b.ranked)
+	for j := range b.ranked {
+		if b.ranked[j].id == from {
+			i = j
+			break
+		}
+	}
+	if i == len(b.ranked) {
+		b.ranked = append(b.ranked, contribRecord{id: from, cur: bytes})
+	} else {
+		b.ranked[i].cur += bytes
+	}
+	// The entry's weight grew, so it can only move toward the front.
+	for i > 0 && compareRecordDesc(b.ranked[i], b.ranked[i-1]) < 0 {
+		b.ranked[i], b.ranked[i-1] = b.ranked[i-1], b.ranked[i]
+		i--
+	}
 }
 
 func (b *bitTorrent) Forget(peer PeerID) {
-	delete(b.current, peer)
-	delete(b.previous, peer)
+	for j := range b.ranked {
+		if b.ranked[j].id == peer {
+			b.ranked = slices.Delete(b.ranked, j, j+1)
+			return
+		}
+	}
 }

@@ -12,6 +12,7 @@ package incentive
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/algo"
 	"repro/internal/reputation"
@@ -34,7 +35,10 @@ type NodeView interface {
 	Now() float64
 	// RNG returns the deterministic random source for this peer.
 	RNG() *rand.Rand
-	// Neighbors returns the currently connected candidate receivers.
+	// Neighbors returns the currently connected candidate receivers. The
+	// returned slice is valid only until the next call on the view, and the
+	// caller may filter it in place — implementations must hand out storage
+	// they are not reading concurrently, not an internal slice they rely on.
 	Neighbors() []PeerID
 	// WantsFromMe reports whether peer needs at least one piece I hold.
 	WantsFromMe(peer PeerID) bool
@@ -147,17 +151,131 @@ func New(a algo.Algorithm, params Params, ledger *reputation.Ledger) (Strategy, 
 	}
 }
 
+// wantingLister is an optional NodeView capability: views backed by a live
+// interest index can produce the want-filtered neighbor list in one pass,
+// skipping the per-neighbor WantsFromMe round trips. Implementations must
+// return exactly the list the generic filter would build (same contents,
+// same order, same in-place-filterable storage contract as Neighbors), or
+// decline with ok == false.
+type wantingLister interface {
+	WantingNeighbors() (list []PeerID, ok bool)
+}
+
 // wantingNeighbors returns the neighbors that currently need at least one
-// piece the local peer holds — the universal eligibility filter.
+// piece the local peer holds — the universal eligibility filter. It filters
+// the view's slice in place (the NodeView contract permits this), so the
+// per-decision hot path does not allocate; views implementing wantingLister
+// short-circuit the filter entirely.
 func wantingNeighbors(view NodeView) []PeerID {
+	if wl, ok := view.(wantingLister); ok {
+		if out, ok := wl.WantingNeighbors(); ok {
+			return out
+		}
+	}
 	neighbors := view.Neighbors()
-	out := make([]PeerID, 0, len(neighbors))
+	out := neighbors[:0]
 	for _, n := range neighbors {
 		if view.WantsFromMe(n) {
 			out = append(out, n)
 		}
 	}
 	return out
+}
+
+// contribRecord is one peer's rolling contribution state for the round-based
+// mechanisms: bytes received from the peer in the current round and in the
+// previous one.
+type contribRecord struct {
+	id        PeerID
+	cur, prev float64
+}
+
+// contribLedger holds the per-peer contribution windows as an id-sorted
+// slice. The round-based mechanisms read it once per candidate per upload
+// decision, and a binary search over a few dozen contiguous records beats a
+// map lookup there while also making the rotation sweep deterministic.
+type contribLedger []contribRecord
+
+// find locates id's record, returning its index and whether it exists; on a
+// miss the index is the insertion point. Hand-rolled rather than
+// slices.BinarySearchFunc because this sits on the per-candidate decision
+// path, where the generic comparator's call overhead dominates the search.
+func (l contribLedger) find(id PeerID) (int, bool) {
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(l) && l[lo].id == id
+}
+
+// contribution blends the previous round's total with the current round's
+// running total, so fresh uploads count before the round closes.
+func (l contribLedger) contribution(id PeerID) float64 {
+	if i, ok := l.find(id); ok {
+		return l[i].cur + l[i].prev
+	}
+	return 0
+}
+
+// add records bytes received from id in the current round.
+func (l *contribLedger) add(id PeerID, bytes float64) {
+	i, ok := l.find(id)
+	if ok {
+		(*l)[i].cur += bytes
+		return
+	}
+	*l = slices.Insert(*l, i, contribRecord{id: id, cur: bytes})
+}
+
+// rotate closes the round: each record's current total becomes its previous
+// one, and records with nothing in either round are dropped, bounding the
+// ledger the way the old per-round map clear did.
+func (l *contribLedger) rotate() {
+	out := (*l)[:0]
+	for _, r := range *l {
+		if r.cur != 0 || r.prev != 0 {
+			out = append(out, contribRecord{id: r.id, prev: r.cur})
+		}
+	}
+	*l = out
+}
+
+// forget drops id's record, modelling departure or a whitewashing reset.
+func (l *contribLedger) forget(id PeerID) {
+	if i, ok := l.find(id); ok {
+		*l = slices.Delete(*l, i, i+1)
+	}
+}
+
+// contribEntry pairs a candidate with its cached weight (a contribution
+// total or reputation score) so weight-ranked mechanisms evaluate each
+// candidate's maps exactly once per decision instead of once per comparison
+// or accumulation pass.
+type contribEntry struct {
+	id     PeerID
+	weight float64
+}
+
+// compareContribDesc orders entries by weight descending with ID ascending
+// as the tiebreak — a strict total order, so any sorting algorithm produces
+// the same unique result.
+func compareContribDesc(x, y contribEntry) int {
+	switch {
+	case x.weight > y.weight:
+		return -1
+	case x.weight < y.weight:
+		return 1
+	case x.id < y.id:
+		return -1
+	case x.id > y.id:
+		return 1
+	}
+	return 0
 }
 
 // randomPeer picks uniformly from candidates, or NoPeer if empty.

@@ -38,10 +38,17 @@ func newFakeView(neighbors ...PeerID) *fakeView {
 	return v
 }
 
-func (v *fakeView) Self() PeerID                { return v.self }
-func (v *fakeView) Now() float64                { return v.now }
-func (v *fakeView) RNG() *rand.Rand             { return v.rng }
-func (v *fakeView) Neighbors() []PeerID         { return v.neighbors }
+func (v *fakeView) Self() PeerID    { return v.self }
+func (v *fakeView) Now() float64    { return v.now }
+func (v *fakeView) RNG() *rand.Rand { return v.rng }
+
+// Neighbors hands out a copy: the NodeView contract lets strategies filter
+// the returned slice in place, and the fake must keep its script intact.
+func (v *fakeView) Neighbors() []PeerID {
+	out := make([]PeerID, len(v.neighbors))
+	copy(out, v.neighbors)
+	return out
+}
 func (v *fakeView) WantsFromMe(p PeerID) bool   { return v.wants[p] }
 func (v *fakeView) INeedFrom(p PeerID) bool     { return v.iNeed[p] }
 func (v *fakeView) PieceCount(p PeerID) int     { return v.pieceCount[p] }

@@ -19,18 +19,15 @@ import (
 type propShare struct {
 	params     Params
 	roundStart float64
-	current    map[PeerID]float64
-	previous   map[PeerID]float64
+	window     contribLedger
+
+	scratch []contribEntry // per-decision contribution cache, reused
 }
 
 var _ Strategy = (*propShare)(nil)
 
 func newPropShare(p Params) *propShare {
-	return &propShare{
-		params:   p,
-		current:  make(map[PeerID]float64),
-		previous: make(map[PeerID]float64),
-	}
+	return &propShare{params: p}
 }
 
 func (*propShare) Algorithm() algo.Algorithm { return algo.PropShare }
@@ -39,13 +36,8 @@ func (p *propShare) rotate(now float64) {
 	if now-p.roundStart < p.params.RoundSeconds {
 		return
 	}
-	p.previous = p.current
-	p.current = make(map[PeerID]float64, len(p.previous))
+	p.window.rotate()
 	p.roundStart = now
-}
-
-func (p *propShare) contribution(id PeerID) float64 {
-	return p.previous[id] + p.current[id]
 }
 
 func (p *propShare) NextReceiver(view NodeView) PeerID {
@@ -58,10 +50,16 @@ func (p *propShare) NextReceiver(view NodeView) PeerID {
 	if rng.Float64() < p.params.AlphaBT {
 		return randomPeer(rng, wanting)
 	}
+	// Contributions are read once per candidate; the accumulation order —
+	// and thus the exact float arithmetic — matches the two-pass original.
+	ents := p.scratch[:0]
 	var total float64
 	for _, id := range wanting {
-		total += p.contribution(id)
+		c := p.window.contribution(id)
+		ents = append(ents, contribEntry{id, c})
+		total += c
 	}
+	p.scratch = ents
 	if total <= 0 {
 		// Nobody has contributed: like BitTorrent, the proportional share
 		// idles and newcomers are reached only through the optimistic
@@ -70,10 +68,10 @@ func (p *propShare) NextReceiver(view NodeView) PeerID {
 	}
 	target := rng.Float64() * total
 	var acc float64
-	for _, id := range wanting {
-		acc += p.contribution(id)
+	for _, e := range ents {
+		acc += e.weight
 		if target < acc {
-			return id
+			return e.id
 		}
 	}
 	return wanting[len(wanting)-1]
@@ -83,10 +81,9 @@ func (p *propShare) OnSent(NodeView, PeerID, float64) {}
 
 func (p *propShare) OnReceived(view NodeView, from PeerID, bytes float64) {
 	p.rotate(view.Now())
-	p.current[from] += bytes
+	p.window.add(from, bytes)
 }
 
 func (p *propShare) Forget(peer PeerID) {
-	delete(p.current, peer)
-	delete(p.previous, peer)
+	p.window.forget(peer)
 }

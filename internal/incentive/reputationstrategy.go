@@ -13,6 +13,8 @@ import (
 type reputationStrategy struct {
 	params Params
 	ledger *reputation.Ledger
+
+	scratch []contribEntry // per-decision score cache, reused
 }
 
 var _ Strategy = (*reputationStrategy)(nil)
@@ -35,20 +37,26 @@ func (r *reputationStrategy) NextReceiver(view NodeView) PeerID {
 	}
 	// Reputation-weighted pick. If every interested neighbor has zero
 	// reputation the tit-for-tat share idles, mirroring the slow
-	// bootstrapping the paper derives in Table II.
+	// bootstrapping the paper derives in Table II. Scores are read once per
+	// candidate; the accumulation order — and thus the exact float
+	// arithmetic — matches the two-pass original.
+	ents := r.scratch[:0]
 	var total float64
 	for _, p := range wanting {
-		total += view.Reputation(p)
+		s := view.Reputation(p)
+		ents = append(ents, contribEntry{p, s})
+		total += s
 	}
+	r.scratch = ents
 	if total <= 0 {
 		return NoPeer
 	}
 	target := rng.Float64() * total
 	var acc float64
-	for _, p := range wanting {
-		acc += view.Reputation(p)
+	for _, e := range ents {
+		acc += e.weight
 		if target < acc {
-			return p
+			return e.id
 		}
 	}
 	return wanting[len(wanting)-1]

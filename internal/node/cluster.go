@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -106,21 +107,31 @@ func (c *Cluster) Seed() *Node { return c.Nodes[0] }
 // Leechers returns the non-seed nodes (including any free-riders).
 func (c *Cluster) Leechers() []*Node { return c.Nodes[1:] }
 
-// WaitAllComplete blocks until every *compliant* leecher holds the full
-// file or the timeout elapses, reporting success. Free-riders are excluded:
-// under T-Chain they never finish, by design.
-func (c *Cluster) WaitAllComplete(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+// WaitAllCompleteContext blocks until every *compliant* leecher holds the
+// full file or the context is done. Free-riders are excluded: under T-Chain
+// they never finish, by design. It returns nil on success; otherwise an
+// error wrapping ctx.Err() that names the first node still incomplete.
+func (c *Cluster) WaitAllCompleteContext(ctx context.Context) error {
 	for i, n := range c.Nodes {
 		if i == 0 || n.cfg.FreeRide {
 			continue
 		}
-		remaining := time.Until(deadline)
-		if remaining <= 0 || !n.WaitComplete(remaining) {
-			return false
+		if err := n.WaitCompleteContext(ctx); err != nil {
+			return fmt.Errorf("node: waiting for node %d: %w", n.cfg.ID, err)
 		}
 	}
-	return true
+	return nil
+}
+
+// WaitAllComplete blocks until every *compliant* leecher holds the full
+// file or the timeout elapses, reporting success.
+//
+// Deprecated: use WaitAllCompleteContext, which reports which node timed out
+// and composes with caller contexts.
+func (c *Cluster) WaitAllComplete(timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.WaitAllCompleteContext(ctx) == nil
 }
 
 // Stop tears every node down.

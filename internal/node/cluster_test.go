@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -56,15 +57,49 @@ func TestClusterLifecycle(t *testing.T) {
 	if c.Seed().ID() != 0 || len(c.Leechers()) != 3 {
 		t.Fatalf("cluster shape wrong: seed %d, %d leechers", c.Seed().ID(), len(c.Leechers()))
 	}
-	if !c.WaitAllComplete(20 * time.Second) {
-		t.Fatal("compliant leechers did not complete")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := c.WaitAllCompleteContext(ctx); err != nil {
+		t.Fatalf("compliant leechers did not complete: %v", err)
 	}
-	// The free-rider is excluded from WaitAllComplete and holds nothing.
+	// The free-rider is excluded from WaitAllCompleteContext and holds nothing.
 	if got := c.Nodes[3].Stats().Pieces; got != 0 {
 		t.Errorf("T-Chain free-rider decrypted %d pieces", got)
 	}
 	if c.Ledger.Score(0) <= 0 {
 		t.Error("seed earned no reputation")
+	}
+}
+
+// TestClusterOverDegradedTransport runs a whole cluster over a transport
+// that both drops 3% of data messages and delays every delivery by a random
+// 1–5 ms: the recovery paths plus the flaky transport's in-order delay queue
+// must still converge to a complete swarm.
+func TestClusterOverDegradedTransport(t *testing.T) {
+	manifest, content := clusterFixture(t)
+	tr, err := transport.NewFlaky(transport.NewMem(),
+		transport.WithDropProb(0.03),
+		transport.WithLatency(time.Millisecond, 5*time.Millisecond),
+		transport.WithDropSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := StartCluster(ClusterConfig{
+		Algorithm:        algo.Altruism,
+		Transport:        tr,
+		Manifest:         manifest,
+		Content:          content,
+		Leechers:         3,
+		DecisionInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 45*time.Second)
+	defer cancel()
+	if err := c.WaitAllCompleteContext(ctx); err != nil {
+		t.Fatalf("cluster did not complete over degraded transport: %v", err)
 	}
 }
 

@@ -18,6 +18,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -307,15 +308,27 @@ func (n *Node) Stop() {
 	n.wg.Wait()
 }
 
-// WaitComplete blocks until the node holds the full file or the timeout
-// elapses; it reports whether completion happened.
-func (n *Node) WaitComplete(timeout time.Duration) bool {
+// WaitCompleteContext blocks until the node holds the full file or the
+// context is done. It returns nil on completion and ctx.Err() otherwise, so
+// callers compose cancellation, deadlines, and timeouts the standard way.
+func (n *Node) WaitCompleteContext(ctx context.Context) error {
 	select {
 	case <-n.completeCh:
-		return true
-	case <-time.After(timeout):
-		return false
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
+}
+
+// WaitComplete blocks until the node holds the full file or the timeout
+// elapses; it reports whether completion happened.
+//
+// Deprecated: use WaitCompleteContext, which distinguishes cancellation from
+// deadline expiry and composes with caller contexts.
+func (n *Node) WaitComplete(timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return n.WaitCompleteContext(ctx) == nil
 }
 
 // Stats returns a snapshot of the node's counters.

@@ -27,6 +27,27 @@ func NewBitfield(size int) *Bitfield {
 	return &Bitfield{words: make([]uint64, (size+63)/64), size: size}
 }
 
+// NewBitfieldBacked returns an empty bitfield over size pieces whose words
+// live in the caller-provided slice, which must have length (size+63)/64 and
+// be all zero. Callers may carve many bitfields out of one shared slab so
+// the fields sit dense in memory — the simulator backs every peer's holdings
+// this way, which keeps its incremental interest index cache-resident. The
+// backing slice must not be mutated directly afterwards.
+func NewBitfieldBacked(words []uint64, size int) *Bitfield {
+	if size < 0 {
+		panic(fmt.Sprintf("piece: NewBitfieldBacked size %d", size))
+	}
+	if len(words) != (size+63)/64 {
+		panic(fmt.Sprintf("piece: NewBitfieldBacked got %d words, need %d", len(words), (size+63)/64))
+	}
+	for i, w := range words {
+		if w != 0 {
+			panic(fmt.Sprintf("piece: NewBitfieldBacked backing word %d not zero", i))
+		}
+	}
+	return &Bitfield{words: words, size: size}
+}
+
 // Size returns the total number of pieces tracked.
 func (b *Bitfield) Size() int { return b.size }
 
@@ -125,6 +146,46 @@ func (b *Bitfield) CountMissingFrom(other *Bitfield) int {
 		total += bits.OnesCount64(other.words[w] &^ b.words[w])
 	}
 	return total
+}
+
+// DiffCounts returns, in one popcount pass, how many pieces only b holds and
+// how many only other holds: (|b \ other|, |other \ b|). It seeds the
+// simulator's incremental per-edge interest counters when two peers connect.
+// A nil other counts as an empty bitfield.
+func (b *Bitfield) DiffCounts(other *Bitfield) (selfOnly, otherOnly int) {
+	if other == nil {
+		return b.count, 0
+	}
+	n := min(len(b.words), len(other.words))
+	for w := 0; w < n; w++ {
+		selfOnly += bits.OnesCount64(b.words[w] &^ other.words[w])
+		otherOnly += bits.OnesCount64(other.words[w] &^ b.words[w])
+	}
+	for w := n; w < len(b.words); w++ {
+		selfOnly += bits.OnesCount64(b.words[w])
+	}
+	for w := n; w < len(other.words); w++ {
+		otherOnly += bits.OnesCount64(other.words[w])
+	}
+	return selfOnly, otherOnly
+}
+
+// Words returns the bitfield's backing words (bit i of word w is piece
+// w*64+i), shared rather than copied: the slice is allocated once and never
+// reallocated, so index structures may cache it for repeated membership
+// tests without re-dereferencing the Bitfield. Callers must not modify it.
+func (b *Bitfield) Words() []uint64 { return b.words }
+
+// ForEach calls fn for every held piece index in ascending order, without
+// allocating the index slice Indices would build.
+func (b *Bitfield) ForEach(fn func(i int)) {
+	for w, word := range b.words {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			fn(w*64 + bit)
+			word &= word - 1
+		}
+	}
 }
 
 // Needs reports whether other holds at least one piece that b lacks. This is

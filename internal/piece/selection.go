@@ -1,47 +1,73 @@
 package piece
 
 import (
+	"math/bits"
 	"math/rand"
 )
 
 // Availability tracks, for each piece index, how many peers in a view hold
-// it. Swarm simulators maintain one global instance; live nodes maintain one
-// per neighborhood. Not safe for concurrent use.
+// it, alongside a rarity histogram: hist[c] counts the pieces held by exactly
+// c peers, and the minimum occupied bucket is maintained incrementally so the
+// current rarity floor is an O(1) query. Swarm simulators maintain one global
+// instance; live nodes maintain one per neighborhood. Not safe for concurrent
+// use.
 type Availability struct {
 	counts []int
+	hist   []int // hist[c] = number of pieces with availability exactly c
+	minC   int   // smallest c with hist[c] > 0; 0 for an empty piece space
 }
 
 // NewAvailability returns a zeroed availability index over numPieces pieces.
 func NewAvailability(numPieces int) *Availability {
-	return &Availability{counts: make([]int, numPieces)}
+	a := &Availability{
+		counts: make([]int, numPieces),
+		hist:   make([]int, 1, 64),
+	}
+	a.hist[0] = numPieces
+	return a
 }
 
 // AddPiece records that one more peer holds piece i.
 func (a *Availability) AddPiece(i int) {
-	if i >= 0 && i < len(a.counts) {
-		a.counts[i]++
+	if i < 0 || i >= len(a.counts) {
+		return
+	}
+	c := a.counts[i]
+	a.counts[i] = c + 1
+	a.hist[c]--
+	if c+1 >= len(a.hist) {
+		a.hist = append(a.hist, 0)
+	}
+	a.hist[c+1]++
+	// The minimum bucket only drains upward; sum(hist) is constant, so the
+	// walk terminates and is amortized O(1) across a run.
+	for a.minC < len(a.hist)-1 && a.hist[a.minC] == 0 {
+		a.minC++
 	}
 }
 
 // RemovePiece records that one fewer peer holds piece i (e.g., peer left).
 func (a *Availability) RemovePiece(i int) {
-	if i >= 0 && i < len(a.counts) && a.counts[i] > 0 {
-		a.counts[i]--
+	if i < 0 || i >= len(a.counts) || a.counts[i] == 0 {
+		return
+	}
+	c := a.counts[i]
+	a.counts[i] = c - 1
+	a.hist[c]--
+	a.hist[c-1]++
+	if c-1 < a.minC {
+		a.minC = c - 1
 	}
 }
 
 // AddBitfield records every piece in b as held by one more peer.
 func (a *Availability) AddBitfield(b *Bitfield) {
-	for _, i := range b.Indices() {
-		a.AddPiece(i)
-	}
+	b.ForEach(a.AddPiece)
 }
 
 // RemoveBitfield reverses AddBitfield.
 func (a *Availability) RemoveBitfield(b *Bitfield) {
-	for _, i := range b.Indices() {
-		a.RemovePiece(i)
-	}
+	b.ForEach(a.RemovePiece)
 }
 
 // Count returns the availability of piece i.
@@ -50,6 +76,19 @@ func (a *Availability) Count(i int) int {
 		return 0
 	}
 	return a.counts[i]
+}
+
+// MinCount returns the lowest availability across all pieces — the rarity
+// floor — in O(1). An empty piece space reports 0.
+func (a *Availability) MinCount() int { return a.minC }
+
+// Histogram returns a copy of the rarity histogram: the element at index c is
+// the number of pieces held by exactly c peers. Intended for diagnostics and
+// invariant checks, not hot paths.
+func (a *Availability) Histogram() []int {
+	out := make([]int, len(a.hist))
+	copy(out, a.hist)
+	return out
 }
 
 // RarestFirst picks from candidates the piece with the lowest availability,
@@ -75,6 +114,57 @@ func (a *Availability) RarestFirst(rng *rand.Rand, candidates []int) int {
 			if rng.Intn(ties) == 0 {
 				best = c
 			}
+		}
+	}
+	return best
+}
+
+// SelectRarestMissing picks, local-rarest-first with uniform tie-breaking, a
+// piece that from holds and have lacks, excluding pieces marked in pending.
+// A nil from means the sender holds everything (the seeder); a nil pending
+// excludes nothing. It is the fused, allocation-free equivalent of
+// have.MissingFrom(from) followed by a pending filter and RarestFirst: it
+// visits the same candidates in the same ascending order and consumes exactly
+// the same rng draws, so simulations that switch to it replay byte-for-byte.
+// The reservoir tie-breaking is why the scan cannot stop early — a later
+// candidate tying the current best must still consume a draw — so the win
+// here is eliminating the candidate-slice allocation, not the scan itself.
+func (a *Availability) SelectRarestMissing(rng *rand.Rand, have, from, pending *Bitfield) int {
+	if have == nil {
+		return -1
+	}
+	best := -1
+	bestCount := int(^uint(0) >> 1)
+	ties := 0
+	for w := range have.words {
+		var cand uint64
+		if from == nil {
+			cand = ^have.words[w]
+		} else if w < len(from.words) {
+			cand = from.words[w] &^ have.words[w]
+		}
+		if pending != nil && w < len(pending.words) {
+			cand &^= pending.words[w]
+		}
+		for cand != 0 {
+			idx := w*64 + bits.TrailingZeros64(cand)
+			if idx >= have.size {
+				break
+			}
+			count := 0
+			if idx < len(a.counts) {
+				count = a.counts[idx]
+			}
+			switch {
+			case count < bestCount:
+				best, bestCount, ties = idx, count, 1
+			case count == bestCount:
+				ties++
+				if rng.Intn(ties) == 0 {
+					best = idx
+				}
+			}
+			cand &= cand - 1
 		}
 	}
 	return best

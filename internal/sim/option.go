@@ -72,8 +72,23 @@ func WithArrival(pattern ArrivalPattern, meanInterarrival float64) Option {
 	}
 }
 
+// WithAbortRate makes the given fraction of compliant peers crash
+// mid-download (0 disables the failure injection).
+func WithAbortRate(fraction float64) Option {
+	return func(c *Config) { c.AbortRate = fraction }
+}
+
+// WithSeederExit makes the origin server go offline at the given virtual
+// time (0 keeps it up for the whole run).
+func WithSeederExit(at float64) Option {
+	return func(c *Config) { c.SeederExitAt = at }
+}
+
 // WithChurn injects failures: abortRate of compliant peers crash
 // mid-download, and the seeder exits at seederExitAt (0 disables either).
+//
+// Deprecated: use WithAbortRate and WithSeederExit, which name the two
+// unrelated knobs separately.
 func WithChurn(abortRate, seederExitAt float64) Option {
 	return func(c *Config) {
 		c.AbortRate = abortRate

@@ -14,15 +14,28 @@ const SeederID incentive.PeerID = -2
 
 // peer is one simulated swarm member.
 type peer struct {
-	id          incentive.PeerID
-	capacity    float64
-	alloc       *bandwidth.Allocator
-	have        *piece.Bitfield
-	pending     map[int]bool // pieces currently in flight toward this peer
-	strategy    incentive.Strategy
-	view        *peerView
+	id       incentive.PeerID
+	capacity float64
+	alloc    *bandwidth.Allocator
+	have     *piece.Bitfield
+	wordOff  int32           // have's word offset in Swarm.haveWords
+	pending  *piece.Bitfield // pieces currently in flight toward this peer
+	strategy incentive.Strategy
+	view     *peerView
+
+	// The per-neighbor interest index, structure-of-arrays: index i of each
+	// slice describes the link to neighbors[i], and idxByID resolves a
+	// neighbor ID to that slot. See interest.go for the invariants. Keeping
+	// counters and flags in this peer's contiguous storage lets the hot-path
+	// queries and the noteGained maintenance scan walk dense memory.
 	neighbors   []*peer
-	neighborSet map[incentive.PeerID]bool
+	neighborIDs []incentive.PeerID
+	linkIdx     []int32 // linkIdx[i]: my counter slot in Swarm.linkNeeds
+	wantsFlags  []bool  // wantsFlags[i]: neighbor i needs a piece I hold
+	needsFlags  []bool  // needsFlags[i]: neighbor i holds a piece I need
+	revIdx      []int32 // revIdx[i]: my slot in neighbor i's arrays
+	nbrOff      []int32 // nbrOff[i]: neighbor i's offset in Swarm.haveWords
+	idxByID     map[incentive.PeerID]int32
 
 	freeRider bool
 	aborted   bool // crashed mid-download (failure injection)
@@ -42,42 +55,23 @@ type peer struct {
 	creditedDown float64 // bytes received and credited (plaintext)
 	rawDown      float64 // bytes received including uncredited ciphertext
 
-	retry eventsim.Timer // pending idle-retry; the zero Timer when none
-}
-
-// addNeighbor creates the (symmetric) edge p—q if absent.
-func (p *peer) addNeighbor(q *peer) {
-	if p == q || p.neighborSet[q.id] {
-		return
-	}
-	p.neighborSet[q.id] = true
-	p.neighbors = append(p.neighbors, q)
-	q.neighborSet[p.id] = true
-	q.neighbors = append(q.neighbors, p)
-}
-
-// dropNeighbor removes q from p's adjacency (one direction).
-func (p *peer) dropNeighbor(q *peer) {
-	if !p.neighborSet[q.id] {
-		return
-	}
-	delete(p.neighborSet, q.id)
-	for i, n := range p.neighbors {
-		if n == q {
-			p.neighbors[i] = p.neighbors[len(p.neighbors)-1]
-			p.neighbors = p.neighbors[:len(p.neighbors)-1]
-			break
-		}
-	}
+	retry   eventsim.Timer   // pending idle-retry; the zero Timer when none
+	retryFn eventsim.Handler // cached retry closure, allocated once per peer
 }
 
 // peerView adapts a peer to incentive.NodeView. One instance per peer,
 // reused across decisions; the scratch slice keeps Neighbors allocation-free
-// on the hot path.
+// on the hot path. When scratch is a wholesale copy of the peer's neighbor
+// IDs (direct == true), the cursor lets the strategies' sequential
+// WantsFromMe/INeedFrom pattern read the peer's live interest flags by
+// position — no map lookup, no edge dereference.
 type peerView struct {
 	swarm   *Swarm
 	peer    *peer
 	scratch []incentive.PeerID
+	cursor  int
+	topoGen uint64 // swarm topology generation the scratch was built at
+	direct  bool   // scratch indices == the peer's parallel-array indices
 }
 
 var _ incentive.NodeView = (*peerView)(nil)
@@ -87,19 +81,52 @@ func (v *peerView) Now() float64           { return v.swarm.engine.Now() }
 func (v *peerView) RNG() *rand.Rand        { return v.swarm.rng }
 
 // Neighbors returns the IDs of currently active neighbors. The returned
-// slice is valid until the next call on this view.
+// slice is valid until the next call on this view, and the caller may
+// overwrite it in place (strategies filter it without allocating).
 func (v *peerView) Neighbors() []incentive.PeerID {
-	v.scratch = v.scratch[:0]
-	for _, n := range v.peer.neighbors {
-		if n.active && !v.peer.distrust[n.id] {
-			v.scratch = append(v.scratch, n.id)
+	p := v.peer
+	if len(p.distrust) == 0 {
+		// Every adjacency entry is active (depart tears down its edges
+		// before control returns to the simulator), so the id array can be
+		// copied wholesale and scratch positions line up with the peer's
+		// parallel interest-flag arrays.
+		v.scratch = append(v.scratch[:0], p.neighborIDs...)
+		v.direct = v.swarm.indexed
+	} else {
+		v.scratch = v.scratch[:0]
+		for _, n := range p.neighbors {
+			if n.active && !p.distrust[n.id] {
+				v.scratch = append(v.scratch, n.id)
+			}
 		}
+		v.direct = false
 	}
+	v.cursor = 0
+	v.topoGen = v.swarm.topoGen
 	return v.scratch
 }
 
 // WantsFromMe reports whether the identified peer needs a piece we hold.
+//
+// Strategies overwhelmingly query neighbors in Neighbors() order, so a
+// cursor over the scratch slice answers most lookups from the peer's live
+// wantsFlags array; the flags are maintained incrementally on every piece
+// gain, so a hit is always current. The topology-generation check discards
+// the hint if any peer departed (shifting flag positions) since the scratch
+// was built; misses fall back to the edge map, and peers with no edge get
+// the exact pre-index scan semantics.
 func (v *peerView) WantsFromMe(id incentive.PeerID) bool {
+	if c := v.cursor; v.direct && c < len(v.scratch) && v.scratch[c] == id && v.topoGen == v.swarm.topoGen {
+		v.cursor = c + 1
+		return v.peer.wantsFlags[c]
+	}
+	if v.swarm.indexed {
+		if j, ok := v.peer.idxByID[id]; ok {
+			// A link implies the other side is an active neighbor; the flag
+			// mirrors its incrementally maintained needs counter.
+			return v.peer.wantsFlags[j]
+		}
+	}
 	other := v.swarm.lookup(id)
 	if other == nil || !other.active {
 		return false
@@ -107,10 +134,39 @@ func (v *peerView) WantsFromMe(id incentive.PeerID) bool {
 	return other.have.Needs(v.peer.have)
 }
 
+// WantingNeighbors returns the neighbors that currently need at least one
+// piece this peer holds, implementing the incentive package's optional
+// fast-path interface: one pass over the live interest flags replaces the
+// per-neighbor WantsFromMe calls of the generic filter, with the identical
+// result in the identical order. It declines (ok == false) when the index is
+// off or a T-Chain distrust filter applies, sending the caller down the
+// generic path.
+func (v *peerView) WantingNeighbors() ([]incentive.PeerID, bool) {
+	p := v.peer
+	if !v.swarm.indexed || len(p.distrust) != 0 {
+		return nil, false
+	}
+	v.scratch = p.wantingIDs(v.scratch[:0])
+	// The scratch positions no longer line up with the peer's parallel
+	// arrays, so out-of-sequence queries must take the map path.
+	v.direct = false
+	v.cursor = len(v.scratch)
+	return v.scratch, true
+}
+
 // INeedFrom reports whether the identified peer holds a piece we need.
 func (v *peerView) INeedFrom(id incentive.PeerID) bool {
 	if id == SeederID {
 		return !v.peer.have.Complete()
+	}
+	if c := v.cursor; v.direct && c < len(v.scratch) && v.scratch[c] == id && v.topoGen == v.swarm.topoGen {
+		v.cursor = c + 1
+		return v.peer.needsFlags[c]
+	}
+	if v.swarm.indexed {
+		if j, ok := v.peer.idxByID[id]; ok {
+			return v.peer.needsFlags[j]
+		}
 	}
 	other := v.swarm.lookup(id)
 	if other == nil {

@@ -1,12 +1,15 @@
 package sim
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/algo"
 	"repro/internal/attack"
+	"repro/internal/probe"
 )
 
 // TestSimulationInvariantsProperty drives many small randomized scenarios
@@ -92,6 +95,189 @@ func TestSimulationInvariantsProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// checkInterestIndex recomputes every interest-index invariant from the
+// bitfields alone (the naive ground truth) and reports the first divergence.
+// See interest.go for the invariant list. It reads but never mutates swarm
+// state, and draws nothing from the RNG, so running it mid-simulation cannot
+// perturb the trace it is checking.
+func checkInterestIndex(s *Swarm) error {
+	for _, p := range s.peers {
+		if !p.active {
+			if len(p.neighbors) != 0 || len(p.idxByID) != 0 {
+				return fmt.Errorf("inactive peer %d still has %d neighbors", p.id, len(p.neighbors))
+			}
+			continue
+		}
+		if len(p.idxByID) != len(p.neighbors) {
+			return fmt.Errorf("peer %d: idxByID has %d entries for %d neighbors", p.id, len(p.idxByID), len(p.neighbors))
+		}
+		for k, q := range p.neighbors {
+			if !q.active {
+				return fmt.Errorf("peer %d: neighbor %d is inactive", p.id, q.id)
+			}
+			r := p.revIdx[k]
+			if q.neighbors[r] != p || int(q.revIdx[r]) != k {
+				return fmt.Errorf("peer %d slot %d: reverse index to %d broken", p.id, k, q.id)
+			}
+			if q.linkIdx[r] != p.linkIdx[k]^1 {
+				return fmt.Errorf("peer %d slot %d: counter slots not paired (%d vs %d)", p.id, k, p.linkIdx[k], q.linkIdx[r])
+			}
+			pOnly, qOnly := p.have.DiffCounts(q.have)
+			if got := s.linkNeeds[p.linkIdx[k]]; got != int32(qOnly) {
+				return fmt.Errorf("peer %d slot %d: needs counter %d, naive recount %d", p.id, k, got, qOnly)
+			}
+			if p.needsFlags[k] != (qOnly > 0) || p.needsFlags[k] != p.have.Needs(q.have) {
+				return fmt.Errorf("peer %d slot %d: needsFlag %v, naive Needs %v", p.id, k, p.needsFlags[k], qOnly > 0)
+			}
+			if p.wantsFlags[k] != (pOnly > 0) || p.wantsFlags[k] != q.have.Needs(p.have) {
+				return fmt.Errorf("peer %d slot %d: wantsFlag %v, naive Needs %v", p.id, k, p.wantsFlags[k], pOnly > 0)
+			}
+			if j, ok := p.idxByID[q.id]; !ok || int(j) != k {
+				return fmt.Errorf("peer %d: idxByID[%d] = %d, want %d", p.id, q.id, j, k)
+			}
+			if p.neighborIDs[k] != q.id || p.nbrOff[k] != q.wordOff {
+				return fmt.Errorf("peer %d slot %d: stale id/offset cache for %d", p.id, k, q.id)
+			}
+		}
+	}
+	// The rarity index must agree with a per-piece recount over active peers.
+	counts := make([]int, s.cfg.NumPieces)
+	for _, p := range s.peers {
+		if p.active {
+			p.have.ForEach(func(i int) { counts[i]++ })
+		}
+	}
+	minC := 0
+	for i, c := range counts {
+		if got := s.availability.Count(i); got != c {
+			return fmt.Errorf("piece %d: availability %d, recount %d", i, got, c)
+		}
+		if i == 0 || c < minC {
+			minC = c
+		}
+	}
+	if s.cfg.NumPieces > 0 && s.availability.MinCount() != minC {
+		return fmt.Errorf("MinCount %d, recount %d", s.availability.MinCount(), minC)
+	}
+	return nil
+}
+
+// indexCheckProbe revalidates the interest and rarity indexes against the
+// naive recomputation at every topology change and at a sample of other
+// events, so a maintenance bug is caught near the event that introduced it
+// rather than smeared into final metrics. The leave/abort hooks fire between
+// a peer's deactivation and its edge teardown, when the adjacency invariant
+// transiently does not hold, so departures arm a pending check that runs at
+// the next hook instead of checking in place.
+type indexCheckProbe struct {
+	probe.Base
+	s       *Swarm
+	err     error
+	events  int
+	pending bool
+}
+
+func (p *indexCheckProbe) check() {
+	p.pending = false
+	if p.err == nil {
+		p.err = checkInterestIndex(p.s)
+	}
+}
+
+func (p *indexCheckProbe) sampled() {
+	if p.pending {
+		p.check()
+		return
+	}
+	if p.events++; p.events%17 == 0 {
+		p.check()
+	}
+}
+
+func (p *indexCheckProbe) PeerJoin(float64, probe.PeerInfo)       { p.check() }
+func (p *indexCheckProbe) PeerLeave(float64, int)                 { p.pending = true }
+func (p *indexCheckProbe) PeerAbort(float64, int)                 { p.pending = true }
+func (p *indexCheckProbe) Unchoke(float64, int, int)              { p.sampled() }
+func (p *indexCheckProbe) Credit(float64, probe.CreditInfo)       { p.sampled() }
+func (p *indexCheckProbe) TransferFinish(float64, probe.Transfer) { p.sampled() }
+func (p *indexCheckProbe) EndRun(float64)                         { p.check() }
+
+// TestInterestIndexMatchesNaive drives randomized churn-heavy traces —
+// Poisson joins, mid-download crashes, leave-on-complete departs, whitewash
+// identity churn, a seeder exit — while an attached probe cross-checks the
+// incremental indexes against naive Bitfield recomputation at every
+// topology change. Each trace then replays with the indexes disabled
+// (cfg.naiveScan) and must produce the identical Result, proving the indexed
+// and naive paths are the same simulation.
+func TestInterestIndexMatchesNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test runs many simulations")
+	}
+	f := func(seed int64, algoPick, churnPick uint8) bool {
+		algorithms := append(algo.All(), algo.PropShare)
+		a := algorithms[int(algoPick)%len(algorithms)]
+		cfg := Default(a, 35, 16)
+		cfg.Seed = seed
+		cfg.Horizon = 400
+		cfg.MaxNeighbors = 10
+		cfg.AbortRate = 0.25
+		if churnPick%2 == 0 {
+			cfg.SeederExitAt = 150
+		}
+		if churnPick%3 == 0 {
+			cfg.FreeRiderFraction = 0.2
+			cfg.Attack = attack.Plan{Kind: attack.Whitewash}
+		}
+		if churnPick%4 == 0 {
+			cfg.Arrival = ArrivalPoisson
+			cfg.MeanInterarrival = 2
+		}
+
+		swarm, err := NewSwarm(cfg)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		chk := &indexCheckProbe{s: swarm}
+		if err := swarm.Attach(chk); err != nil {
+			t.Logf("attach failed: %v", err)
+			return false
+		}
+		res, err := swarm.Run()
+		if err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+		if chk.err != nil {
+			t.Logf("seed %d %v: index diverged from naive recomputation: %v", seed, a, chk.err)
+			return false
+		}
+
+		// Replay without the indexes: byte-identical results required.
+		naiveCfg := cfg
+		naiveCfg.naiveScan = true
+		naiveSwarm, err := NewSwarm(naiveCfg)
+		if err != nil {
+			t.Logf("naive config rejected: %v", err)
+			return false
+		}
+		naiveRes, err := naiveSwarm.Run()
+		if err != nil {
+			t.Logf("naive run failed: %v", err)
+			return false
+		}
+		res.Config, naiveRes.Config = Config{}, Config{} // differ only in naiveScan
+		if !reflect.DeepEqual(res, naiveRes) {
+			t.Logf("seed %d %v: indexed and naive runs diverged", seed, a)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
 	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/bandwidth"
+	"repro/internal/eventsim"
 	"repro/internal/probe"
 )
 
@@ -19,6 +20,7 @@ type seeder struct {
 	// distrust marks peers that reneged on reciprocating a seeder upload
 	// under T-Chain; the seeder stops serving them.
 	distrust map[int]bool
+	retryFn  eventsim.Handler // cached idle-retry closure
 }
 
 func newSeeder(s *Swarm) *seeder {
@@ -26,11 +28,16 @@ func newSeeder(s *Swarm) *seeder {
 	if rate <= 0 {
 		rate = 1 // a dormant seeder still needs a valid allocator
 	}
-	return &seeder{
+	sd := &seeder{
 		swarm:    s,
 		alloc:    bandwidth.NewAllocator(rate, s.cfg.SeederSlots),
 		distrust: make(map[int]bool),
 	}
+	sd.retryFn = func(float64) {
+		sd.retrying = false
+		sd.schedule()
+	}
+	return sd
 }
 
 // schedule fills the seeder's free slots, polling again later if no peer
@@ -53,21 +60,22 @@ func (sd *seeder) armRetry() {
 	}
 	sd.retrying = true
 	delay := sd.swarm.cfg.PollInterval * (0.5 + sd.swarm.rng.Float64())
-	sd.swarm.engine.After(delay, func(float64) {
-		sd.retrying = false
-		sd.schedule()
-	})
+	sd.swarm.engine.After(delay, sd.retryFn)
 }
 
 // startUpload picks a random active incomplete peer and sends it a rarest
 // missing piece. Reports whether a transfer began.
 func (sd *seeder) startUpload() bool {
 	s := sd.swarm
-	// Reservoir-sample an eligible receiver.
+	// Reservoir-sample an eligible receiver from the id-ascending list of
+	// active incomplete peers — the same eligible sequence (hence the same
+	// rng draws) as the old full-population scan, without touching peers
+	// that have finished or left.
 	count := 0
 	var receiver *peer
-	for _, p := range s.peers {
-		if !p.active || p.have.Complete() || sd.distrust[int(p.id)] {
+	check := len(sd.distrust) != 0
+	for _, p := range s.incomplete {
+		if check && sd.distrust[int(p.id)] {
 			continue
 		}
 		count++
@@ -87,7 +95,7 @@ func (sd *seeder) startUpload() bool {
 	if !ok {
 		return false
 	}
-	receiver.pending[pieceIdx] = true
+	receiver.pending.Set(pieceIdx)
 	s.emitTransferStart(s.engine.Now(), probe.Transfer{
 		From:     int(SeederID),
 		To:       int(receiver.id),
@@ -95,9 +103,7 @@ func (sd *seeder) startUpload() bool {
 		Bytes:    s.cfg.PieceSize,
 		Duration: duration,
 	})
-	s.engine.After(duration, func(now float64) {
-		sd.deliver(receiver, pieceIdx, now)
-	})
+	s.engine.After(duration, s.newFlight(nil, receiver, pieceIdx).handler)
 	return true
 }
 
@@ -109,7 +115,7 @@ func (sd *seeder) deliver(receiver *peer, pieceIdx int, now float64) {
 	sd.alloc.Release()
 	bytes := s.cfg.PieceSize
 	sd.uploaded += bytes
-	delete(receiver.pending, pieceIdx)
+	receiver.pending.Clear(pieceIdx)
 	s.emitTransferFinish(now, probe.Transfer{
 		From:  int(SeederID),
 		To:    int(receiver.id),

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/algo"
 	"repro/internal/attack"
@@ -32,6 +33,38 @@ type Swarm struct {
 	completedCount int // compliant completions
 	numCompliant   int
 
+	// haveWords is the shared backing slab for every peer's have bitfield:
+	// peer i's words are haveWords[i*W : (i+1)*W] where W is the per-peer
+	// word count (see peer.wordOff). One dense allocation keeps the interest
+	// index's membership tests cache-resident and lets edges address a
+	// neighbor's holdings by int32 offset instead of pointer.
+	haveWords []uint64
+	// linkNeeds holds the interest index's directional counters, two
+	// adjacent int32 slots per link (slot^1 is the opposite direction);
+	// freeLinks recycles slot pairs released by departs. See interest.go.
+	linkNeeds []int32
+	freeLinks []int32
+	// actives and incomplete are id-ascending lists of active peers and of
+	// active peers still downloading, maintained incrementally on
+	// join/depart/completion. They replace the full-population scans in
+	// join candidate collection, seeder receiver sampling, witness sampling,
+	// and the liveness check, while preserving the exact id-ascending
+	// iteration order those scans produced.
+	actives    []*peer
+	incomplete []*peer
+
+	// indexed enables the incremental interest/rarity indexes (the default);
+	// cfg.naiveScan turns it off so tests and benchmarks can run the
+	// reference scan paths against the same inputs.
+	indexed bool
+	// topoGen increments whenever an edge is torn down; peerView uses it to
+	// invalidate cached edge pointers (see interest.go).
+	topoGen uint64
+	// flightPool and joinScratch recycle the churn-heavy allocations:
+	// in-flight transfer records and the join-time candidate slice.
+	flightPool  []*flight
+	joinScratch []*peer
+
 	info    probe.RunInfo     // replayed to late-attached probes
 	metrics *metricsCollector // built-in probe: the paper's five series
 	probe   probe.Probe       // externally attached; nil-checked per hook
@@ -55,6 +88,7 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 		availability: piece.NewAvailability(cfg.NumPieces),
 		metrics:      &metricsCollector{},
 	}
+	s.indexed = !cfg.naiveScan
 	s.info = probe.RunInfo{
 		Algorithm: cfg.Algorithm.String(),
 		NumPeers:  cfg.NumPeers,
@@ -78,14 +112,17 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 
 	arrivals := s.arrivalTimes(cfg)
 	s.peers = make([]*peer, cfg.NumPeers)
+	w := (cfg.NumPieces + 63) / 64
+	s.haveWords = make([]uint64, cfg.NumPeers*w)
 	for i := 0; i < cfg.NumPeers; i++ {
 		p := &peer{
 			id:          incentive.PeerID(i),
 			capacity:    capacities[i],
 			alloc:       bandwidth.NewAllocator(capacities[i], cfg.UploadSlots),
-			have:        piece.NewBitfield(cfg.NumPieces),
-			pending:     make(map[int]bool),
-			neighborSet: make(map[incentive.PeerID]bool),
+			have:        piece.NewBitfieldBacked(s.haveWords[i*w:(i+1)*w:(i+1)*w], cfg.NumPieces),
+			wordOff:     int32(i * w),
+			pending:     piece.NewBitfield(cfg.NumPieces),
+			idxByID:     make(map[incentive.PeerID]int32),
 			distrust:    make(map[incentive.PeerID]bool),
 			freeRider:   freeRiderIdx[i],
 			arrival:     arrivals[i],
@@ -93,6 +130,10 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 			finishAt:    -1,
 		}
 		p.view = &peerView{swarm: s, peer: p}
+		p.retryFn = func(float64) {
+			p.retry = eventsim.Timer{}
+			s.kick(p)
+		}
 		if p.freeRider {
 			p.strategy = attack.NewFreeRider(cfg.Algorithm)
 		} else {
@@ -154,17 +195,19 @@ func (s *Swarm) join(p *peer) {
 	s.activeCount++
 	s.emitPeerJoin(s.engine.Now(), p)
 
-	// Connect to up to MaxNeighbors random active peers.
-	candidates := make([]*peer, 0, s.activeCount)
-	for _, q := range s.peers {
-		if q != p && q.active {
-			candidates = append(candidates, q)
-		}
-	}
+	// Connect to up to MaxNeighbors random active peers. The candidate
+	// slice is swarm-owned scratch: join runs to completion before any
+	// other event, so reusing it is safe and keeps churn allocation-free.
+	// Copying the id-ascending active list before p is inserted yields the
+	// same candidate sequence the old full-population scan produced.
+	candidates := append(s.joinScratch[:0], s.actives...)
+	s.joinScratch = candidates
+	s.actives = insertPeerByID(s.actives, p)
+	s.incomplete = insertPeerByID(s.incomplete, p)
 	stats.Shuffle(s.rng, candidates)
 	limit := min(s.cfg.MaxNeighbors, len(candidates))
 	for _, q := range candidates[:limit] {
-		p.addNeighbor(q)
+		s.connect(p, q)
 	}
 	// Large-view free-riders connect to everyone: existing large-view
 	// attackers grab the newcomer, and a joining large-view attacker grabs
@@ -172,7 +215,7 @@ func (s *Swarm) join(p *peer) {
 	if s.cfg.FreeRiderFraction > 0 && s.cfg.Attack.LargeView {
 		for _, q := range candidates {
 			if q.freeRider || p.freeRider {
-				p.addNeighbor(q)
+				s.connect(p, q)
 			}
 		}
 	}
@@ -191,16 +234,38 @@ func (s *Swarm) depart(p *peer) {
 	}
 	p.active = false
 	s.activeCount--
+	s.actives = removePeerByID(s.actives, p)
+	s.incomplete = removePeerByID(s.incomplete, p)
 	s.emitPeerLeave(s.engine.Now(), int(p.id))
 	p.retry.Cancel()
 	p.retry = eventsim.Timer{}
 	s.availability.RemoveBitfield(p.have)
-	for _, q := range p.neighbors {
-		q.dropNeighbor(p)
-		q.strategy.Forget(p.id)
+	s.dropEdges(p)
+}
+
+// insertPeerByID inserts p into an id-ascending peer list, keeping it
+// sorted. Inserting an already-present peer is a no-op.
+func insertPeerByID(list []*peer, p *peer) []*peer {
+	i, found := slices.BinarySearchFunc(list, p.id, func(q *peer, id incentive.PeerID) int {
+		return int(q.id - id)
+	})
+	if found {
+		return list
 	}
-	p.neighbors = nil
-	p.neighborSet = make(map[incentive.PeerID]bool)
+	return slices.Insert(list, i, p)
+}
+
+// removePeerByID removes p from an id-ascending peer list. Removing an
+// absent peer is a no-op, so completion and a subsequent leave-on-complete
+// depart may both remove from the incomplete list.
+func removePeerByID(list []*peer, p *peer) []*peer {
+	i, found := slices.BinarySearchFunc(list, p.id, func(q *peer, id incentive.PeerID) int {
+		return int(q.id - id)
+	})
+	if !found {
+		return list
+	}
+	return slices.Delete(list, i, i+1)
 }
 
 // Run executes the simulation to the horizon (or until the swarm drains)
@@ -219,17 +284,9 @@ func (s *Swarm) Run() (*Result, error) {
 }
 
 // live reports whether anything can still happen: peers yet to arrive or
-// active peers still downloading.
+// active peers still downloading. O(1) via the maintained incomplete list.
 func (s *Swarm) live() bool {
-	if s.arrivedCount < len(s.peers) {
-		return true
-	}
-	for _, p := range s.peers {
-		if p.active && !p.have.Complete() {
-			return true
-		}
-	}
-	return false
+	return s.arrivedCount < len(s.peers) || len(s.incomplete) > 0
 }
 
 // scheduleAttacks installs the recurring attack events for the configured

@@ -27,16 +27,54 @@ func (s *Swarm) kick(p *peer) {
 }
 
 // armRetry schedules a single jittered poll for a peer whose strategy had
-// nothing to send. At most one retry is outstanding per peer.
+// nothing to send. At most one retry is outstanding per peer; the handler is
+// the peer's cached retry closure, so arming allocates nothing.
 func (s *Swarm) armRetry(p *peer) {
 	if p.retry.Pending() {
 		return
 	}
 	delay := s.cfg.PollInterval * (0.5 + s.rng.Float64())
-	p.retry = s.engine.After(delay, func(float64) {
-		p.retry = eventsim.Timer{}
-		s.kick(p)
-	})
+	p.retry = s.engine.After(delay, p.retryFn)
+}
+
+// flight is a pooled in-flight transfer record. Its delivery handler is
+// created once per record and the record is recycled on landing, so
+// scheduling a delivery allocates nothing in steady state. A nil sender
+// marks a seeder upload.
+type flight struct {
+	s        *Swarm
+	sender   *peer
+	receiver *peer
+	piece    int
+	handler  eventsim.Handler
+}
+
+// newFlight checks a record out of the pool (or mints one) and arms it.
+func (s *Swarm) newFlight(sender, receiver *peer, pieceIdx int) *flight {
+	var t *flight
+	if n := len(s.flightPool); n > 0 {
+		t = s.flightPool[n-1]
+		s.flightPool = s.flightPool[:n-1]
+	} else {
+		t = &flight{s: s}
+		t.handler = func(now float64) { t.land(now) }
+	}
+	t.sender, t.receiver, t.piece = sender, receiver, pieceIdx
+	return t
+}
+
+// land completes the transfer and returns the record to the pool. The pool
+// append happens before delivery so the record is reusable by any uploads
+// the delivery itself triggers.
+func (t *flight) land(now float64) {
+	s, sender, receiver, idx := t.s, t.sender, t.receiver, t.piece
+	t.sender, t.receiver = nil, nil
+	s.flightPool = append(s.flightPool, t)
+	if sender == nil {
+		s.seeder.deliver(receiver, idx, now)
+	} else {
+		s.deliver(sender, receiver, idx, now)
+	}
 }
 
 // startUpload asks p's strategy for a receiver, picks a piece, and starts
@@ -59,7 +97,7 @@ func (s *Swarm) startUpload(p *peer) bool {
 	if !ok {
 		return false
 	}
-	receiver.pending[pieceIdx] = true
+	receiver.pending.Set(pieceIdx)
 	s.emitTransferStart(s.engine.Now(), probe.Transfer{
 		From:     int(p.id),
 		To:       int(receiver.id),
@@ -67,16 +105,27 @@ func (s *Swarm) startUpload(p *peer) bool {
 		Bytes:    s.cfg.PieceSize,
 		Duration: duration,
 	})
-	s.engine.After(duration, func(now float64) {
-		s.deliver(p, receiver, pieceIdx, now)
-	})
+	s.engine.After(duration, s.newFlight(p, receiver, pieceIdx).handler)
 	return true
 }
 
 // pickPiece selects, local-rarest-first, a piece the receiver needs from
 // the sender's holdings, excluding pieces already in flight toward the
-// receiver. senderHave == nil means the seeder (holds everything).
+// receiver. senderHave == nil means the seeder (holds everything). The
+// indexed path fuses candidate enumeration, the pending filter, and the
+// rarest-first reservoir into one allocation-free bitfield scan that
+// consumes the same rng draws as the naive path.
 func (s *Swarm) pickPiece(senderHave *piece.Bitfield, receiver *peer) int {
+	if s.indexed {
+		return s.availability.SelectRarestMissing(s.rng, receiver.have, senderHave, receiver.pending)
+	}
+	return s.pickPieceNaive(senderHave, receiver)
+}
+
+// pickPieceNaive is the pre-index scan path, kept as the reference
+// implementation for BenchmarkSwarmLargeNaive and the index equivalence
+// property test.
+func (s *Swarm) pickPieceNaive(senderHave *piece.Bitfield, receiver *peer) int {
 	var candidates []int
 	if senderHave == nil {
 		candidates = candidatesFromSeeder(receiver)
@@ -85,7 +134,7 @@ func (s *Swarm) pickPiece(senderHave *piece.Bitfield, receiver *peer) int {
 	}
 	filtered := candidates[:0]
 	for _, c := range candidates {
-		if !receiver.pending[c] {
+		if !receiver.pending.Has(c) {
 			filtered = append(filtered, c)
 		}
 	}
@@ -110,7 +159,7 @@ func (s *Swarm) deliver(sender, receiver *peer, pieceIdx int, now float64) {
 	sender.alloc.Release()
 	bytes := s.cfg.PieceSize
 	sender.uploaded += bytes
-	delete(receiver.pending, pieceIdx)
+	receiver.pending.Clear(pieceIdx)
 	s.emitTransferFinish(now, probe.Transfer{
 		From:  int(sender.id),
 		To:    int(receiver.id),
@@ -155,7 +204,7 @@ func (s *Swarm) credited(sender, receiver *peer) bool {
 	}
 	// Direct reciprocation demanded? Then the free-rider's refusal is
 	// detected immediately and no key is released.
-	if sender != nil && sender.have.Needs(receiver.have) {
+	if sender != nil && s.peerNeeds(sender, receiver) {
 		return false
 	}
 	// Indirect: the sender designates a random third peer as the
@@ -170,6 +219,9 @@ func (s *Swarm) credit(senderID incentive.PeerID, receiver *peer, pieceIdx int, 
 		return // duplicate delivery; piece already held
 	}
 	s.availability.AddPiece(pieceIdx)
+	if s.indexed {
+		s.noteGained(receiver, pieceIdx)
+	}
 	receiver.creditedDown += bytes
 	s.emitCredit(now, probe.CreditInfo{
 		From:  int(senderID),
@@ -185,6 +237,7 @@ func (s *Swarm) credit(senderID incentive.PeerID, receiver *peer, pieceIdx int, 
 
 	if receiver.have.Complete() {
 		receiver.finishAt = now
+		s.incomplete = removePeerByID(s.incomplete, receiver)
 		s.emitPeerComplete(now, int(receiver.id))
 		if !receiver.freeRider {
 			s.completedCount++
@@ -201,11 +254,13 @@ func (s *Swarm) credit(senderID incentive.PeerID, receiver *peer, pieceIdx int, 
 
 // randomActivePeerExcept returns a uniformly random active peer other than
 // the two parties, or nil if none exists. sender may be nil (the seeder).
+// The id-ascending active list yields the same eligible sequence — and thus
+// the same reservoir draws — as the old full-population scan.
 func (s *Swarm) randomActivePeerExcept(sender, receiver *peer) *peer {
 	count := 0
 	var chosen *peer
-	for _, p := range s.peers {
-		if !p.active || p == receiver || (sender != nil && p == sender) {
+	for _, p := range s.actives {
+		if p == receiver || (sender != nil && p == sender) {
 			continue
 		}
 		count++

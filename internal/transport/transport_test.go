@@ -245,8 +245,29 @@ func TestMemRecvDrainsBufferAfterPeerClose(t *testing.T) {
 	}
 }
 
+// mustFlaky builds a Flaky transport or fails the test; the constructor only
+// errors on invalid option arguments, which these tests do not pass.
+func mustFlaky(t *testing.T, inner Transport, opts ...FlakyOption) *Flaky {
+	t.Helper()
+	f, err := NewFlaky(inner, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// mustFlakyQuiet is mustFlaky for table literals where no *testing.T is in
+// scope yet; it panics instead of failing the test.
+func mustFlakyQuiet(inner Transport, opts ...FlakyOption) *Flaky {
+	f, err := NewFlaky(inner, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
 func TestFlakyDropsApproximatelyAtRate(t *testing.T) {
-	f := NewFlaky(NewMem(), 0.3, 1)
+	f := mustFlaky(t, NewMem(), WithDropProb(0.3), WithDropSeed(1))
 	l, err := f.Listen("")
 	if err != nil {
 		t.Fatal(err)
@@ -293,7 +314,8 @@ func TestFlakyDropsApproximatelyAtRate(t *testing.T) {
 }
 
 func TestFlakyNeverDropsHandshake(t *testing.T) {
-	f := NewFlaky(NewMem(), 0.99, 2)
+	// Total loss: every data message vanishes, yet the handshake survives.
+	f := mustFlaky(t, NewMem(), WithDropProb(1), WithDropSeed(2))
 	l, _ := f.Listen("")
 	defer l.Close()
 	accepted := make(chan Conn, 1)
@@ -325,12 +347,85 @@ func TestFlakyNeverDropsHandshake(t *testing.T) {
 	}
 }
 
-func TestFlakyClampsDropProb(t *testing.T) {
-	if f := NewFlaky(NewMem(), -1, 1); f.dropProb != 0 {
-		t.Errorf("negative prob = %g", f.dropProb)
+// TestFlakyOptionValidation pins the constructor's argument checking: bad
+// probabilities and latency ranges are errors, not silent clamps, while the
+// boundary values 0 and 1 are legal.
+func TestFlakyOptionValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		opts    []FlakyOption
+		wantErr bool
+	}{
+		{"defaults", nil, false},
+		{"zero prob", []FlakyOption{WithDropProb(0)}, false},
+		{"total loss", []FlakyOption{WithDropProb(1)}, false},
+		{"negative prob", []FlakyOption{WithDropProb(-0.1)}, true},
+		{"prob above one", []FlakyOption{WithDropProb(1.01)}, true},
+		{"latency range", []FlakyOption{WithLatency(time.Millisecond, 2*time.Millisecond)}, false},
+		{"zero latency", []FlakyOption{WithLatency(0, 0)}, false},
+		{"negative latency", []FlakyOption{WithLatency(-time.Millisecond, time.Millisecond)}, true},
+		{"inverted latency", []FlakyOption{WithLatency(2*time.Millisecond, time.Millisecond)}, true},
+		{"good then bad", []FlakyOption{WithDropSeed(7), WithDropProb(2)}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := NewFlaky(NewMem(), tc.opts...)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("constructed %+v, want error", f)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
-	if f := NewFlaky(NewMem(), 2, 1); f.dropProb >= 1 {
-		t.Errorf("prob >= 1 not clamped: %g", f.dropProb)
+}
+
+// TestFlakyLatencyDeliversInOrder checks the delay queue's FIFO guarantee:
+// messages arrive complete and in send order despite randomized transit
+// times, and only after a delay at least the configured minimum.
+func TestFlakyLatencyDeliversInOrder(t *testing.T) {
+	const minDelay = 5 * time.Millisecond
+	f := mustFlaky(t, NewMem(), WithLatency(minDelay, 15*time.Millisecond), WithDropSeed(3))
+	l, err := f.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	dialer, err := f.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dialer.Close()
+	acceptor := <-accepted
+	defer acceptor.Close()
+
+	const sent = 50
+	start := time.Now()
+	for i := 0; i < sent; i++ {
+		if err := dialer.Send(protocol.Have{Index: int32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < sent; i++ {
+		m, err := acceptor.Recv()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if have, ok := m.(protocol.Have); !ok || have.Index != int32(i) {
+			t.Fatalf("message %d arrived as %+v, want Have{%d}", i, m, i)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < minDelay {
+		t.Errorf("all messages delivered in %v, below the %v minimum latency", elapsed, minDelay)
 	}
 }
 
@@ -342,7 +437,7 @@ func TestRemoteAddrNonEmpty(t *testing.T) {
 	}{
 		{"mem", NewMem(), ""},
 		{"tcp", NewTCP(), "127.0.0.1:0"},
-		{"flaky", NewFlaky(NewMem(), 0.1, 1), ""},
+		{"flaky", mustFlakyQuiet(NewMem(), WithDropProb(0.1)), ""},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			l, err := tc.tr.Listen(tc.addr)
@@ -383,7 +478,7 @@ func TestFlakyListenError(t *testing.T) {
 	if _, err := mem.Listen("mem://dup"); err != nil {
 		t.Fatal(err)
 	}
-	f := NewFlaky(mem, 0.1, 1)
+	f := mustFlaky(t, mem, WithDropProb(0.1))
 	if _, err := f.Listen("mem://dup"); err == nil {
 		t.Fatal("duplicate bind through flaky succeeded")
 	}

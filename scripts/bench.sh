@@ -13,6 +13,12 @@
 #     - BenchmarkSwarmNoProbe / BenchmarkSwarmCounterProbe: one swarm with
 #       and without a probe attached; equal allocs/op is the zero-overhead
 #       guarantee scripts/check.sh enforces
+#   scale -> BENCH_scale.json
+#     - BenchmarkSwarmLarge: a full 5000x256 run through the incremental
+#       interest/rarity indexes (the headline), plus the pinned pre-index
+#       baseline for the speedup and allocation ratios
+#     - BenchmarkSwarmLargeNaive: the same swarm through the reference scan
+#       paths, byte-identical output, recorded for the live comparison
 # Each target writes only its own file, so re-recording one PR's numbers
 # never clobbers another's baseline.
 # BENCHTIME overrides -benchtime (default 1x for Figure4, auto for eventsim).
@@ -24,8 +30,17 @@ workers="${REPRO_WORKERS:-$(nproc 2>/dev/null || echo 1)}"
 
 # Benchmark lines look like:
 #   BenchmarkFigure4  1  277334415 ns/op  56711744 B/op  643535 allocs/op
+# and may carry extra ReportMetric columns (e.g. "1728209 events/op"), so
+# each value is located by its unit rather than by position.
 json_entry() {
-  echo "$2" | awk -v name="$1" '{printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $3, $5, $7}'
+  echo "$2" | awk -v name="$1" '{
+    for (i = 2; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i-1)
+      if ($i == "B/op") bytes = $(i-1)
+      if ($i == "allocs/op") allocs = $(i-1)
+    }
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+  }'
 }
 
 emit() { # emit <outfile> <name:line>...
@@ -68,8 +83,21 @@ observability)
     "BenchmarkSwarmNoProbe:$no_line" \
     "BenchmarkSwarmCounterProbe:$ctr_line"
   ;;
+scale)
+  scale_out=$(go test -run=NONE -bench='^BenchmarkSwarmLarge(Naive)?$' -benchtime="${BENCHTIME:-1x}" -benchmem ./internal/sim)
+  idx_line=$(echo "$scale_out" | grep '^BenchmarkSwarmLarge-\|^BenchmarkSwarmLarge ')
+  naive_line=$(echo "$scale_out" | grep '^BenchmarkSwarmLargeNaive')
+  # The pre-index hot path as measured on the commit before the indexes
+  # landed (same 5000x256 config, same machine class) — the fixed yardstick
+  # for the >=3x speedup / >=5x allocation acceptance ratios.
+  pre_pr='BenchmarkSwarmLargePrePR 1 13049753111 ns/op 3936846848 B/op 16312755 allocs/op'
+  emit BENCH_scale.json \
+    "BenchmarkSwarmLarge:$idx_line" \
+    "BenchmarkSwarmLargeNaive:$naive_line" \
+    "BenchmarkSwarmLargePrePR(pinned):$pre_pr"
+  ;;
 *)
-  echo "bench.sh: unknown target '$target' (want parallel or observability)" >&2
+  echo "bench.sh: unknown target '$target' (want parallel, observability, or scale)" >&2
   exit 2
   ;;
 esac
