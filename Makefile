@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the CI gate; `make bench`
 # records the parallel-runner trajectory numbers to BENCH_parallel.json.
 
-.PHONY: check test bench bench-observability bench-scale
+.PHONY: check test bench bench-observability bench-scale bench-node
 
 check:
 	./scripts/check.sh
@@ -17,3 +17,6 @@ bench-observability:
 
 bench-scale:
 	./scripts/bench.sh scale
+
+bench-node:
+	./scripts/bench.sh node

@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -250,6 +251,8 @@ func runGet(opts getOptions, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "downloading %d pieces (%v) from %d peer(s)\n",
 			manifest.NumPieces(), mechanism, len(opts.peers))
 	}
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	started := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), opts.timeout)
 	defer cancel()
@@ -257,6 +260,9 @@ func runGet(opts getOptions, stdout io.Writer) error {
 		s := n.Stats()
 		return fmt.Errorf("download incomplete after %v (%w): %d/%d pieces", opts.timeout, err, s.Pieces, manifest.NumPieces())
 	}
+	wall := time.Since(started)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	content, err := store.Assemble()
 	if err != nil {
 		return err
@@ -264,17 +270,20 @@ func runGet(opts getOptions, stdout io.Writer) error {
 	if err := os.WriteFile(opts.outPath, content, 0o644); err != nil {
 		return err
 	}
+	stats := n.Stats()
+	summary := cli.NewRunSummary(len(content), manifest.NumPieces(), wall,
+		stats.FramesSent, stats.FramesReceived, memAfter.Mallocs-memBefore.Mallocs)
 	if opts.output.JSON {
 		return cli.WriteJSON(stdout, struct {
-			Bytes     int     `json:"bytes"`
-			Pieces    int     `json:"pieces"`
-			WallMS    float64 `json:"wall_ms"`
-			Out       string  `json:"out"`
-			Algorithm string  `json:"algorithm"`
-		}{len(content), manifest.NumPieces(), float64(time.Since(started).Microseconds()) / 1000, opts.outPath, mechanism.String()})
+			cli.RunSummary
+			Out       string `json:"out"`
+			Algorithm string `json:"algorithm"`
+		}{summary, opts.outPath, mechanism.String()})
 	}
 	fmt.Fprintf(stdout, "downloaded and verified %d bytes in %v -> %s\n",
-		len(content), time.Since(started).Round(time.Millisecond), opts.outPath)
+		len(content), wall.Round(time.Millisecond), opts.outPath)
+	fmt.Fprintf(stdout, "  %.1f pieces/s, %.0f KB/s, %d frames out, %d frames in\n",
+		summary.PiecesPerSec, summary.BytesPerSec/1024, summary.FramesSent, summary.FramesReceived)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -97,6 +98,43 @@ func TestSeedAndGetEndToEnd(t *testing.T) {
 	}
 	if !bytes.Equal(got, content) {
 		t.Fatal("downloaded file differs from the original")
+	}
+
+	// A second download with -json emits the run summary with sane rates
+	// and frame counters.
+	var jsonOut strings.Builder
+	err = runGet(getOptions{
+		manifestPath: filepath.Join(dir, "payload.manifest"),
+		outPath:      filepath.Join(dir, "copy2.bin"),
+		peers:        cli.StringList{seed.Addr()},
+		listen:       "127.0.0.1:0",
+		algoName:     "tchain",
+		id:           2,
+		timeout:      60 * time.Second,
+		output:       cli.OutputFlags{JSON: true},
+	}, &jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		cli.RunSummary
+		Out       string `json:"out"`
+		Algorithm string `json:"algorithm"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut.String()), &summary); err != nil {
+		t.Fatalf("bad JSON output %q: %v", jsonOut.String(), err)
+	}
+	if summary.Bytes != len(content) {
+		t.Errorf("summary bytes = %d, want %d", summary.Bytes, len(content))
+	}
+	if summary.PiecesPerSec <= 0 || summary.BytesPerSec <= 0 {
+		t.Errorf("rates not positive: %+v", summary.RunSummary)
+	}
+	if summary.FramesSent <= 0 || summary.FramesReceived <= 0 {
+		t.Errorf("frame counters not positive: %+v", summary.RunSummary)
+	}
+	if summary.Algorithm != "T-Chain" {
+		t.Errorf("algorithm = %q", summary.Algorithm)
 	}
 }
 

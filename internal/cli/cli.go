@@ -104,6 +104,50 @@ func WriteJSON(w io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
+// RunSummary is the machine-readable account of one live transfer — the
+// -json payload the node binaries emit so scripted runs (and the repo's
+// benchmark harness) can diff throughput and allocation behaviour across
+// versions without scraping text output.
+type RunSummary struct {
+	// Bytes is the verified payload byte count transferred.
+	Bytes int `json:"bytes"`
+	// Pieces is the number of verified pieces transferred.
+	Pieces int `json:"pieces"`
+	// WallMS is the transfer's wall-clock duration in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// PiecesPerSec is Pieces divided by the wall-clock duration.
+	PiecesPerSec float64 `json:"pieces_per_sec"`
+	// BytesPerSec is Bytes divided by the wall-clock duration.
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	// FramesSent counts wire frames written across all peers.
+	FramesSent int64 `json:"frames_sent"`
+	// FramesReceived counts wire frames received across all peers.
+	FramesReceived int64 `json:"frames_received"`
+	// AllocObjects is the process's heap-object allocation count over the
+	// run (runtime.MemStats.Mallocs delta) — the wire path's allocation
+	// behaviour at one remove, since a run is dominated by frame traffic.
+	AllocObjects uint64 `json:"alloc_objects"`
+}
+
+// NewRunSummary derives the rate fields from the raw counters. A
+// non-positive wall duration yields zero rates rather than infinities, so
+// the JSON stays finite for degenerate (instant or failed) runs.
+func NewRunSummary(bytes, pieces int, wall time.Duration, framesSent, framesReceived int64, allocObjects uint64) RunSummary {
+	s := RunSummary{
+		Bytes:          bytes,
+		Pieces:         pieces,
+		WallMS:         float64(wall.Microseconds()) / 1000,
+		FramesSent:     framesSent,
+		FramesReceived: framesReceived,
+		AllocObjects:   allocObjects,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		s.PiecesPerSec = float64(pieces) / secs
+		s.BytesPerSec = float64(bytes) / secs
+	}
+	return s
+}
+
 // ProfileFlags bundles the Go profiling flags: -cpuprofile, -memprofile,
 // and -trace. Call Start after flag parsing and Stop (usually deferred)
 // once the measured work is done; both are no-ops for empty paths.

@@ -159,3 +159,26 @@ func TestPhases(t *testing.T) {
 		t.Error("empty Phases rendered a report")
 	}
 }
+
+func TestNewRunSummaryRates(t *testing.T) {
+	s := NewRunSummary(2048, 4, 2*time.Second, 10, 20, 99)
+	if s.Bytes != 2048 || s.Pieces != 4 || s.FramesSent != 10 || s.FramesReceived != 20 || s.AllocObjects != 99 {
+		t.Fatalf("raw counters wrong: %+v", s)
+	}
+	if s.WallMS != 2000 {
+		t.Errorf("WallMS = %g, want 2000", s.WallMS)
+	}
+	if s.PiecesPerSec != 2 {
+		t.Errorf("PiecesPerSec = %g, want 2", s.PiecesPerSec)
+	}
+	if s.BytesPerSec != 1024 {
+		t.Errorf("BytesPerSec = %g, want 1024", s.BytesPerSec)
+	}
+}
+
+func TestNewRunSummaryZeroWallStaysFinite(t *testing.T) {
+	s := NewRunSummary(100, 1, 0, 0, 0, 0)
+	if s.PiecesPerSec != 0 || s.BytesPerSec != 0 {
+		t.Errorf("zero-duration rates = %g, %g; want 0, 0", s.PiecesPerSec, s.BytesPerSec)
+	}
+}

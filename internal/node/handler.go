@@ -53,12 +53,15 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 	}
 
 	peerID := int(theirHello.PeerID)
-	r := newRemote(peerID, conn, n.cfg.Store.Manifest().NumPieces(), theirHello.Addr)
+	r := newRemote(peerID, conn, n.cfg.Store.Manifest().NumPieces(), theirHello.Addr, &n.framesOut)
 	n.mu.Lock()
 	if _, dup := n.peers[peerID]; dup || peerID == n.cfg.ID {
 		n.mu.Unlock()
 		return // duplicate connection (simultaneous dial) or self-dial
 	}
+	// Seed the interest counters against an empty peer bitfield; the
+	// peer's Bitfield message re-derives them the moment it lands.
+	r.theyNeed, r.iNeed = n.myBits.DiffCounts(r.have)
 	n.peers[peerID] = r
 	n.mu.Unlock()
 	n.wg.Add(1)
@@ -92,6 +95,7 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 		if err != nil {
 			return
 		}
+		n.framesIn.Add(1)
 		if done := n.dispatch(r, msg); done {
 			return
 		}
@@ -99,7 +103,11 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 }
 
 // dispatch handles one inbound message; it reports whether the connection
-// should close.
+// should close. Messages arrive under the transport's zero-copy contract:
+// bulk byte fields may alias connection-owned scratch that the next Recv
+// reuses, so every handler either consumes them synchronously (Bitfield,
+// Piece via Store.Put's verify-and-copy) or copies what it retains
+// (SealedPiece ciphertext).
 func (n *Node) dispatch(r *remote, msg protocol.Message) bool {
 	switch m := msg.(type) {
 	case protocol.Bitfield:
@@ -109,12 +117,18 @@ func (n *Node) dispatch(r *remote, msg protocol.Message) bool {
 				r.have.Set(int(i))
 			}
 		}
+		// Re-derive both interest counters in one popcount pass.
+		r.theyNeed, r.iNeed = n.myBits.DiffCounts(r.have)
 		n.mu.Unlock()
 
 	case protocol.Have:
 		n.mu.Lock()
-		if int(m.Index) < r.have.Size() {
-			r.have.Set(int(m.Index))
+		if int(m.Index) < r.have.Size() && r.have.Set(int(m.Index)) {
+			if n.myBits.Has(int(m.Index)) {
+				r.theyNeed-- // they caught up on a piece we hold
+			} else {
+				r.iNeed++ // they now hold a piece we still need
+			}
 		}
 		n.mu.Unlock()
 
@@ -137,7 +151,10 @@ func (n *Node) dispatch(r *remote, msg protocol.Message) bool {
 }
 
 // handlePiece verifies and stores a plaintext piece, credits the sender,
-// and — if the piece repays one of our seals — releases the key.
+// and — if the piece repays one of our seals — releases the key. m.Data may
+// alias the connection's decode scratch; Store.Put is the zero-copy
+// hand-off (verify, then copy into the store), after which the scratch is
+// free to be reused by the next Recv.
 func (n *Node) handlePiece(r *remote, m protocol.Piece) {
 	if err := n.cfg.Store.Put(int(m.Index), m.Data); err != nil {
 		return // forged or duplicate data; Put verified the hash
@@ -152,10 +169,8 @@ func (n *Node) handlePiece(r *remote, m protocol.Piece) {
 			delete(n.pendingSeals, keyID)
 		}
 	}
-	targets := n.broadcastTargetsLocked()
+	n.noteGainedLocked(int(m.Index))
 	n.mu.Unlock()
-
-	n.announceHave(int(m.Index), targets)
 	n.checkComplete()
 
 	if m.RepaysKeyID != protocol.NoRepay {
@@ -172,7 +187,11 @@ func (n *Node) handlePiece(r *remote, m protocol.Piece) {
 // the origin directly when possible, otherwise forward the seal to a third
 // peer (who will send the origin a receipt). Free-riders renege.
 func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
-	sealed := &tchain.Sealed{KeyID: m.KeyID, Nonce: m.Nonce, Ciphertext: m.Ciphertext}
+	// The ciphertext outlives this dispatch (pending-seal escrow, possible
+	// forward), while m.Ciphertext may alias the connection's decode
+	// scratch — copy once here, then share the stable copy everywhere.
+	ciphertext := append([]byte(nil), m.Ciphertext...)
+	sealed := &tchain.Sealed{KeyID: m.KeyID, Nonce: m.Nonce, Ciphertext: ciphertext}
 	originID := int(m.OriginID)
 
 	if m.Forwarded {
@@ -203,24 +222,20 @@ func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
 	if n.cfg.FreeRide {
 		return // renege: keep unreadable ciphertext, upload nothing
 	}
-	n.reciprocate(r, m)
+	n.reciprocate(r, m, ciphertext)
 }
 
-// reciprocate fulfils the obligation created by a sealed piece.
-func (n *Node) reciprocate(r *remote, m protocol.SealedPiece) {
+// reciprocate fulfils the obligation created by a sealed piece. ciphertext
+// is the caller's stable copy of m.Ciphertext, safe to enqueue for an
+// asynchronous writer.
+func (n *Node) reciprocate(r *remote, m protocol.SealedPiece, ciphertext []byte) {
 	n.mu.Lock()
 	// Direct: send the origin a piece it needs.
-	myBits := n.cfg.Store.Bitfield()
-	var directIdx = -1
-	if r.have.Needs(myBits) {
-		if missing := r.have.MissingFrom(myBits); len(missing) > 0 {
-			directIdx = missing[n.rng.Intn(len(missing))]
-		}
-	}
+	directIdx := n.pickRandomWantedLocked(r)
 	n.mu.Unlock()
 
 	if directIdx >= 0 {
-		data, err := n.cfg.Store.Get(directIdx)
+		data, err := n.cfg.Store.GetRef(directIdx)
 		if err == nil {
 			n.sendPiece(r, directIdx, data, m.KeyID)
 			return
@@ -231,25 +246,28 @@ func (n *Node) reciprocate(r *remote, m protocol.SealedPiece) {
 	// witness will send the origin a receipt.
 	n.mu.Lock()
 	var witness *remote
-	candidates := make([]*remote, 0, len(n.peers))
+	seen := 0
 	for _, p := range n.peers {
 		if p.id != int(m.OriginID) && !p.have.Has(int(m.Index)) {
-			candidates = append(candidates, p)
+			seen++
+			if n.rng.Intn(seen) == 0 { // reservoir pick, no candidate slice
+				witness = p
+			}
 		}
-	}
-	if len(candidates) > 0 {
-		witness = candidates[n.rng.Intn(len(candidates))]
 	}
 	n.mu.Unlock()
 	if witness == nil {
 		return // nobody to reciprocate toward; the key may never arrive
 	}
 	forwarded := m
+	forwarded.Ciphertext = ciphertext
 	forwarded.Forwarded = true
 	forwarded.ForwarderID = int32(n.cfg.ID)
-	witness.enqueue(forwarded)
+	if !witness.enqueueData(forwarded) {
+		return // witness saturated; same outcome as having no witness
+	}
 	n.mu.Lock()
-	n.uploaded += float64(len(m.Ciphertext))
+	n.uploaded += float64(len(ciphertext))
 	n.mu.Unlock()
 }
 
@@ -278,9 +296,8 @@ func (n *Node) handleKey(m protocol.Key) {
 	n.credited += float64(len(plaintext))
 	n.ledger.Credit(pending.originID, float64(len(plaintext)))
 	n.strategy.OnReceived(n.view(), incentive.PeerID(pending.originID), float64(len(plaintext)))
-	targets := n.broadcastTargetsLocked()
+	n.noteGainedLocked(pending.index)
 	n.mu.Unlock()
-	n.announceHave(pending.index, targets)
 	n.checkComplete()
 }
 
@@ -341,18 +358,22 @@ func (n *Node) bitfieldMsg() protocol.Bitfield {
 	return protocol.Bitfield{NumPieces: int32(numPieces), Bits: packed}
 }
 
-// broadcastTargetsLocked snapshots current connections (mu held).
-func (n *Node) broadcastTargetsLocked() []*remote {
-	out := make([]*remote, 0, len(n.peers))
-	for _, r := range n.peers {
-		out = append(out, r)
+// noteGainedLocked records a newly verified piece (mu held): it mirrors
+// the bit locally, adjusts every neighbor's interest counters, and
+// enqueues the Have announcements — enqueue never blocks, so doing it
+// under the lock trades the old per-piece target-snapshot allocation for a
+// few queue appends. Duplicate gains (two peers racing the same piece
+// through Store.Put) are detected by the bitfield and ignored.
+func (n *Node) noteGainedLocked(index int) {
+	if !n.myBits.Set(index) {
+		return
 	}
-	return out
-}
-
-// announceHave tells every neighbor about a new piece (outside the lock).
-func (n *Node) announceHave(index int, targets []*remote) {
-	for _, r := range targets {
+	for _, r := range n.peers {
+		if r.have.Has(index) {
+			r.iNeed-- // no longer need it from them
+		} else {
+			r.theyNeed++ // they now lack a piece we hold
+		}
 		r.enqueue(protocol.Have{Index: int32(index)})
 	}
 }

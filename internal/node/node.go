@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algo"
@@ -86,30 +87,51 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// remote is one connected neighbor. Outbound messages go through an
-// unbounded queue drained by a dedicated writer goroutine, so the read
+// maxQueuedData bounds the bulk payload frames (Piece, SealedPiece) queued
+// per peer: enough to keep a healthy connection's writer busy, small enough
+// that a stalled peer pins at most maxQueuedData pieces of memory and the
+// upload scheduler redirects its budget elsewhere (see enqueueData).
+const maxQueuedData = 16
+
+// remote is one connected neighbor. Outbound messages go through a
+// per-peer queue drained by a dedicated writer goroutine, so the read
 // loops never block on a slow peer (two mutually full pipes would
-// otherwise deadlock the swarm).
+// otherwise deadlock the swarm). Control frames (haves, receipts, keys)
+// are never dropped and never block; bulk data frames are bounded by
+// maxQueuedData, the node's backpressure signal.
 type remote struct {
 	id   int
 	conn transport.Conn
 	have *piece.Bitfield
 	addr string
 
+	// theyNeed counts pieces we hold that the peer lacks; iNeed counts
+	// pieces the peer holds that we lack. Maintained incrementally under
+	// Node.mu (bitfield merge, have announcements, our own piece gains),
+	// they make the strategy's WantsFromMe/INeedFrom probes O(1) instead
+	// of an O(pieces/64) bitfield scan per probe with the node locked.
+	theyNeed int
+	iNeed    int
+
 	outMu     sync.Mutex
 	outCond   *sync.Cond
 	outbox    []protocol.Message
+	spare     []protocol.Message // previous drained batch, recycled
+	outData   int                // bulk frames enqueued or being written
 	outClosed bool
+
+	sent *atomic.Int64 // owning node's frames-sent counter
 }
 
 // newRemote wires the outbound queue.
-func newRemote(id int, conn transport.Conn, numPieces int, addr string) *remote {
-	r := &remote{id: id, conn: conn, have: piece.NewBitfield(numPieces), addr: addr}
+func newRemote(id int, conn transport.Conn, numPieces int, addr string, sent *atomic.Int64) *remote {
+	r := &remote{id: id, conn: conn, have: piece.NewBitfield(numPieces), addr: addr, sent: sent}
 	r.outCond = sync.NewCond(&r.outMu)
 	return r
 }
 
-// enqueue appends a message for the writer goroutine; it never blocks.
+// enqueue appends a control message for the writer goroutine; it never
+// blocks and is never dropped.
 func (r *remote) enqueue(m protocol.Message) {
 	r.outMu.Lock()
 	defer r.outMu.Unlock()
@@ -118,6 +140,30 @@ func (r *remote) enqueue(m protocol.Message) {
 	}
 	r.outbox = append(r.outbox, m)
 	r.outCond.Signal()
+}
+
+// enqueueData appends a bulk payload frame, reporting whether it was
+// accepted. A full queue refuses the frame — the caller treats the peer as
+// saturated and the scheduler's resend cooldown re-offers the piece later.
+func (r *remote) enqueueData(m protocol.Message) bool {
+	r.outMu.Lock()
+	defer r.outMu.Unlock()
+	if r.outClosed || r.outData >= maxQueuedData {
+		return false
+	}
+	r.outData++
+	r.outbox = append(r.outbox, m)
+	r.outCond.Signal()
+	return true
+}
+
+// dataBacklogged reports whether the bulk queue is at capacity — the
+// upload scheduler's cheap pre-check before it burns a decision on a peer
+// that cannot absorb another piece.
+func (r *remote) dataBacklogged() bool {
+	r.outMu.Lock()
+	defer r.outMu.Unlock()
+	return r.outData >= maxQueuedData
 }
 
 // closeOutbox stops the writer goroutine.
@@ -129,25 +175,49 @@ func (r *remote) closeOutbox() {
 }
 
 // writeLoop drains the outbox to the connection until closed or the
-// connection dies.
+// connection dies. Each drain takes the whole queue in one swap (the
+// previous batch's slice is recycled, so steady state allocates nothing)
+// and hands it to the transport's batch path when available — one flush,
+// one syscall per drain on TCP. outData is decremented only after the
+// batch hits the wire, so enqueueData's bound covers frames being written,
+// not just frames waiting.
 func (r *remote) writeLoop() {
+	batcher, _ := r.conn.(transport.BatchSender)
 	for {
 		r.outMu.Lock()
 		for len(r.outbox) == 0 && !r.outClosed {
 			r.outCond.Wait()
 		}
-		if r.outClosed && len(r.outbox) == 0 {
+		if len(r.outbox) == 0 {
 			r.outMu.Unlock()
-			return
+			return // closed and fully drained
 		}
 		batch := r.outbox
-		r.outbox = nil
+		r.outbox = r.spare[:0]
+		nData := r.outData
 		r.outMu.Unlock()
-		for _, m := range batch {
-			if r.conn.Send(m) != nil {
-				r.closeOutbox()
-				return
+
+		var err error
+		if batcher != nil {
+			err = batcher.SendBatch(batch)
+		} else {
+			for _, m := range batch {
+				if err = r.conn.Send(m); err != nil {
+					break
+				}
 			}
+		}
+		if err == nil {
+			r.sent.Add(int64(len(batch)))
+		}
+		clear(batch) // drop payload references before recycling the slice
+		r.outMu.Lock()
+		r.spare = batch[:0]
+		r.outData -= nData
+		r.outMu.Unlock()
+		if err != nil {
+			r.closeOutbox()
+			return
 		}
 	}
 }
@@ -162,13 +232,15 @@ type pendingSeal struct {
 
 // Stats is a snapshot of a node's counters.
 type Stats struct {
-	ID            int
-	Pieces        int
-	Complete      bool
-	UploadedBytes float64
-	CreditedBytes float64 // verified plaintext received
-	SealedPending int     // ciphertext pieces awaiting keys
-	Neighbors     int
+	ID             int
+	Pieces         int
+	Complete       bool
+	UploadedBytes  float64
+	CreditedBytes  float64 // verified plaintext received
+	SealedPending  int     // ciphertext pieces awaiting keys
+	Neighbors      int
+	FramesSent     int64 // wire frames written across all peers
+	FramesReceived int64 // wire frames dispatched across all peers
 }
 
 // Node is a live peer. Create with New, run with Start, stop with Stop.
@@ -190,6 +262,20 @@ type Node struct {
 	rng          *rand.Rand
 	uploaded     float64
 	credited     float64
+
+	// myBits mirrors the store's holdings under mu, so the decision loop
+	// and the per-peer interest counters never take the store's lock or
+	// clone a bitfield on the hot path. noteGainedLocked keeps it (and
+	// every remote's counters) in sync with verified Puts.
+	myBits *piece.Bitfield
+	// neighborScratch and wantScratch back the strategy view's slice
+	// results; both are reused across decisions (valid until the next view
+	// call, per incentive.NodeView's contract) and protected by mu.
+	neighborScratch []incentive.PeerID
+	wantScratch     []incentive.PeerID
+
+	framesOut atomic.Int64 // frames written to the wire, all peers
+	framesIn  atomic.Int64 // frames received and dispatched, all peers
 
 	listener transport.Listener
 	done     chan struct{}
@@ -240,6 +326,7 @@ func New(cfg Config) (*Node, error) {
 		recentSends:  make(map[int]map[int]time.Time),
 		trusted:      make(map[int]bool),
 		rng:          stats.NewRNG(cfg.Seed),
+		myBits:       cfg.Store.Bitfield(),
 		done:         make(chan struct{}),
 		completeCh:   make(chan struct{}),
 	}
@@ -336,13 +423,15 @@ func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return Stats{
-		ID:            n.cfg.ID,
-		Pieces:        n.cfg.Store.Count(),
-		Complete:      n.cfg.Store.Complete(),
-		UploadedBytes: n.uploaded,
-		CreditedBytes: n.credited,
-		SealedPending: len(n.pendingSeals),
-		Neighbors:     len(n.peers),
+		ID:             n.cfg.ID,
+		Pieces:         n.cfg.Store.Count(),
+		Complete:       n.cfg.Store.Complete(),
+		UploadedBytes:  n.uploaded,
+		CreditedBytes:  n.credited,
+		SealedPending:  len(n.pendingSeals),
+		Neighbors:      len(n.peers),
+		FramesSent:     n.framesOut.Load(),
+		FramesReceived: n.framesIn.Load(),
 	}
 }
 

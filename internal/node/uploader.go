@@ -1,6 +1,7 @@
 package node
 
 import (
+	"math/bits"
 	"math/rand"
 	"time"
 
@@ -12,7 +13,10 @@ import (
 
 // nodeView adapts the node's state to incentive.NodeView. All methods are
 // called with n.mu held (the upload loop and message handlers lock before
-// consulting the strategy).
+// consulting the strategy), so the interest queries read the per-remote
+// counters directly — O(1) per probe, no store lock, no bitfield clone —
+// and the slice results reuse node-owned scratch per the NodeView
+// contract ("valid only until the next call on the view").
 type nodeView struct {
 	n *Node
 }
@@ -24,27 +28,36 @@ func (v nodeView) Now() float64           { return time.Since(v.n.start).Seconds
 func (v nodeView) RNG() *rand.Rand        { return v.n.rng }
 
 func (v nodeView) Neighbors() []incentive.PeerID {
-	out := make([]incentive.PeerID, 0, len(v.n.peers))
+	out := v.n.neighborScratch[:0]
 	for id := range v.n.peers {
 		out = append(out, incentive.PeerID(id))
 	}
+	v.n.neighborScratch = out
 	return out
+}
+
+// WantingNeighbors implements the incentive package's optional fast path:
+// the neighbors whose cached theyNeed counter is positive, without the
+// per-neighbor WantsFromMe round trips.
+func (v nodeView) WantingNeighbors() ([]incentive.PeerID, bool) {
+	out := v.n.wantScratch[:0]
+	for id, r := range v.n.peers {
+		if r.theyNeed > 0 {
+			out = append(out, incentive.PeerID(id))
+		}
+	}
+	v.n.wantScratch = out
+	return out, true
 }
 
 func (v nodeView) WantsFromMe(p incentive.PeerID) bool {
 	r, ok := v.n.peers[int(p)]
-	if !ok {
-		return false
-	}
-	return r.have.Needs(v.n.cfg.Store.Bitfield())
+	return ok && r.theyNeed > 0
 }
 
 func (v nodeView) INeedFrom(p incentive.PeerID) bool {
 	r, ok := v.n.peers[int(p)]
-	if !ok {
-		return false
-	}
-	return v.n.cfg.Store.Bitfield().Needs(r.have)
+	return ok && r.iNeed > 0
 }
 
 func (v nodeView) PieceCount(p incentive.PeerID) int {
@@ -109,7 +122,9 @@ func (n *Node) uploadLoop() {
 }
 
 // tryUpload asks the strategy for a receiver and pushes one piece; reports
-// whether a send happened.
+// whether a send happened. A peer whose bulk queue is full is skipped
+// before any piece work — backpressure redirects the budget instead of
+// piling frames onto a stalled connection.
 func (n *Node) tryUpload() bool {
 	n.mu.Lock()
 	receiverID := n.strategy.NextReceiver(n.view())
@@ -122,6 +137,10 @@ func (n *Node) tryUpload() bool {
 		n.mu.Unlock()
 		return false
 	}
+	if r.dataBacklogged() {
+		n.mu.Unlock()
+		return false
+	}
 	idx := n.pickPieceLocked(r)
 	if idx < 0 {
 		n.mu.Unlock()
@@ -130,34 +149,69 @@ func (n *Node) tryUpload() bool {
 	n.markSentLocked(r.id, idx)
 	n.mu.Unlock()
 
-	data, err := n.cfg.Store.Get(idx)
+	data, err := n.cfg.Store.GetRef(idx)
 	if err != nil {
 		return false
 	}
 	if n.cfg.Algorithm == algo.TChain && !n.cfg.SeedMode {
 		return n.sendSealed(r, idx, data)
 	}
-	n.sendPiece(r, idx, data, protocol.NoRepay)
-	return true
+	return n.sendPiece(r, idx, data, protocol.NoRepay)
 }
 
-// pickPieceLocked chooses a piece the receiver needs, excluding recent
-// sends (mu held).
+// pickPieceLocked chooses a uniformly random piece the receiver needs,
+// excluding recent sends (mu held). It walks the bitfield words directly
+// with a reservoir pick, so the hot path builds no candidate slice; the
+// cached theyNeed counter short-circuits peers with nothing to gain.
 func (n *Node) pickPieceLocked(r *remote) int {
-	candidates := r.have.MissingFrom(n.cfg.Store.Bitfield())
-	recent := n.recentSends[r.id]
-	now := time.Now()
-	filtered := candidates[:0]
-	for _, c := range candidates {
-		if at, ok := recent[c]; ok && now.Sub(at) < resendCooldown {
-			continue
-		}
-		filtered = append(filtered, c)
-	}
-	if len(filtered) == 0 {
+	if r.theyNeed == 0 {
 		return -1
 	}
-	return filtered[n.rng.Intn(len(filtered))]
+	recent := n.recentSends[r.id]
+	now := time.Now()
+	mine, theirs := n.myBits.Words(), r.have.Words()
+	limit := min(len(mine), len(theirs))
+	picked, seen := -1, 0
+	for w := 0; w < limit; w++ {
+		diff := mine[w] &^ theirs[w]
+		for diff != 0 {
+			idx := w*64 + bits.TrailingZeros64(diff)
+			diff &= diff - 1
+			if at, ok := recent[idx]; ok && now.Sub(at) < resendCooldown {
+				continue
+			}
+			seen++
+			if n.rng.Intn(seen) == 0 {
+				picked = idx
+			}
+		}
+	}
+	return picked
+}
+
+// pickRandomWantedLocked returns a uniformly random piece we hold that r
+// lacks, or -1 (mu held). Unlike pickPieceLocked it ignores the resend
+// cooldown: it serves the reciprocation path, where repaying with a piece
+// we recently pushed is still a valid (and verifiable) repayment.
+func (n *Node) pickRandomWantedLocked(r *remote) int {
+	if r.theyNeed == 0 {
+		return -1
+	}
+	mine, theirs := n.myBits.Words(), r.have.Words()
+	limit := min(len(mine), len(theirs))
+	picked, seen := -1, 0
+	for w := 0; w < limit; w++ {
+		diff := mine[w] &^ theirs[w]
+		for diff != 0 {
+			idx := w*64 + bits.TrailingZeros64(diff)
+			diff &= diff - 1
+			seen++
+			if n.rng.Intn(seen) == 0 {
+				picked = idx
+			}
+		}
+	}
+	return picked
 }
 
 func (n *Node) markSentLocked(peerID, idx int) {
@@ -169,14 +223,23 @@ func (n *Node) markSentLocked(peerID, idx int) {
 	recent[idx] = time.Now()
 }
 
-// sendPiece pushes plaintext (repaysKeyID = NoRepay for ordinary uploads).
-func (n *Node) sendPiece(r *remote, idx int, data []byte, repaysKeyID uint64) {
+// sendPiece pushes plaintext and reports whether the frame was accepted
+// (repaysKeyID = NoRepay for ordinary uploads). Ordinary uploads respect
+// the peer's bounded bulk queue; repayment pieces travel the control path —
+// dropping one would strand the counterpart's escrowed key forever, so
+// they are never refused. Accounting only happens for accepted frames.
+func (n *Node) sendPiece(r *remote, idx int, data []byte, repaysKeyID uint64) bool {
 	msg := protocol.Piece{Index: int32(idx), RepaysKeyID: repaysKeyID, Data: data}
-	r.enqueue(msg)
+	if repaysKeyID != protocol.NoRepay {
+		r.enqueue(msg)
+	} else if !r.enqueueData(msg) {
+		return false
+	}
 	n.mu.Lock()
 	n.uploaded += float64(len(data))
 	n.strategy.OnSent(n.view(), incentive.PeerID(r.id), float64(len(data)))
 	n.mu.Unlock()
+	return true
 }
 
 // sendSealed pushes an encrypted piece and records the reciprocation
@@ -202,7 +265,16 @@ func (n *Node) sendSealed(r *remote, idx int, data []byte) bool {
 		OriginID:   int32(n.cfg.ID),
 		OriginAddr: n.Addr(),
 	}
-	r.enqueue(msg)
+	if !r.enqueueData(msg) {
+		// Queue full: unwind the seal as if it never happened, so the
+		// escrow and demand ledgers do not accumulate unsent obligations.
+		n.recip.Take(sealed.KeyID)
+		n.escrow.Revoke(sealed.KeyID)
+		n.mu.Lock()
+		delete(n.sealIndex, sealed.KeyID)
+		n.mu.Unlock()
+		return false
+	}
 	n.mu.Lock()
 	n.uploaded += float64(len(data))
 	n.strategy.OnSent(n.view(), incentive.PeerID(r.id), float64(len(data)))

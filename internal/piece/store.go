@@ -175,6 +175,22 @@ func (s *Store) Get(i int) ([]byte, error) {
 	return out, nil
 }
 
+// GetRef returns piece i's stored bytes without copying, or ErrNotHeld.
+// The returned slice is the store's own buffer: callers must treat it as
+// read-only. That contract is safe to offer because stored buffers are
+// private copies made by Put and never mutated afterwards — it is what
+// lets the live node hand pieces straight to the wire encoder with zero
+// per-send allocation.
+func (s *Store) GetRef(i int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.data[i]
+	if !ok {
+		return nil, fmt.Errorf("piece %d: %w", i, ErrNotHeld)
+	}
+	return data, nil
+}
+
 // Has reports whether piece i is held.
 func (s *Store) Has(i int) bool {
 	s.mu.RLock()

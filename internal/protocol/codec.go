@@ -5,7 +5,9 @@ import (
 	"fmt"
 )
 
-// writer appends big-endian primitives to a buffer.
+// writer appends big-endian primitives to a caller-provided buffer. It is
+// allocation-free apart from the append growth of the buffer itself, which
+// pooled callers amortize to zero.
 type writer struct{ buf []byte }
 
 func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
@@ -16,7 +18,10 @@ func (w *writer) bytes(b []byte) {
 	w.u32(uint32(len(b)))
 	w.buf = append(w.buf, b...)
 }
-func (w *writer) str(s string) { w.bytes([]byte(s)) }
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
 func (w *writer) boolean(v bool) {
 	if v {
 		w.u8(1)
@@ -26,10 +31,15 @@ func (w *writer) boolean(v bool) {
 }
 
 // reader consumes big-endian primitives from a buffer; the first error
-// sticks so call sites can decode unconditionally and check once.
+// sticks so call sites can decode unconditionally and check once. With
+// zeroCopy set, variable-length byte fields are returned as subslices of
+// the payload instead of fresh copies — the Decoder uses this so bulk
+// piece data flows from its scratch buffer straight into a verifying
+// consumer (piece.Store.Put) without an intermediate allocation.
 type reader struct {
-	buf []byte
-	err error
+	buf      []byte
+	err      error
+	zeroCopy bool
 }
 
 func (r *reader) take(n int) []byte {
@@ -81,12 +91,27 @@ func (r *reader) bytes() []byte {
 		return nil
 	}
 	raw := r.take(int(n))
+	if r.zeroCopy {
+		return raw
+	}
 	out := make([]byte, len(raw))
 	copy(out, raw)
 	return out
 }
 
-func (r *reader) str() string { return string(r.bytes()) }
+func (r *reader) str() string {
+	// Strings are always materialized (string conversion copies), so the
+	// zero-copy mode never leaks scratch storage through an address field.
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(n) > uint64(len(r.buf)) {
+		r.err = ErrMalformed
+		return ""
+	}
+	return string(r.take(int(n)))
+}
 
 func (r *reader) boolean() bool { return r.u8() != 0 }
 
@@ -101,8 +126,10 @@ func (r *reader) done() error {
 	return nil
 }
 
-func marshalPayload(m Message) ([]byte, error) {
-	var w writer
+// appendPayload appends m's payload encoding to dst and returns the
+// extended buffer.
+func appendPayload(dst []byte, m Message) ([]byte, error) {
+	w := writer{buf: dst}
 	switch msg := m.(type) {
 	case Hello:
 		w.i32(msg.PeerID)
@@ -136,13 +163,16 @@ func marshalPayload(m Message) ([]byte, error) {
 	case Bye:
 		// empty payload
 	default:
-		return nil, fmt.Errorf("protocol: cannot marshal %T", m)
+		return dst, fmt.Errorf("protocol: cannot marshal %T", m)
 	}
 	return w.buf, nil
 }
 
-func unmarshalPayload(t Type, payload []byte) (Message, error) {
-	r := &reader{buf: payload}
+// unmarshalPayload decodes one payload. With zeroCopy set, the returned
+// message's bulk byte fields (Piece.Data, SealedPiece.Ciphertext,
+// Bitfield.Bits) alias payload.
+func unmarshalPayload(t Type, payload []byte, zeroCopy bool) (Message, error) {
+	r := &reader{buf: payload, zeroCopy: zeroCopy}
 	var m Message
 	switch t {
 	case TypeHello:

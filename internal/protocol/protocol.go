@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // MaxFrameSize bounds a frame payload (16 MiB): large enough for any
@@ -166,30 +167,109 @@ var (
 	ErrUnknownType   = errors.New("protocol: unknown message type")
 )
 
-// Encode writes one framed message to w.
-func Encode(w io.Writer, m Message) error {
-	payload, err := marshalPayload(m)
+// headerSize is the frame header length: a 4-byte payload length plus the
+// 1-byte type tag.
+const headerSize = 5
+
+// framePool recycles frame-assembly buffers across EncodeTo calls, so the
+// steady-state encode path performs zero per-frame allocations. Buffers
+// grow to fit the largest frame they ever carried and are reused at that
+// size.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 1<<10); return &b }}
+
+// AppendFrame appends one framed message (header plus payload) to dst and
+// returns the extended buffer. The frame is assembled in place: the header
+// is reserved first and patched once the payload length is known, so the
+// whole frame is contiguous and can hit the wire in a single Write. On
+// error, dst is returned unextended.
+func AppendFrame(dst []byte, m Message) ([]byte, error) {
+	head := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(m.MsgType()))
+	dst, err := appendPayload(dst, m)
 	if err != nil {
-		return err
+		return dst[:head], err
 	}
-	if len(payload) > MaxFrameSize {
-		return ErrFrameTooLarge
+	size := len(dst) - head - headerSize
+	if size > MaxFrameSize {
+		return dst[:head], ErrFrameTooLarge
 	}
-	header := make([]byte, 5)
-	binary.BigEndian.PutUint32(header, uint32(len(payload)))
-	header[4] = byte(m.MsgType())
-	if _, err := w.Write(header); err != nil {
-		return fmt.Errorf("protocol: writing header: %w", err)
-	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("protocol: writing payload: %w", err)
-	}
-	return nil
+	binary.BigEndian.PutUint32(dst[head:], uint32(size))
+	return dst, nil
 }
 
-// Decode reads one framed message from r.
+// EncodeTo writes one framed message to w as a single Write call, using a
+// pooled assembly buffer: header and payload are gathered into one
+// contiguous frame first, so an unbuffered socket sees one syscall per
+// frame and a buffered writer one copy, with no per-frame allocation.
+func EncodeTo(w io.Writer, m Message) error {
+	bp := framePool.Get().(*[]byte)
+	buf, err := AppendFrame((*bp)[:0], m)
+	if err == nil {
+		if _, werr := w.Write(buf); werr != nil {
+			err = fmt.Errorf("protocol: writing frame: %w", werr)
+		}
+	}
+	*bp = buf[:0]
+	framePool.Put(bp)
+	return err
+}
+
+// Encode writes one framed message to w.
+//
+// Deprecated: Encode is EncodeTo under its historical name; new code should
+// call EncodeTo directly.
+func Encode(w io.Writer, m Message) error { return EncodeTo(w, m) }
+
+// Decoder reads framed messages from one stream through a reusable scratch
+// buffer, so the steady-state decode path performs zero per-frame
+// allocations. A Decoder is owned by a single reader goroutine (matching
+// transport.Conn's Recv contract) and must not be shared.
+//
+// Zero-copy contract: the bulk byte fields of a returned message
+// (Piece.Data, SealedPiece.Ciphertext, Bitfield.Bits) alias the decoder's
+// scratch and are valid only until the next Decode call. Consume them
+// before reading the next frame — handing piece data to piece.Store.Put,
+// which verifies and copies, is the canonical zero-copy hand-off; the
+// scratch is released for reuse simply by calling Decode again. Retaining a
+// field past that point requires an explicit copy.
+type Decoder struct {
+	r       io.Reader
+	scratch []byte
+	// header lives in the Decoder (not a Decode local) so passing it to
+	// io.ReadFull does not make it escape to a fresh heap allocation per
+	// frame.
+	header [headerSize]byte
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Decode reads one framed message. io.EOF passes through unwrapped for
+// clean shutdown detection, exactly like the package-level Decode.
+func (d *Decoder) Decode() (Message, error) {
+	if _, err := io.ReadFull(d.r, d.header[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown detection
+	}
+	size := binary.BigEndian.Uint32(d.header[:4])
+	if size > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	if uint32(cap(d.scratch)) < size {
+		d.scratch = make([]byte, size)
+	}
+	payload := d.scratch[:size]
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return nil, fmt.Errorf("protocol: reading payload: %w", err)
+	}
+	return unmarshalPayload(Type(d.header[4]), payload, true)
+}
+
+// Decode reads one framed message from r. Unlike Decoder.Decode, the
+// returned message owns all its storage and may be retained indefinitely —
+// the right call for one-shot or low-rate use; per-connection read loops
+// should hold a Decoder instead.
 func Decode(r io.Reader) (Message, error) {
-	header := make([]byte, 5)
+	header := make([]byte, headerSize)
 	if _, err := io.ReadFull(r, header); err != nil {
 		return nil, err // io.EOF passes through for clean shutdown detection
 	}
@@ -201,5 +281,5 @@ func Decode(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("protocol: reading payload: %w", err)
 	}
-	return unmarshalPayload(Type(header[4]), payload)
+	return unmarshalPayload(Type(header[4]), payload, false)
 }

@@ -169,6 +169,19 @@ type flakyConn struct {
 }
 
 var _ Conn = (*flakyConn)(nil)
+var _ BatchSender = (*flakyConn)(nil)
+
+// SendBatch feeds each message through the connection's own Send so every
+// one rolls the drop dice and draws its own latency — batching must not
+// change the degradation semantics the options promise.
+func (c *flakyConn) SendBatch(ms []protocol.Message) error {
+	for _, m := range ms {
+		if err := c.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Send drops eligible messages with the configured probability; a dropped
 // message reports success, exactly like a datagram lost in flight. Survivors

@@ -10,10 +10,18 @@ import (
 // Mem is an in-process Transport: listeners live in a shared registry and
 // connections are paired buffered channels. One Mem value is one isolated
 // network; nodes must share the same Mem to reach each other.
+//
+// Messages pass through the pipe by reference — no serialization, no
+// copies: the exact Message value (including its payload slices, typically
+// a piece store's pooled backing buffers) handed to Send is what Recv
+// returns on the other side. Senders must therefore treat payloads as
+// frozen once sent, which the node guarantees by never mutating stored
+// piece data.
 type Mem struct {
-	mu        sync.Mutex
-	listeners map[string]*memListener
-	nextAddr  int
+	mu         sync.Mutex
+	listeners  map[string]*memListener
+	nextAddr   int
+	nextDialer int
 }
 
 var _ Transport = (*Mem)(nil)
@@ -44,10 +52,14 @@ func (m *Mem) Listen(addr string) (Listener, error) {
 	return l, nil
 }
 
-// Dial connects to a bound listener.
+// Dial connects to a bound listener. Each dial gets a unique dialer
+// address (mem://dialer-N), so the accept side's RemoteAddr distinguishes
+// peers in stats and logs instead of collapsing them all to one name.
 func (m *Mem) Dial(addr string) (Conn, error) {
 	m.mu.Lock()
 	l, ok := m.listeners[addr]
+	dialerAddr := fmt.Sprintf("mem://dialer-%d", m.nextDialer)
+	m.nextDialer++
 	m.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: no listener at %q", addr)
@@ -56,7 +68,7 @@ func (m *Mem) Dial(addr string) (Conn, error) {
 	aToB := make(chan protocol.Message, depth)
 	bToA := make(chan protocol.Message, depth)
 	dialSide := &memConn{send: aToB, recv: bToA, remote: addr, done: make(chan struct{})}
-	acceptSide := &memConn{send: bToA, recv: aToB, remote: "mem://dialer", done: make(chan struct{})}
+	acceptSide := &memConn{send: bToA, recv: aToB, remote: dialerAddr, done: make(chan struct{})}
 	dialSide.peer, acceptSide.peer = acceptSide, dialSide
 	select {
 	case l.backlog <- acceptSide:
@@ -107,6 +119,19 @@ type memConn struct {
 }
 
 var _ Conn = (*memConn)(nil)
+var _ BatchSender = (*memConn)(nil)
+
+// SendBatch delivers the run in order, stopping at the first error. There
+// is no buffer to flush — each message lands in the peer's channel
+// directly — so batching here only saves the caller its fallback loop.
+func (c *memConn) SendBatch(ms []protocol.Message) error {
+	for _, m := range ms {
+		if err := c.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func (c *memConn) Send(m protocol.Message) error {
 	// Check closed state first: with a buffered channel the send case may

@@ -19,11 +19,26 @@ type Conn interface {
 	Send(m protocol.Message) error
 	// Recv blocks for the next message. It returns ErrClosed (or io.EOF
 	// for TCP) once the peer closes.
+	//
+	// Zero-copy contract: the bulk byte fields of a returned message
+	// (Piece.Data, SealedPiece.Ciphertext, Bitfield.Bits) may alias
+	// transport-owned buffers that the next Recv on the same connection
+	// reuses. Consume or copy them before the next Recv call.
 	Recv() (protocol.Message, error)
 	// Close tears the connection down; it is idempotent.
 	Close() error
 	// RemoteAddr describes the peer endpoint (for logging).
 	RemoteAddr() string
+}
+
+// BatchSender is an optional Conn capability: SendBatch writes a run of
+// messages as one unit, letting buffered transports coalesce them into a
+// single flush (one syscall for the whole run). The live node's per-peer
+// writer drains its queue through this when the connection offers it,
+// falling back to per-message Send otherwise. Like Send, SendBatch is safe
+// for concurrent use and stops at the first error.
+type BatchSender interface {
+	SendBatch(ms []protocol.Message) error
 }
 
 // Listener accepts inbound connections.

@@ -486,3 +486,105 @@ func TestFlakyListenError(t *testing.T) {
 		t.Fatal("flaky dial to unbound address succeeded")
 	}
 }
+
+// TestMemDialerAddressesUnique pins the accept-side identity fix: every
+// dialed connection must present a distinct RemoteAddr to the acceptor,
+// rather than all dialers collapsing to one shared name.
+func TestMemDialerAddressesUnique(t *testing.T) {
+	m := NewMem()
+	l, err := m.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const dials = 5
+	accepted := make(chan Conn, dials)
+	go func() {
+		for i := 0; i < dials; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	seen := make(map[string]bool)
+	for i := 0; i < dials; i++ {
+		d, err := m.Dial(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		a := <-accepted
+		defer a.Close()
+		addr := a.RemoteAddr()
+		if addr == "" {
+			t.Fatal("empty accept-side RemoteAddr")
+		}
+		if seen[addr] {
+			t.Fatalf("dialer address %q repeated across connections", addr)
+		}
+		seen[addr] = true
+	}
+}
+
+// TestBatchSenderDelivery checks every transport's SendBatch capability:
+// a batch arrives complete, in order, and frame-accurate on the far side.
+func TestBatchSenderDelivery(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   Transport
+		addr string
+	}{
+		{"mem", NewMem(), ""},
+		{"tcp", NewTCP(), "127.0.0.1:0"},
+		{"flaky", mustFlakyQuiet(NewMem(), WithLatency(0, time.Millisecond)), ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l, err := tc.tr.Listen(tc.addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			accepted := make(chan Conn, 1)
+			go func() {
+				c, err := l.Accept()
+				if err == nil {
+					accepted <- c
+				}
+			}()
+			dialer, err := tc.tr.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dialer.Close()
+			acceptor := <-accepted
+			defer acceptor.Close()
+
+			batcher, ok := dialer.(BatchSender)
+			if !ok {
+				t.Fatalf("%T does not implement BatchSender", dialer)
+			}
+			batch := []protocol.Message{
+				protocol.Have{Index: 1},
+				protocol.Piece{Index: 2, RepaysKeyID: protocol.NoRepay, Data: []byte("xyz")},
+				protocol.Have{Index: 3},
+			}
+			if err := batcher.SendBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			for i, want := range batch {
+				got, err := acceptor.Recv()
+				if err != nil {
+					t.Fatalf("message %d: %v", i, err)
+				}
+				if got.MsgType() != want.MsgType() {
+					t.Fatalf("message %d type %v, want %v", i, got.MsgType(), want.MsgType())
+				}
+				if p, ok := got.(protocol.Piece); ok && string(p.Data) != "xyz" {
+					t.Fatalf("piece payload %q", p.Data)
+				}
+			}
+		})
+	}
+}

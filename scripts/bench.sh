@@ -19,6 +19,14 @@
 #       baseline for the speedup and allocation ratios
 #     - BenchmarkSwarmLargeNaive: the same swarm through the reference scan
 #       paths, byte-identical output, recorded for the live comparison
+#   node -> BENCH_node.json
+#     - BenchmarkClusterThroughput/mem-32: a full 32-node swarm download
+#       over the in-memory transport — the protocol/node data path without
+#       kernel sockets; pieces/sec and allocs/op are the headlines
+#     - BenchmarkClusterThroughput/tcp-16: the same download over real TCP
+#       loopback (bufio-batched per-peer writers, one syscall per drain)
+#     - the pinned pre-PR baselines (per-frame allocation, per-message
+#       syscalls, O(peers) interest scans) for the speedup/allocation ratios
 # Each target writes only its own file, so re-recording one PR's numbers
 # never clobbers another's baseline.
 # BENCHTIME overrides -benchtime (default 1x for Figure4, auto for eventsim).
@@ -34,12 +42,16 @@ workers="${REPRO_WORKERS:-$(nproc 2>/dev/null || echo 1)}"
 # each value is located by its unit rather than by position.
 json_entry() {
   echo "$2" | awk -v name="$1" '{
+    pieces = ""
     for (i = 2; i <= NF; i++) {
       if ($i == "ns/op") ns = $(i-1)
       if ($i == "B/op") bytes = $(i-1)
       if ($i == "allocs/op") allocs = $(i-1)
+      if ($i == "pieces/sec") pieces = $(i-1)
     }
-    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
+    if (pieces != "") printf ", \"pieces_per_sec\": %s", pieces
+    printf "}"
   }'
 }
 
@@ -96,8 +108,26 @@ scale)
     "BenchmarkSwarmLargeNaive:$naive_line" \
     "BenchmarkSwarmLargePrePR(pinned):$pre_pr"
   ;;
+node)
+  node_out=$(go test -run=NONE -bench='^BenchmarkClusterThroughput$' -benchtime="${BENCHTIME:-2x}" -benchmem ./internal/node)
+  mem_line=$(echo "$node_out" | grep '^BenchmarkClusterThroughput/mem-32')
+  tcp_line=$(echo "$node_out" | grep '^BenchmarkClusterThroughput/tcp-16')
+  # The live data path as measured on the commit before the zero-allocation
+  # wire path landed (same 32-node / 16-node swarms, same machine class):
+  # per-frame buffer allocation in Encode, allocating decode, per-message
+  # Sends with no write batching, and O(peers) interest scans per upload
+  # decision. The fixed yardstick for the >=2x pieces/sec or >=80% fewer
+  # allocs acceptance ratio.
+  mem_pre='BenchmarkClusterThroughputMemPrePR(pinned) 2 390774216 ns/op 5306 pieces/sec 178039592 B/op 995065 allocs/op'
+  tcp_pre='BenchmarkClusterThroughputTCPPrePR(pinned) 2 168691048 ns/op 4376 pieces/sec 137826780 B/op 232479 allocs/op'
+  emit BENCH_node.json \
+    "BenchmarkClusterThroughput/mem-32:$mem_line" \
+    "BenchmarkClusterThroughput/tcp-16:$tcp_line" \
+    "BenchmarkClusterThroughputMemPrePR(pinned):$mem_pre" \
+    "BenchmarkClusterThroughputTCPPrePR(pinned):$tcp_pre"
+  ;;
 *)
-  echo "bench.sh: unknown target '$target' (want parallel, observability, or scale)" >&2
+  echo "bench.sh: unknown target '$target' (want parallel, observability, scale, or node)" >&2
   exit 2
   ;;
 esac

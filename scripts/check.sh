@@ -60,4 +60,22 @@ if [ "$scale_allocs" -gt 1000000 ]; then
   exit 1
 fi
 
+echo "== wire-path allocation guard =="
+# One piece-sized frame through the steady-state wire path (pooled
+# AppendFrame encode + Decoder scratch decode) must cost at most 1 alloc:
+# the decode side's Message interface boxing, which the API shape requires.
+# Anything above that means a buffer slipped out of the pool or the decoder
+# stopped reusing its scratch. 10000x amortizes pool warm-up to zero.
+frame_out=$(go test -run=NONE -bench='^BenchmarkFrameRoundTrip$' -benchtime=10000x -benchmem ./internal/protocol)
+echo "$frame_out"
+frame_allocs=$(echo "$frame_out" | awk '/^BenchmarkFrameRoundTrip/ {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ -z "$frame_allocs" ]; then
+  echo "wire guard: could not parse benchmark output" >&2
+  exit 1
+fi
+if [ "$frame_allocs" -gt 1 ]; then
+  echo "wire guard: frame round trip allocated $frame_allocs/op (ceiling 1) — the encode pool or decode scratch regressed" >&2
+  exit 1
+fi
+
 echo "check: OK"
