@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the CI gate; `make bench`
 # records the parallel-runner trajectory numbers to BENCH_parallel.json.
 
-.PHONY: check test bench bench-observability bench-scale bench-node
+.PHONY: check test bench bench-observability bench-scale bench-node bench-metrics
 
 check:
 	./scripts/check.sh
@@ -20,3 +20,6 @@ bench-scale:
 
 bench-node:
 	./scripts/bench.sh node
+
+bench-metrics:
+	./scripts/bench.sh metrics

@@ -61,6 +61,7 @@ type seedOptions struct {
 	uploadRate   float64
 	id           int
 	output       cli.OutputFlags
+	telemetry    cli.TelemetryFlags
 }
 
 func seedFlags(args []string) (seedOptions, error) {
@@ -74,6 +75,7 @@ func seedFlags(args []string) (seedOptions, error) {
 	fs.Float64Var(&opts.uploadRate, "rate", 0, "upload throttle in bytes/second (0 = unthrottled)")
 	fs.IntVar(&opts.id, "id", 0, "node ID (unique within the swarm)")
 	opts.output.RegisterJSON(fs)
+	opts.telemetry.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return opts, err
 	}
@@ -91,46 +93,48 @@ func seedMain(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	n, err := startSeed(opts, stdout)
+	n, tel, err := startSeed(opts, stdout)
 	if err != nil {
 		return err
 	}
 	defer n.Stop()
+	defer tel.stop(nil)
 	if !opts.output.JSON {
 		fmt.Fprintln(stdout, "seeding; press Ctrl-C to stop")
 	}
 	waitForInterrupt()
-	return nil
+	return tel.stop(nil)
 }
 
-// startSeed builds and starts the seeding node; factored out for tests.
-func startSeed(opts seedOptions, stdout io.Writer) (*node.Node, error) {
+// startSeed builds and starts the seeding node plus its telemetry
+// surfaces; factored out for tests.
+func startSeed(opts seedOptions, stdout io.Writer) (*node.Node, *nodeTelemetry, error) {
 	mechanism, err := algo.Parse(opts.algoName)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	content, err := os.ReadFile(opts.filePath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	manifest, err := piece.NewManifest(content, opts.pieceSize)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	manifestFile, err := os.Create(opts.manifestPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := piece.EncodeManifest(manifestFile, manifest); err != nil {
 		manifestFile.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if err := manifestFile.Close(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	store, err := piece.NewSeedStore(manifest, content)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n, err := node.New(node.Config{
 		ID:         opts.id,
@@ -142,29 +146,38 @@ func startSeed(opts seedOptions, stdout io.Writer) (*node.Node, error) {
 		SeedMode:   true,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := n.Start(); err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	tel, err := startTelemetry(opts.telemetry, n, manifest.NumPieces())
+	if err != nil {
+		n.Stop()
+		return nil, nil, err
 	}
 	if opts.output.JSON {
 		err := cli.WriteJSON(stdout, struct {
-			File      string `json:"file"`
-			Pieces    int    `json:"pieces"`
-			PieceSize int    `json:"piece_size"`
-			Algorithm string `json:"algorithm"`
-			Listen    string `json:"listen"`
-			Manifest  string `json:"manifest"`
-		}{opts.filePath, manifest.NumPieces(), opts.pieceSize, mechanism.String(), n.Addr(), opts.manifestPath})
+			File        string `json:"file"`
+			Pieces      int    `json:"pieces"`
+			PieceSize   int    `json:"piece_size"`
+			Algorithm   string `json:"algorithm"`
+			Listen      string `json:"listen"`
+			Manifest    string `json:"manifest"`
+			MetricsAddr string `json:"metrics_addr,omitempty"`
+		}{opts.filePath, manifest.NumPieces(), opts.pieceSize, mechanism.String(), n.Addr(), opts.manifestPath, tel.addr})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return n, nil
+		return n, tel, nil
 	}
 	fmt.Fprintf(stdout, "seeding %s (%d pieces x %d KB, %v) on %s\n",
 		opts.filePath, manifest.NumPieces(), opts.pieceSize/1024, mechanism, n.Addr())
 	fmt.Fprintf(stdout, "manifest written to %s\n", opts.manifestPath)
-	return n, nil
+	if tel.addr != "" {
+		fmt.Fprintf(stdout, "telemetry on http://%s/metrics\n", tel.addr)
+	}
+	return n, tel, nil
 }
 
 // getOptions parameterize the get subcommand.
@@ -178,6 +191,16 @@ type getOptions struct {
 	id           int
 	timeout      time.Duration
 	output       cli.OutputFlags
+	telemetry    cli.TelemetryFlags
+}
+
+// getReport is the get subcommand's -json payload; it doubles as the
+// summary embedded in the -metrics-out dump.
+type getReport struct {
+	cli.RunSummary
+	Out         string `json:"out"`
+	Algorithm   string `json:"algorithm"`
+	MetricsAddr string `json:"metrics_addr,omitempty"`
 }
 
 func getFlags(args []string) (getOptions, error) {
@@ -192,6 +215,7 @@ func getFlags(args []string) (getOptions, error) {
 	fs.IntVar(&opts.id, "id", 1, "node ID (unique within the swarm)")
 	fs.DurationVar(&opts.timeout, "timeout", 10*time.Minute, "give up after this long")
 	opts.output.RegisterJSON(fs)
+	opts.telemetry.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return opts, err
 	}
@@ -246,10 +270,18 @@ func runGet(opts getOptions, stdout io.Writer) error {
 		return err
 	}
 	defer n.Stop()
+	tel, err := startTelemetry(opts.telemetry, n, manifest.NumPieces())
+	if err != nil {
+		return err
+	}
+	defer tel.stop(nil) // runs before the deferred n.Stop
 
 	if !opts.output.JSON {
 		fmt.Fprintf(stdout, "downloading %d pieces (%v) from %d peer(s)\n",
 			manifest.NumPieces(), mechanism, len(opts.peers))
+		if tel.addr != "" {
+			fmt.Fprintf(stdout, "telemetry on http://%s/metrics\n", tel.addr)
+		}
 	}
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
@@ -258,6 +290,7 @@ func runGet(opts getOptions, stdout io.Writer) error {
 	defer cancel()
 	if err := n.WaitCompleteContext(ctx); err != nil {
 		s := n.Stats()
+		_ = tel.stop(nil) // keep the partial dump for diagnosing stalls
 		return fmt.Errorf("download incomplete after %v (%w): %d/%d pieces", opts.timeout, err, s.Pieces, manifest.NumPieces())
 	}
 	wall := time.Since(started)
@@ -273,12 +306,12 @@ func runGet(opts getOptions, stdout io.Writer) error {
 	stats := n.Stats()
 	summary := cli.NewRunSummary(len(content), manifest.NumPieces(), wall,
 		stats.FramesSent, stats.FramesReceived, memAfter.Mallocs-memBefore.Mallocs)
+	report := getReport{RunSummary: summary, Out: opts.outPath, Algorithm: mechanism.String(), MetricsAddr: tel.addr}
+	if err := tel.stop(report); err != nil {
+		return err
+	}
 	if opts.output.JSON {
-		return cli.WriteJSON(stdout, struct {
-			cli.RunSummary
-			Out       string `json:"out"`
-			Algorithm string `json:"algorithm"`
-		}{summary, opts.outPath, mechanism.String()})
+		return cli.WriteJSON(stdout, report)
 	}
 	fmt.Fprintf(stdout, "downloaded and verified %d bytes in %v -> %s\n",
 		len(content), wall.Round(time.Millisecond), opts.outPath)

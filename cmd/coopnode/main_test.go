@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/metrics"
 )
 
 func TestSeedFlags(t *testing.T) {
@@ -62,20 +65,28 @@ func TestSeedAndGetEndToEnd(t *testing.T) {
 	}
 
 	var seedOut strings.Builder
-	seed, err := startSeed(seedOptions{
+	seed, seedTel, err := startSeed(seedOptions{
 		filePath:     srcPath,
 		manifestPath: filepath.Join(dir, "payload.manifest"),
 		listen:       "127.0.0.1:0",
 		algoName:     "tchain",
 		pieceSize:    8 << 10,
 		id:           0,
+		telemetry:    cli.TelemetryFlags{MetricsAddr: "127.0.0.1:0"},
 	}, &seedOut)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer seed.Stop()
+	defer seedTel.stop(nil)
 	if !strings.Contains(seedOut.String(), "seeding") {
 		t.Errorf("seed output = %q", seedOut.String())
+	}
+	if seedTel.addr == "" {
+		t.Fatal("seed telemetry bound no address")
+	}
+	if !strings.Contains(seedOut.String(), seedTel.addr) {
+		t.Errorf("seed output %q does not report telemetry address %s", seedOut.String(), seedTel.addr)
 	}
 
 	outPath := filepath.Join(dir, "copy.bin")
@@ -136,6 +147,84 @@ func TestSeedAndGetEndToEnd(t *testing.T) {
 	if summary.Algorithm != "T-Chain" {
 		t.Errorf("algorithm = %q", summary.Algorithm)
 	}
+
+	// The seed's live HTTP surface serves both exposition formats while it
+	// runs, and its upload counters account for the copies it pushed out.
+	res, err := http.Get("http://" + seedTel.addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promText, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(promText), "# TYPE node_uploaded_bytes_total counter") {
+		t.Errorf("seed /metrics missing upload counter family:\n%.400s", promText)
+	}
+	res, err = http.Get("http://" + seedTel.addr + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seedSnap metrics.Snapshot
+	err = json.NewDecoder(res.Body).Decode(&seedSnap)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := seedSnap.Counters["node_uploaded_bytes_total"]; got < int64(2*len(content)) {
+		t.Errorf("seed uploaded %d bytes, want >= two full copies (%d)", got, 2*len(content))
+	}
+
+	// A third download with -metrics-out dumps a snapshot whose per-peer
+	// download counters sum to the run summary's byte total (the acceptance
+	// contract), plus the summary itself.
+	dumpPath := filepath.Join(dir, "telemetry.json")
+	var out3 strings.Builder
+	err = runGet(getOptions{
+		manifestPath: filepath.Join(dir, "payload.manifest"),
+		outPath:      filepath.Join(dir, "copy3.bin"),
+		peers:        cli.StringList{seed.Addr()},
+		listen:       "127.0.0.1:0",
+		algoName:     "tchain",
+		id:           3,
+		timeout:      60 * time.Second,
+		output:       cli.OutputFlags{JSON: true},
+		telemetry:    cli.TelemetryFlags{MetricsAddr: "127.0.0.1:0", MetricsOut: dumpPath},
+	}, &out3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report3 getReport
+	if err := json.Unmarshal([]byte(out3.String()), &report3); err != nil {
+		t.Fatalf("bad JSON output %q: %v", out3.String(), err)
+	}
+	if report3.MetricsAddr == "" {
+		t.Error("get -json did not report the bound metrics address")
+	}
+	raw, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Snapshot metrics.Snapshot `json:"snapshot"`
+		Summary  getReport        `json:"summary"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatal(err)
+	}
+	var perPeer int64
+	for name, v := range dump.Snapshot.Counters {
+		if strings.HasPrefix(name, "node_peer_download_bytes_total{") {
+			perPeer += v
+		}
+	}
+	if perPeer != int64(report3.Bytes) || report3.Bytes != len(content) {
+		t.Errorf("dump per-peer download sum = %d, summary bytes = %d, want %d", perPeer, report3.Bytes, len(content))
+	}
+	if dump.Summary.Bytes != report3.Bytes {
+		t.Errorf("embedded summary bytes = %d, want %d", dump.Summary.Bytes, report3.Bytes)
+	}
 }
 
 func TestRunGetBadManifest(t *testing.T) {
@@ -152,7 +241,7 @@ func TestRunGetBadManifest(t *testing.T) {
 }
 
 func TestStartSeedBadAlgorithm(t *testing.T) {
-	_, err := startSeed(seedOptions{
+	_, _, err := startSeed(seedOptions{
 		filePath: "whatever.bin",
 		algoName: "nonsense",
 	}, &strings.Builder{})

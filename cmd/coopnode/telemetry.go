@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/metrics"
+	"repro/internal/node"
+)
+
+// telemetryDump is the -metrics-out file: the node's final metric
+// snapshot, the sampler time-series collected over the run, and (for the
+// get subcommand) the run summary — everything a scripted run needs to
+// reconstruct what the node saw without scraping the HTTP surface.
+type telemetryDump struct {
+	Snapshot metrics.Snapshot `json:"snapshot"`
+	Samples  []node.SampleRow `json:"samples,omitempty"`
+	Summary  any              `json:"summary,omitempty"`
+}
+
+// nodeTelemetry owns the optional observability surfaces for one live
+// node: the -metrics-addr HTTP listener, the -dashboard line on stderr,
+// and the sampler series backing -metrics-out.
+type nodeTelemetry struct {
+	flags   cli.TelemetryFlags
+	n       *node.Node
+	srv     *http.Server
+	sampler *node.Sampler
+	addr    string // bound HTTP address, "" when -metrics-addr is off
+	stopped bool
+}
+
+// startTelemetry wires the surfaces requested by flags onto a started
+// node. totalPieces sizes the dashboard's progress fraction. The returned
+// value is non-nil even when no surface is active, so callers can
+// unconditionally stop it.
+func startTelemetry(flags cli.TelemetryFlags, n *node.Node, totalPieces int) (*nodeTelemetry, error) {
+	t := &nodeTelemetry{flags: flags, n: n}
+	if flags.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", flags.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		t.addr = ln.Addr().String()
+		t.srv = &http.Server{Handler: node.MetricsMux(n)}
+		go t.srv.Serve(ln)
+	}
+	if flags.Dashboard || flags.MetricsOut != "" {
+		var onRow func(node.SampleRow)
+		if flags.Dashboard {
+			onRow = func(r node.SampleRow) {
+				fmt.Fprintf(os.Stderr, "\r%s", node.DashboardLine(r, totalPieces))
+			}
+		}
+		t.sampler = node.StartSampler(n, time.Second, onRow)
+	}
+	return t, nil
+}
+
+// stop tears the surfaces down and, when -metrics-out is set, writes the
+// dump file; summary is embedded in the dump when non-nil. Idempotent —
+// only the first call acts — and safe on a nil receiver. Call it before
+// stopping the node so the sampler never reads a stopped node.
+func (t *nodeTelemetry) stop(summary any) error {
+	if t == nil || t.stopped {
+		return nil
+	}
+	t.stopped = true
+	if t.sampler != nil {
+		t.sampler.Stop()
+		if t.flags.Dashboard {
+			fmt.Fprintln(os.Stderr) // leave the last dashboard line visible
+		}
+	}
+	if t.srv != nil {
+		t.srv.Close()
+	}
+	if t.flags.MetricsOut == "" {
+		return nil
+	}
+	dump := telemetryDump{Snapshot: t.n.Metrics().Snapshot(), Summary: summary}
+	if t.sampler != nil {
+		dump.Samples = t.sampler.Rows()
+	}
+	f, err := os.Create(t.flags.MetricsOut)
+	if err != nil {
+		return err
+	}
+	if err := cli.WriteJSON(f, dump); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -96,6 +96,33 @@ func (o *OutputFlags) RegisterJSON(fs *flag.FlagSet) {
 	fs.BoolVar(&o.JSON, "json", o.JSON, "emit machine-readable JSON on stdout instead of the text report")
 }
 
+// TelemetryFlags bundles the live-node observability flags: -metrics-addr
+// (the per-node HTTP listener serving /metrics, /debug/swarm, and
+// /debug/vars), -dashboard (a live one-line terminal view), and
+// -metrics-out (a final JSON telemetry dump: snapshot plus sampler
+// time-series).
+type TelemetryFlags struct {
+	MetricsAddr string
+	Dashboard   bool
+	MetricsOut  string
+}
+
+// Register declares the telemetry flags on fs with the receiver's current
+// values as defaults.
+func (t *TelemetryFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&t.MetricsAddr, "metrics-addr", t.MetricsAddr,
+		"serve /metrics, /debug/swarm, and /debug/vars on this TCP address (\":0\" picks a free port; empty disables)")
+	fs.BoolVar(&t.Dashboard, "dashboard", t.Dashboard,
+		"render a live telemetry line on stderr while the node runs")
+	fs.StringVar(&t.MetricsOut, "metrics-out", t.MetricsOut,
+		"write a final JSON telemetry dump (metric snapshot + time-series samples) to this file")
+}
+
+// Active reports whether any telemetry output was requested.
+func (t *TelemetryFlags) Active() bool {
+	return t.MetricsAddr != "" || t.Dashboard || t.MetricsOut != ""
+}
+
 // WriteJSON renders v to w as indented JSON — the one renderer behind
 // every binary's -json mode, so their output framing matches.
 func WriteJSON(w io.Writer, v any) error {

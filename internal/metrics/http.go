@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the registry over HTTP: Prometheus text exposition by
+// default, an indented JSON Snapshot when the request asks for JSON
+// (`?format=json` or an Accept header containing application/json). The
+// JSON payload decodes back into a Snapshot, which the round-trip test
+// pins.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if wantsJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	})
+}
+
+// wantsJSON decides the exposition format for one request.
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/metrics"
 	"repro/internal/piece"
 	"repro/internal/transport"
 )
@@ -56,13 +57,19 @@ func benchCluster(b *testing.B, tr transport.Transport, listenAddr func(int) str
 // without kernel sockets) and over real TCP loopback. pieces/sec counts
 // completed piece deliveries across all leechers; allocs/op is the headline
 // the frame pooling and writer batching attack.
+//
+// Both variants run fully instrumented — per-node metrics plus a shared
+// transport.Metrics bundle — so the number this benchmark reports is the
+// telemetry-on cost, which scripts/bench.sh compares against the
+// pre-instrumentation BENCH_node.json baseline.
 func BenchmarkClusterThroughput(b *testing.B) {
 	b.Run("mem-32", func(b *testing.B) {
 		var elapsed time.Duration
 		var pieces int
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			d, p := benchCluster(b, transport.NewMem(), func(int) string { return "" }, 32)
+			tm := transport.NewMetrics(metrics.NewRegistry())
+			d, p := benchCluster(b, transport.NewMemInstrumented(tm), func(int) string { return "" }, 32)
 			elapsed += d
 			pieces += p
 		}
@@ -73,7 +80,8 @@ func BenchmarkClusterThroughput(b *testing.B) {
 		var pieces int
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			d, p := benchCluster(b, transport.NewTCP(), func(int) string { return "127.0.0.1:0" }, 16)
+			tm := transport.NewMetrics(metrics.NewRegistry())
+			d, p := benchCluster(b, transport.NewTCPInstrumented(tm), func(int) string { return "127.0.0.1:0" }, 16)
 			elapsed += d
 			pieces += p
 		}

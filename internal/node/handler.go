@@ -53,7 +53,7 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 	}
 
 	peerID := int(theirHello.PeerID)
-	r := newRemote(peerID, conn, n.cfg.Store.Manifest().NumPieces(), theirHello.Addr, &n.framesOut)
+	r := newRemote(peerID, conn, n.cfg.Store.Manifest().NumPieces(), theirHello.Addr, n.metrics)
 	n.mu.Lock()
 	if _, dup := n.peers[peerID]; dup || peerID == n.cfg.ID {
 		n.mu.Unlock()
@@ -95,7 +95,7 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 		if err != nil {
 			return
 		}
-		n.framesIn.Add(1)
+		n.metrics.framesIn.Inc()
 		if done := n.dispatch(r, msg); done {
 			return
 		}
@@ -115,6 +115,7 @@ func (n *Node) dispatch(r *remote, msg protocol.Message) bool {
 		for i := int32(0); i < m.NumPieces; i++ {
 			if int(i/8) < len(m.Bits) && m.Bits[i/8]&(1<<(uint(i)%8)) != 0 {
 				r.have.Set(int(i))
+				n.noteWantedLocked(int(i))
 			}
 		}
 		// Re-derive both interest counters in one popcount pass.
@@ -128,6 +129,7 @@ func (n *Node) dispatch(r *remote, msg protocol.Message) bool {
 				r.theyNeed-- // they caught up on a piece we hold
 			} else {
 				r.iNeed++ // they now hold a piece we still need
+				n.noteWantedLocked(int(m.Index))
 			}
 		}
 		n.mu.Unlock()
@@ -160,7 +162,15 @@ func (n *Node) handlePiece(r *remote, m protocol.Piece) {
 		return // forged or duplicate data; Put verified the hash
 	}
 	n.mu.Lock()
-	n.credited += float64(len(m.Data))
+	n.noteFirstByteLocked(int(m.Index))
+	// A racing duplicate (Put is idempotent) still credits the ledger as
+	// before, but the byte counters only attribute first deliveries so
+	// per-peer sums equal verified content bytes.
+	if n.myBits.Has(int(m.Index)) {
+		n.metrics.noteDuplicate(len(m.Data))
+	} else {
+		n.metrics.noteDownload(r.id, len(m.Data))
+	}
 	n.ledger.Credit(r.id, float64(len(m.Data)))
 	n.strategy.OnReceived(n.view(), incentive.PeerID(r.id), float64(len(m.Data)))
 	// A pending seal for this index is now moot; drop the ciphertext.
@@ -203,6 +213,7 @@ func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
 		origin, connected := n.peers[originID]
 		if !n.cfg.Store.Has(int(m.Index)) {
 			n.pendingSeals[m.KeyID] = pendingSeal{sealed: sealed, index: int(m.Index), originID: originID, originAddr: m.OriginAddr}
+			n.noteFirstByteLocked(int(m.Index))
 		}
 		n.mu.Unlock()
 		if connected {
@@ -217,6 +228,7 @@ func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
 		return // nothing to gain; skip reciprocating for a duplicate
 	}
 	n.pendingSeals[m.KeyID] = pendingSeal{sealed: sealed, index: int(m.Index), originID: originID, originAddr: m.OriginAddr}
+	n.noteFirstByteLocked(int(m.Index))
 	n.mu.Unlock()
 
 	if n.cfg.FreeRide {
@@ -266,9 +278,7 @@ func (n *Node) reciprocate(r *remote, m protocol.SealedPiece, ciphertext []byte)
 	if !witness.enqueueData(forwarded) {
 		return // witness saturated; same outcome as having no witness
 	}
-	n.mu.Lock()
-	n.uploaded += float64(len(ciphertext))
-	n.mu.Unlock()
+	n.metrics.noteUpload(witness.id, len(ciphertext))
 }
 
 // handleKey decrypts a pending seal, verifies, stores, and credits the
@@ -293,7 +303,11 @@ func (n *Node) handleKey(m protocol.Key) {
 		return // wrong key or corrupt ciphertext: hash check failed
 	}
 	n.mu.Lock()
-	n.credited += float64(len(plaintext))
+	if n.myBits.Has(pending.index) {
+		n.metrics.noteDuplicate(len(plaintext))
+	} else {
+		n.metrics.noteDownload(pending.originID, len(plaintext))
+	}
 	n.ledger.Credit(pending.originID, float64(len(plaintext)))
 	n.strategy.OnReceived(n.view(), incentive.PeerID(pending.originID), float64(len(plaintext)))
 	n.noteGainedLocked(pending.index)
@@ -368,6 +382,7 @@ func (n *Node) noteGainedLocked(index int) {
 	if !n.myBits.Set(index) {
 		return
 	}
+	n.noteVerifiedLocked(index)
 	for _, r := range n.peers {
 		if r.have.Has(index) {
 			r.iNeed-- // no longer need it from them

@@ -1,0 +1,235 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// nodeMetrics bundles the node's instrumentation: typed handles into one
+// metrics.Registry, resolved once at construction so the hot paths never
+// touch the registry's name map. Every node has one — when Config.Metrics
+// is nil a private registry backs it — which lets Stats() be a pure
+// snapshot shim over the counters instead of a second bookkeeping system.
+//
+// Series (node_ namespace):
+//
+//	node_uploaded_bytes_total / node_credited_bytes_total
+//	node_frames_sent_total{class="control"|"bulk"} / node_frames_received_total
+//	node_backpressure_refusals_total    bulk frames refused by a full peer queue
+//	node_pieces_verified_total
+//	node_duplicate_piece_bytes_total    verified deliveries of pieces already held
+//	node_peer_upload_bytes_total{peer="N"} / node_peer_download_bytes_total{peer="N"}
+//	node_upload_piece_bytes / node_download_piece_bytes     histograms
+//	node_span_want_to_first_byte_ns     first neighbor sighting -> first data
+//	node_span_first_byte_to_verified_ns first data -> hash-verified store
+//	node_span_want_to_verified_ns       the full piece-acquisition span
+//	node_pieces_held / node_neighbors / node_sealed_pending /
+//	node_complete / node_outbox_depth   pull-style gauges
+type nodeMetrics struct {
+	reg *metrics.Registry
+
+	uploadedBytes  *metrics.Counter
+	creditedBytes  *metrics.Counter
+	framesControl  *metrics.Counter
+	framesBulk     *metrics.Counter
+	framesIn       *metrics.Counter
+	backpressure   *metrics.Counter
+	piecesVerified *metrics.Counter
+	duplicateBytes *metrics.Counter
+
+	uploadPieceBytes   *metrics.Histogram
+	downloadPieceBytes *metrics.Histogram
+
+	spanWantFirstByte     *metrics.Histogram
+	spanFirstByteVerified *metrics.Histogram
+	spanWantVerified      *metrics.Histogram
+
+	peerMu   sync.Mutex
+	peerUp   map[int]*metrics.Counter
+	peerDown map[int]*metrics.Counter
+}
+
+// newNodeMetrics resolves the node's series in reg and registers the
+// pull-style gauges, which read n under its own locks at snapshot time
+// (never call Registry.Snapshot with n.mu held).
+func newNodeMetrics(reg *metrics.Registry, n *Node) *nodeMetrics {
+	m := &nodeMetrics{
+		reg:                   reg,
+		uploadedBytes:         reg.Counter("node_uploaded_bytes_total"),
+		creditedBytes:         reg.Counter("node_credited_bytes_total"),
+		framesControl:         reg.Counter(`node_frames_sent_total{class="control"}`),
+		framesBulk:            reg.Counter(`node_frames_sent_total{class="bulk"}`),
+		framesIn:              reg.Counter("node_frames_received_total"),
+		backpressure:          reg.Counter("node_backpressure_refusals_total"),
+		piecesVerified:        reg.Counter("node_pieces_verified_total"),
+		duplicateBytes:        reg.Counter("node_duplicate_piece_bytes_total"),
+		uploadPieceBytes:      reg.Histogram("node_upload_piece_bytes"),
+		downloadPieceBytes:    reg.Histogram("node_download_piece_bytes"),
+		spanWantFirstByte:     reg.Histogram("node_span_want_to_first_byte_ns"),
+		spanFirstByteVerified: reg.Histogram("node_span_first_byte_to_verified_ns"),
+		spanWantVerified:      reg.Histogram("node_span_want_to_verified_ns"),
+		peerUp:                make(map[int]*metrics.Counter),
+		peerDown:              make(map[int]*metrics.Counter),
+	}
+	reg.RegisterGaugeFunc("node_pieces_held", func() int64 {
+		return int64(n.cfg.Store.Count())
+	})
+	reg.RegisterGaugeFunc("node_complete", func() int64 {
+		if n.cfg.Store.Complete() {
+			return 1
+		}
+		return 0
+	})
+	reg.RegisterGaugeFunc("node_neighbors", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(len(n.peers))
+	})
+	reg.RegisterGaugeFunc("node_sealed_pending", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return int64(len(n.pendingSeals))
+	})
+	reg.RegisterGaugeFunc("node_outbox_depth", func() int64 {
+		return n.outboxDepth()
+	})
+	return m
+}
+
+// peerUpload returns the get-or-create per-peer upload byte counter.
+func (m *nodeMetrics) peerUpload(peer int) *metrics.Counter {
+	m.peerMu.Lock()
+	defer m.peerMu.Unlock()
+	c, ok := m.peerUp[peer]
+	if !ok {
+		c = m.reg.Counter(fmt.Sprintf(`node_peer_upload_bytes_total{peer="%d"}`, peer))
+		m.peerUp[peer] = c
+	}
+	return c
+}
+
+// peerDownload returns the get-or-create per-peer download byte counter.
+func (m *nodeMetrics) peerDownload(peer int) *metrics.Counter {
+	m.peerMu.Lock()
+	defer m.peerMu.Unlock()
+	c, ok := m.peerDown[peer]
+	if !ok {
+		c = m.reg.Counter(fmt.Sprintf(`node_peer_download_bytes_total{peer="%d"}`, peer))
+		m.peerDown[peer] = c
+	}
+	return c
+}
+
+// noteUpload records one outbound piece payload toward peer.
+func (m *nodeMetrics) noteUpload(peer, bytes int) {
+	m.uploadedBytes.Add(int64(bytes))
+	m.uploadPieceBytes.Observe(int64(bytes))
+	m.peerUpload(peer).Add(int64(bytes))
+}
+
+// noteDownload records one verified (credited) inbound piece payload from
+// peer.
+func (m *nodeMetrics) noteDownload(peer, bytes int) {
+	m.creditedBytes.Add(int64(bytes))
+	m.downloadPieceBytes.Observe(int64(bytes))
+	m.peerDownload(peer).Add(int64(bytes))
+}
+
+// noteDuplicate records a verified delivery of a piece we already held —
+// real wire traffic, but not useful volume (two peers pushed the same piece
+// concurrently). Kept out of the credited/per-peer counters so their sums
+// equal verified content bytes exactly.
+func (m *nodeMetrics) noteDuplicate(bytes int) {
+	m.duplicateBytes.Add(int64(bytes))
+}
+
+// peerDownloadBytes snapshots the per-peer download counters — the
+// fairness-index input for the sampler.
+func (m *nodeMetrics) peerDownloadBytes() map[int]int64 {
+	m.peerMu.Lock()
+	defer m.peerMu.Unlock()
+	out := make(map[int]int64, len(m.peerDown))
+	for id, c := range m.peerDown {
+		out[id] = c.Value()
+	}
+	return out
+}
+
+// sinceStartNs returns the node's monotonic span clock: nanoseconds since
+// Start. Span timestamps store this value (0 = unset), so span histograms
+// never mix wall-clock bases.
+func (n *Node) sinceStartNs() int64 {
+	d := time.Since(n.start).Nanoseconds()
+	if d <= 0 {
+		return 1 // Start just happened; keep "set" distinguishable from 0
+	}
+	return d
+}
+
+// noteWantedLocked marks the want-time of a piece (mu held): the first
+// moment a neighbor is seen holding a piece we lack. In this push protocol
+// there is no explicit request, so this is the span's opening edge.
+func (n *Node) noteWantedLocked(index int) {
+	if index < 0 || index >= len(n.wantSince) || n.wantSince[index] != 0 {
+		return
+	}
+	if n.myBits.Has(index) {
+		return
+	}
+	n.wantSince[index] = n.sinceStartNs()
+}
+
+// noteFirstByteLocked marks first data arrival for a piece (mu held) —
+// plaintext hitting the verifier, or ciphertext entering the pending-seal
+// escrow — and records the want->first-byte span.
+func (n *Node) noteFirstByteLocked(index int) {
+	if index < 0 || index >= len(n.firstByteAt) || n.firstByteAt[index] != 0 {
+		return
+	}
+	now := n.sinceStartNs()
+	n.firstByteAt[index] = now
+	if w := n.wantSince[index]; w != 0 {
+		n.metrics.spanWantFirstByte.Observe(now - w)
+	}
+}
+
+// noteVerifiedLocked closes a piece's span at hash-verified store time (mu
+// held).
+func (n *Node) noteVerifiedLocked(index int) {
+	n.metrics.piecesVerified.Inc()
+	if index < 0 || index >= len(n.firstByteAt) {
+		return
+	}
+	now := n.sinceStartNs()
+	if f := n.firstByteAt[index]; f != 0 {
+		n.metrics.spanFirstByteVerified.Observe(now - f)
+	}
+	if w := n.wantSince[index]; w != 0 {
+		n.metrics.spanWantVerified.Observe(now - w)
+	}
+}
+
+// outboxDepth sums the queued outbound frames across peers.
+func (n *Node) outboxDepth() int64 {
+	n.mu.Lock()
+	peers := make([]*remote, 0, len(n.peers))
+	for _, r := range n.peers {
+		peers = append(peers, r)
+	}
+	n.mu.Unlock()
+	var depth int64
+	for _, r := range peers {
+		r.outMu.Lock()
+		depth += int64(len(r.outbox))
+		r.outMu.Unlock()
+	}
+	return depth
+}
+
+// Metrics returns the node's metric registry — the one from Config.Metrics,
+// or the private registry the node created when none was supplied. It is
+// live: counters keep moving while the node runs.
+func (n *Node) Metrics() *metrics.Registry { return n.metrics.reg }

@@ -23,11 +23,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/algo"
 	"repro/internal/incentive"
+	"repro/internal/metrics"
 	"repro/internal/piece"
 	"repro/internal/protocol"
 	"repro/internal/reputation"
@@ -70,6 +70,11 @@ type Config struct {
 	// Ledger is the shared global-reputation service; nil creates a
 	// private one (reputation scores then stay local).
 	Ledger *reputation.Ledger
+	// Metrics receives the node's telemetry (the node_ series); nil
+	// creates a private registry, reachable via Node.Metrics. The registry
+	// is per-node — sharing one across nodes merges their counters into an
+	// aggregate view, which is valid but loses the per-node breakdown.
+	Metrics *metrics.Registry
 	// Seed drives the node's random choices; 0 derives one from ID.
 	Seed int64
 }
@@ -120,12 +125,12 @@ type remote struct {
 	outData   int                // bulk frames enqueued or being written
 	outClosed bool
 
-	sent *atomic.Int64 // owning node's frames-sent counter
+	nm *nodeMetrics // owning node's instrumentation
 }
 
 // newRemote wires the outbound queue.
-func newRemote(id int, conn transport.Conn, numPieces int, addr string, sent *atomic.Int64) *remote {
-	r := &remote{id: id, conn: conn, have: piece.NewBitfield(numPieces), addr: addr, sent: sent}
+func newRemote(id int, conn transport.Conn, numPieces int, addr string, nm *nodeMetrics) *remote {
+	r := &remote{id: id, conn: conn, have: piece.NewBitfield(numPieces), addr: addr, nm: nm}
 	r.outCond = sync.NewCond(&r.outMu)
 	return r
 }
@@ -145,10 +150,14 @@ func (r *remote) enqueue(m protocol.Message) {
 // enqueueData appends a bulk payload frame, reporting whether it was
 // accepted. A full queue refuses the frame — the caller treats the peer as
 // saturated and the scheduler's resend cooldown re-offers the piece later.
+// Each refusal lands in node_backpressure_refusals_total.
 func (r *remote) enqueueData(m protocol.Message) bool {
 	r.outMu.Lock()
 	defer r.outMu.Unlock()
 	if r.outClosed || r.outData >= maxQueuedData {
+		if !r.outClosed {
+			r.nm.backpressure.Inc()
+		}
 		return false
 	}
 	r.outData++
@@ -208,7 +217,11 @@ func (r *remote) writeLoop() {
 			}
 		}
 		if err == nil {
-			r.sent.Add(int64(len(batch)))
+			// nData is exactly the batch's bulk frames (Piece, SealedPiece);
+			// the rest are control frames, so the class split costs nothing
+			// beyond the bookkeeping writeLoop already does.
+			r.nm.framesBulk.Add(int64(nData))
+			r.nm.framesControl.Add(int64(len(batch) - nData))
 		}
 		clear(batch) // drop payload references before recycling the slice
 		r.outMu.Lock()
@@ -230,13 +243,14 @@ type pendingSeal struct {
 	originAddr string
 }
 
-// Stats is a snapshot of a node's counters.
+// Stats is a snapshot of a node's counters, assembled from the metrics
+// core (see Stats for the consistency model).
 type Stats struct {
 	ID             int
 	Pieces         int
 	Complete       bool
 	UploadedBytes  float64
-	CreditedBytes  float64 // verified plaintext received
+	CreditedBytes  float64 // verified plaintext received (first deliveries only)
 	SealedPending  int     // ciphertext pieces awaiting keys
 	Neighbors      int
 	FramesSent     int64 // wire frames written across all peers
@@ -260,8 +274,14 @@ type Node struct {
 	recentSends  map[int]map[int]time.Time
 	trusted      map[int]bool // peers that have genuinely reciprocated a seal
 	rng          *rand.Rand
-	uploaded     float64
-	credited     float64
+
+	// wantSince and firstByteAt are per-piece span timestamps (nanoseconds
+	// on the sinceStartNs clock, 0 = unset), maintained under mu: want-time
+	// opens when a neighbor is first seen holding a piece we lack,
+	// first-byte when its data (plaintext or ciphertext) first arrives, and
+	// noteVerifiedLocked closes the span at hash-verified store time.
+	wantSince   []int64
+	firstByteAt []int64
 
 	// myBits mirrors the store's holdings under mu, so the decision loop
 	// and the per-peer interest counters never take the store's lock or
@@ -274,8 +294,7 @@ type Node struct {
 	neighborScratch []incentive.PeerID
 	wantScratch     []incentive.PeerID
 
-	framesOut atomic.Int64 // frames written to the wire, all peers
-	framesIn  atomic.Int64 // frames received and dispatched, all peers
+	metrics *nodeMetrics // never nil after New
 
 	listener transport.Listener
 	done     chan struct{}
@@ -327,9 +346,16 @@ func New(cfg Config) (*Node, error) {
 		trusted:      make(map[int]bool),
 		rng:          stats.NewRNG(cfg.Seed),
 		myBits:       cfg.Store.Bitfield(),
+		wantSince:    make([]int64, cfg.Store.Manifest().NumPieces()),
+		firstByteAt:  make([]int64, cfg.Store.Manifest().NumPieces()),
 		done:         make(chan struct{}),
 		completeCh:   make(chan struct{}),
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	n.metrics = newNodeMetrics(reg, n)
 	if cfg.Store.Complete() {
 		n.completeOnce.Do(func() { close(n.completeCh) })
 	}
@@ -418,7 +444,17 @@ func (n *Node) WaitComplete(timeout time.Duration) bool {
 	return n.WaitCompleteContext(ctx) == nil
 }
 
-// Stats returns a snapshot of the node's counters.
+// Stats returns a snapshot of the node's counters. It is a shim over the
+// metrics core: every field reads the same counter the node_ series
+// exposes over /metrics.
+//
+// Consistency model: each individual value is tear-free (a sharded counter
+// merges its shards atomically), but the fields are read one after another
+// while the node keeps running, so cross-field invariants may be off by
+// the handful of events that landed between reads — e.g. Pieces may
+// already include a piece whose CreditedBytes increment is read a
+// microsecond later. Snapshots are exact once the node is stopped or
+// complete. Registry.Snapshot makes the same promise per metric.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -426,12 +462,12 @@ func (n *Node) Stats() Stats {
 		ID:             n.cfg.ID,
 		Pieces:         n.cfg.Store.Count(),
 		Complete:       n.cfg.Store.Complete(),
-		UploadedBytes:  n.uploaded,
-		CreditedBytes:  n.credited,
+		UploadedBytes:  float64(n.metrics.uploadedBytes.Value()),
+		CreditedBytes:  float64(n.metrics.creditedBytes.Value()),
 		SealedPending:  len(n.pendingSeals),
 		Neighbors:      len(n.peers),
-		FramesSent:     n.framesOut.Load(),
-		FramesReceived: n.framesIn.Load(),
+		FramesSent:     n.metrics.framesControl.Value() + n.metrics.framesBulk.Value(),
+		FramesReceived: n.metrics.framesIn.Value(),
 	}
 }
 

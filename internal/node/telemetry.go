@@ -1,0 +1,260 @@
+package node
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// DebugPeer is one row of the /debug/swarm peer table.
+type DebugPeer struct {
+	// ID is the peer's swarm identity.
+	ID int `json:"id"`
+	// Addr is the peer's advertised listen address.
+	Addr string `json:"addr"`
+	// Have is how many pieces the peer is known to hold.
+	Have int `json:"have"`
+	// TheyNeed counts pieces we hold that the peer lacks.
+	TheyNeed int `json:"they_need"`
+	// INeed counts pieces the peer holds that we lack.
+	INeed int `json:"i_need"`
+	// Outbox is the peer's queued outbound frame count.
+	Outbox int `json:"outbox"`
+}
+
+// DebugRarity summarizes piece availability across the known neighborhood
+// (neighbors plus ourselves).
+type DebugRarity struct {
+	// MinHolders and MaxHolders bound the per-piece holder counts.
+	MinHolders int `json:"min_holders"`
+	MaxHolders int `json:"max_holders"`
+	// MeanHolders is the average holder count per piece.
+	MeanHolders float64 `json:"mean_holders"`
+	// Rarest lists up to eight piece indices at MinHolders — the pieces a
+	// rarest-first strategy would chase.
+	Rarest []int `json:"rarest,omitempty"`
+}
+
+// DebugSwarm is the /debug/swarm payload: this node's view of the swarm at
+// one instant. Like Stats, each field is consistent with itself; the
+// snapshot as a whole is not a linearized cut of a running swarm.
+type DebugSwarm struct {
+	// ID is this node's identity; Pieces/Complete describe its store.
+	ID       int  `json:"id"`
+	Pieces   int  `json:"pieces"`
+	Complete bool `json:"complete"`
+	// Peers is the neighbor table, sorted by peer ID.
+	Peers []DebugPeer `json:"peers"`
+	// Rarity summarizes piece availability over the known neighborhood.
+	Rarity DebugRarity `json:"rarity"`
+}
+
+// DebugSwarmInfo assembles the node's current swarm view.
+func (n *Node) DebugSwarmInfo() DebugSwarm {
+	numPieces := n.cfg.Store.Manifest().NumPieces()
+	holders := make([]int, numPieces)
+
+	n.mu.Lock()
+	peers := make([]DebugPeer, 0, len(n.peers))
+	remotes := make([]*remote, 0, len(n.peers))
+	for _, r := range n.peers {
+		peers = append(peers, DebugPeer{
+			ID:       r.id,
+			Addr:     r.addr,
+			Have:     r.have.Count(),
+			TheyNeed: r.theyNeed,
+			INeed:    r.iNeed,
+		})
+		remotes = append(remotes, r)
+		for _, idx := range r.have.Indices() {
+			holders[idx]++
+		}
+	}
+	for _, idx := range n.myBits.Indices() {
+		holders[idx]++
+	}
+	n.mu.Unlock()
+
+	// Outbox depths are read outside n.mu (each queue has its own lock).
+	for i, r := range remotes {
+		r.outMu.Lock()
+		peers[i].Outbox = len(r.outbox)
+		r.outMu.Unlock()
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+
+	var rarity DebugRarity
+	if numPieces > 0 {
+		rarity.MinHolders = holders[0]
+		sum := 0
+		for _, h := range holders {
+			sum += h
+			if h < rarity.MinHolders {
+				rarity.MinHolders = h
+			}
+			if h > rarity.MaxHolders {
+				rarity.MaxHolders = h
+			}
+		}
+		rarity.MeanHolders = float64(sum) / float64(numPieces)
+		for idx, h := range holders {
+			if h == rarity.MinHolders {
+				rarity.Rarest = append(rarity.Rarest, idx)
+				if len(rarity.Rarest) == 8 {
+					break
+				}
+			}
+		}
+	}
+
+	return DebugSwarm{
+		ID:       n.cfg.ID,
+		Pieces:   n.cfg.Store.Count(),
+		Complete: n.cfg.Store.Complete(),
+		Peers:    peers,
+		Rarity:   rarity,
+	}
+}
+
+// MetricsMux serves the node's telemetry over HTTP:
+//
+//	/metrics      Prometheus text (JSON Snapshot with ?format=json)
+//	/debug/swarm  the DebugSwarm peer table and rarity summary
+//	/debug/vars   standard expvar, including this node's registry
+//
+// The registry is also published as the expvar variable "node_<id>" (first
+// publication per process wins; republishing is a no-op).
+func MetricsMux(n *Node) *http.ServeMux {
+	n.metrics.reg.PublishExpvar(fmt.Sprintf("node_%d", n.cfg.ID))
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(n.metrics.reg))
+	mux.HandleFunc("/debug/swarm", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(n.DebugSwarmInfo())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// SampleRow is one time-series point from the Sampler: the aggregate view
+// the coopnode dashboard renders and -metrics-out dumps.
+type SampleRow struct {
+	// TSec is seconds since sampling started.
+	TSec float64 `json:"t_sec"`
+	// Pieces and Complete describe download progress.
+	Pieces   int  `json:"pieces"`
+	Complete bool `json:"complete"`
+	// CreditedBytes is cumulative verified download volume; BytesPerSec is
+	// its rate over the last sampling interval.
+	CreditedBytes int64   `json:"credited_bytes"`
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+	// ActivePeers is the connected neighbor count.
+	ActivePeers int `json:"active_peers"`
+	// Jain is the Jain fairness index over per-peer download volume (0
+	// when fewer than one peer has delivered bytes).
+	Jain float64 `json:"jain"`
+	// OutboxDepth is the total queued outbound frames across peers.
+	OutboxDepth int64 `json:"outbox_depth"`
+}
+
+// Sampler periodically reduces a node's metrics into SampleRow points.
+// Stop it before stopping the node.
+type Sampler struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu   sync.Mutex
+	rows []SampleRow
+}
+
+// StartSampler samples n every interval, appending each row to the
+// sampler's series and passing it to onRow (nil for none; called from the
+// sampler goroutine).
+func StartSampler(n *Node, interval time.Duration, onRow func(SampleRow)) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		start := time.Now()
+		var lastBytes int64
+		lastT := start
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-ticker.C:
+				row := sampleNode(n, now.Sub(start).Seconds())
+				if dt := now.Sub(lastT).Seconds(); dt > 0 {
+					row.BytesPerSec = float64(row.CreditedBytes-lastBytes) / dt
+				}
+				lastBytes, lastT = row.CreditedBytes, now
+				s.mu.Lock()
+				s.rows = append(s.rows, row)
+				s.mu.Unlock()
+				if onRow != nil {
+					onRow(row)
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// sampleNode reduces the node's counters into one row at t seconds.
+func sampleNode(n *Node, t float64) SampleRow {
+	st := n.Stats()
+	perPeer := n.metrics.peerDownloadBytes()
+	xs := make([]float64, 0, len(perPeer))
+	for _, b := range perPeer {
+		if b > 0 {
+			xs = append(xs, float64(b))
+		}
+	}
+	jain := stats.JainIndex(xs)
+	if math.IsNaN(jain) || math.IsInf(jain, 0) {
+		jain = 0 // keep the row JSON-encodable
+	}
+	return SampleRow{
+		TSec:          t,
+		Pieces:        st.Pieces,
+		Complete:      st.Complete,
+		CreditedBytes: int64(st.CreditedBytes),
+		ActivePeers:   st.Neighbors,
+		Jain:          jain,
+		OutboxDepth:   n.outboxDepth(),
+	}
+}
+
+// Stop halts sampling and waits for the sampler goroutine.
+func (s *Sampler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Rows returns the rows collected so far, oldest first.
+func (s *Sampler) Rows() []SampleRow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SampleRow(nil), s.rows...)
+}
+
+// DashboardLine renders one row as the coopnode -dashboard terminal line.
+func DashboardLine(r SampleRow, totalPieces int) string {
+	return fmt.Sprintf("t=%5.1fs pieces=%d/%d rate=%8.0f B/s peers=%d jain=%.3f outbox=%d",
+		r.TSec, r.Pieces, totalPieces, r.BytesPerSec, r.ActivePeers, r.Jain, r.OutboxDepth)
+}

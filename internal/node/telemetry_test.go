@@ -1,0 +1,246 @@
+package node
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/metrics"
+	"repro/internal/piece"
+	"repro/internal/transport"
+)
+
+// TestClusterMetricsHTTP runs a small swarm to completion and pins the
+// acceptance contract: the getter's per-peer download counters, read over
+// the /metrics HTTP surface in both formats, sum to exactly the content
+// size, and /debug/swarm serves the peer table.
+func TestClusterMetricsHTTP(t *testing.T) {
+	c := newCluster(t, transport.NewMem(), memAddrs, algo.BitTorrent, 3, nil)
+	for i, n := range c.nodes[1:] {
+		if err := waitComplete(t, n, 20*time.Second); err != nil {
+			t.Fatalf("leecher %d incomplete: %v", i+1, err)
+		}
+	}
+	getter := c.nodes[1]
+	srv := httptest.NewServer(MetricsMux(getter))
+	defer srv.Close()
+
+	// JSON snapshot: per-peer download bytes sum to the file size.
+	res, err := srv.Client().Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	var perPeerSum int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "node_peer_download_bytes_total{") {
+			perPeerSum += v
+		}
+	}
+	if want := int64(len(c.content)); perPeerSum != want {
+		t.Errorf("per-peer download sum = %d, want content size %d", perPeerSum, want)
+	}
+	if got := snap.Counters["node_credited_bytes_total"]; got != perPeerSum {
+		t.Errorf("credited total %d != per-peer sum %d", got, perPeerSum)
+	}
+	if snap.Gauges["node_complete"] != 1 {
+		t.Errorf("node_complete = %d, want 1", snap.Gauges["node_complete"])
+	}
+	if got := snap.Counters["node_pieces_verified_total"]; got != testPieces {
+		t.Errorf("pieces verified = %d, want %d", got, testPieces)
+	}
+	// The span histograms closed once per verified piece.
+	if h := snap.Histograms["node_span_first_byte_to_verified_ns"]; h.Count != testPieces {
+		t.Errorf("first-byte->verified span count = %d, want %d", h.Count, testPieces)
+	}
+
+	// Prometheus text: same counters, text exposition.
+	res, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "# TYPE node_peer_download_bytes_total counter") {
+		t.Errorf("prometheus text missing per-peer family:\n%.500s", text)
+	}
+
+	// /debug/swarm: a complete node's table shows neighbors with nothing
+	// left to exchange.
+	res, err = srv.Client().Get(srv.URL + "/debug/swarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbg DebugSwarm
+	if err := json.NewDecoder(res.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if !dbg.Complete || dbg.Pieces != testPieces {
+		t.Errorf("debug swarm = %+v, want complete with %d pieces", dbg, testPieces)
+	}
+	if len(dbg.Peers) == 0 {
+		t.Error("debug swarm shows no peers on a running mesh")
+	}
+	for _, p := range dbg.Peers {
+		if p.INeed != 0 {
+			t.Errorf("complete node still needs %d pieces from peer %d", p.INeed, p.ID)
+		}
+	}
+
+	// /debug/vars: the expvar surface carries the registry too.
+	res, err = srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(res.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if _, ok := vars["node_1"]; !ok {
+		t.Error("expvar missing node_1 registry")
+	}
+}
+
+// TestStatsShim pins satellite 1: Stats() reads the same counters the
+// registry exposes, so the two views can never drift.
+func TestStatsShim(t *testing.T) {
+	c := newCluster(t, transport.NewMem(), memAddrs, algo.Altruism, 2, nil)
+	for i, n := range c.nodes[1:] {
+		if err := waitComplete(t, n, 20*time.Second); err != nil {
+			t.Fatalf("leecher %d incomplete: %v", i+1, err)
+		}
+	}
+	for _, n := range c.nodes {
+		st := n.Stats()
+		snap := n.Metrics().Snapshot()
+		if int64(st.CreditedBytes) != snap.Counters["node_credited_bytes_total"] {
+			t.Errorf("node %d: Stats credited %v != counter %d",
+				st.ID, st.CreditedBytes, snap.Counters["node_credited_bytes_total"])
+		}
+		if int64(st.UploadedBytes) != snap.Counters["node_uploaded_bytes_total"] {
+			t.Errorf("node %d: Stats uploaded %v != counter %d",
+				st.ID, st.UploadedBytes, snap.Counters["node_uploaded_bytes_total"])
+		}
+		wantSent := snap.Counters[`node_frames_sent_total{class="control"}`] +
+			snap.Counters[`node_frames_sent_total{class="bulk"}`]
+		if st.FramesSent != wantSent {
+			t.Errorf("node %d: Stats frames sent %d != class sum %d", st.ID, st.FramesSent, wantSent)
+		}
+		if st.FramesReceived != snap.Counters["node_frames_received_total"] {
+			t.Errorf("node %d: Stats frames received %d != counter %d",
+				st.ID, st.FramesReceived, snap.Counters["node_frames_received_total"])
+		}
+	}
+	// The seed uploaded at least one full copy; a leecher credited exactly
+	// one.
+	if got := c.nodes[0].Stats().UploadedBytes; got < float64(len(c.content)) {
+		t.Errorf("seed uploaded %v bytes, want >= %d", got, len(c.content))
+	}
+}
+
+// TestSharedRegistryAcrossNodes covers the documented aggregate mode: two
+// nodes feeding one registry merge their counters.
+func TestSharedRegistryAcrossNodes(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := transport.NewMem()
+	manifestCluster := newCluster(t, tr, memAddrs, algo.Altruism, 0, nil) // seed only
+	seed := manifestCluster.nodes[0]
+
+	leech, err := New(Config{
+		ID:        1,
+		Algorithm: algo.Altruism,
+		Store:     piece.NewStore(manifestCluster.manifest),
+		Transport: tr,
+		Bootstrap: []string{seed.Addr()},
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leech.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer leech.Stop()
+	if err := waitComplete(t, leech, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if leech.Metrics() != reg {
+		t.Error("Metrics() did not return the supplied registry")
+	}
+	if got := reg.Snapshot().Counters["node_credited_bytes_total"]; got != int64(len(manifestCluster.content)) {
+		t.Errorf("supplied registry credited %d, want %d", got, len(manifestCluster.content))
+	}
+}
+
+// TestSampler covers the periodic reducer: rows accumulate, progress is
+// monotonic, and the final row reflects completion.
+func TestSampler(t *testing.T) {
+	c := newCluster(t, transport.NewMem(), memAddrs, algo.BitTorrent, 2, nil)
+	n := c.nodes[1]
+	rowCh := make(chan SampleRow, 256)
+	s := StartSampler(n, 5*time.Millisecond, func(r SampleRow) {
+		select {
+		case rowCh <- r:
+		default:
+		}
+	})
+	if err := waitComplete(t, n, 20*time.Second); err != nil {
+		s.Stop()
+		t.Fatal(err)
+	}
+	// Let at least one post-completion sample land.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case r := <-rowCh:
+			if r.Complete {
+				s.Stop()
+				goto done
+			}
+		case <-deadline:
+			s.Stop()
+			t.Fatal("no complete sample observed")
+		}
+	}
+done:
+	rows := s.Rows()
+	if len(rows) == 0 {
+		t.Fatal("no rows collected")
+	}
+	last := rows[len(rows)-1]
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TSec < rows[i-1].TSec || rows[i].CreditedBytes < rows[i-1].CreditedBytes {
+			t.Fatalf("rows not monotonic at %d: %+v -> %+v", i, rows[i-1], rows[i])
+		}
+	}
+	if !last.Complete || last.Pieces != testPieces {
+		t.Errorf("final row %+v, want complete with %d pieces", last, testPieces)
+	}
+	if last.CreditedBytes != int64(len(c.content)) {
+		t.Errorf("final credited %d, want %d", last.CreditedBytes, len(c.content))
+	}
+	if last.Jain <= 0 || last.Jain > 1 {
+		t.Errorf("jain = %v, want (0, 1]", last.Jain)
+	}
+	// Rows must survive JSON encoding (no NaN leaks from the fairness
+	// index).
+	if _, err := json.Marshal(rows); err != nil {
+		t.Errorf("rows not JSON-encodable: %v", err)
+	}
+	if line := DashboardLine(last, testPieces); !strings.Contains(line, "pieces=16/16") {
+		t.Errorf("dashboard line %q missing progress", line)
+	}
+}

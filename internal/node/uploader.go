@@ -235,8 +235,8 @@ func (n *Node) sendPiece(r *remote, idx int, data []byte, repaysKeyID uint64) bo
 	} else if !r.enqueueData(msg) {
 		return false
 	}
+	n.metrics.noteUpload(r.id, len(data))
 	n.mu.Lock()
-	n.uploaded += float64(len(data))
 	n.strategy.OnSent(n.view(), incentive.PeerID(r.id), float64(len(data)))
 	n.mu.Unlock()
 	return true
@@ -275,8 +275,8 @@ func (n *Node) sendSealed(r *remote, idx int, data []byte) bool {
 		n.mu.Unlock()
 		return false
 	}
+	n.metrics.noteUpload(r.id, len(data))
 	n.mu.Lock()
-	n.uploaded += float64(len(data))
 	n.strategy.OnSent(n.view(), incentive.PeerID(r.id), float64(len(data)))
 	n.mu.Unlock()
 

@@ -1,0 +1,122 @@
+package probe
+
+import (
+	"repro/internal/metrics"
+)
+
+// Metrics adapts the simulator's hook stream onto a metrics.Registry, so
+// the simulator and the live cluster share one metric vocabulary (the
+// sim_ namespace mirrors the node_ namespace's shapes): per-hook event
+// counters named sim_<hook>_total after the Hook* constants, byte-volume
+// counters, transfer size/duration histograms, and an active-peer gauge.
+// Attach one per swarm (sim.Swarm.Attach), handing dashboards and the
+// /metrics surface the same registry the live node feeds.
+//
+// Durations are virtual seconds recorded as nanoseconds (the repo's _ns
+// histogram convention), so simulated and live latency histograms plot on
+// the same axes.
+type Metrics struct {
+	joins, leaves, aborts, bootstraps *metrics.Counter
+	completes, unchokes               *metrics.Counter
+	starts, finishes                  *metrics.Counter
+	credits, frCredits                *metrics.Counter
+	seederExits, samples              *metrics.Counter
+
+	creditedBytes *metrics.Counter
+	frBytes       *metrics.Counter
+
+	transferBytes *metrics.Histogram
+	transferDurNs *metrics.Histogram
+
+	activePeers *metrics.Gauge
+}
+
+var _ Probe = (*Metrics)(nil)
+
+// hookCounter names one per-hook event counter in the sim_ namespace.
+func hookCounter(reg *metrics.Registry, hook string) *metrics.Counter {
+	return reg.Counter("sim_" + hook + "_total")
+}
+
+// NewMetrics returns a Metrics probe recording into reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		joins:         hookCounter(reg, HookPeerJoin),
+		leaves:        hookCounter(reg, HookPeerLeave),
+		aborts:        hookCounter(reg, HookPeerAbort),
+		bootstraps:    hookCounter(reg, HookPeerBootstrap),
+		completes:     hookCounter(reg, HookPeerComplete),
+		unchokes:      hookCounter(reg, HookUnchoke),
+		starts:        hookCounter(reg, HookTransferStart),
+		finishes:      hookCounter(reg, HookTransferFinish),
+		credits:       hookCounter(reg, HookCredit),
+		frCredits:     hookCounter(reg, HookFreeRiderCredit),
+		seederExits:   hookCounter(reg, HookSeederExit),
+		samples:       hookCounter(reg, HookSample),
+		creditedBytes: reg.Counter("sim_credited_bytes_total"),
+		frBytes:       reg.Counter("sim_free_rider_credited_bytes_total"),
+		transferBytes: reg.Histogram("sim_transfer_bytes"),
+		transferDurNs: reg.Histogram("sim_transfer_duration_ns"),
+		activePeers:   reg.Gauge("sim_active_peers"),
+	}
+}
+
+// BeginRun implements Probe as a no-op (run shape travels in the
+// manifest, not the metric stream).
+func (m *Metrics) BeginRun(RunInfo) {}
+
+// PeerJoin implements Probe.
+func (m *Metrics) PeerJoin(float64, PeerInfo) {
+	m.joins.Inc()
+	m.activePeers.Add(1)
+}
+
+// PeerLeave implements Probe.
+func (m *Metrics) PeerLeave(float64, int) {
+	m.leaves.Inc()
+	m.activePeers.Add(-1)
+}
+
+// PeerAbort implements Probe.
+func (m *Metrics) PeerAbort(float64, int) { m.aborts.Inc() }
+
+// PeerBootstrap implements Probe.
+func (m *Metrics) PeerBootstrap(float64, int) { m.bootstraps.Inc() }
+
+// PeerComplete implements Probe.
+func (m *Metrics) PeerComplete(float64, int) { m.completes.Inc() }
+
+// Unchoke implements Probe.
+func (m *Metrics) Unchoke(float64, int, int) { m.unchokes.Inc() }
+
+// TransferStart implements Probe, recording the transfer's link size and
+// virtual duration.
+func (m *Metrics) TransferStart(_ float64, t Transfer) {
+	m.starts.Inc()
+	m.transferBytes.Observe(int64(t.Bytes))
+	m.transferDurNs.Observe(int64(t.Duration * 1e9))
+}
+
+// TransferFinish implements Probe.
+func (m *Metrics) TransferFinish(float64, Transfer) { m.finishes.Inc() }
+
+// Credit implements Probe.
+func (m *Metrics) Credit(_ float64, c CreditInfo) {
+	m.credits.Inc()
+	m.creditedBytes.Add(int64(c.Bytes))
+}
+
+// FreeRiderCredit implements Probe.
+func (m *Metrics) FreeRiderCredit(_ float64, _ int, bytes float64) {
+	m.frCredits.Inc()
+	m.frBytes.Add(int64(bytes))
+}
+
+// SeederExit implements Probe.
+func (m *Metrics) SeederExit(float64) { m.seederExits.Inc() }
+
+// Sample implements Probe.
+func (m *Metrics) Sample(float64) { m.samples.Inc() }
+
+// EndRun implements Probe as a no-op.
+func (m *Metrics) EndRun(float64) {}

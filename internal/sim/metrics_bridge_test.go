@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/metrics"
+	"repro/internal/probe"
+)
+
+// TestMetricsBridge attaches the probe.Metrics bridge alongside a
+// probe.Counter and asserts the registry's sim_ counters match the
+// counter's per-hook tallies — the simulator and the live cluster feed
+// the same metric vocabulary through the same Registry.
+func TestMetricsBridge(t *testing.T) {
+	cfg := testConfig(algo.BitTorrent)
+	sw, err := NewSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	c := &probe.Counter{}
+	if err := sw.Attach(probe.Multi(c, probe.NewMetrics(reg))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for hook, want := range c.Counts() {
+		name := "sim_" + hook + "_total"
+		if got := snap.Counters[name]; uint64(got) != want {
+			// Hooks with zero events never register a counter; that is
+			// fine as long as the tally agrees.
+			if !(got == 0 && want == 0) {
+				t.Errorf("%s = %d, want %d", name, got, want)
+			}
+		}
+	}
+	if got := snap.Counters["sim_credited_bytes_total"]; float64(got) != c.CreditedBytes() {
+		t.Errorf("sim_credited_bytes_total = %d, want %v", got, c.CreditedBytes())
+	}
+	counts := c.Counts()
+	th := snap.Histograms["sim_transfer_bytes"]
+	if th.Count != counts[probe.HookTransferStart] {
+		t.Errorf("sim_transfer_bytes count = %d, want starts = %d",
+			th.Count, counts[probe.HookTransferStart])
+	}
+	if want := int64(counts[probe.HookTransferStart]) * int64(cfg.PieceSize); th.Sum != want {
+		t.Errorf("sim_transfer_bytes sum = %d, want starts*pieceSize = %d", th.Sum, want)
+	}
+	if res.EventsProcessed == 0 {
+		t.Error("swarm processed no events")
+	}
+	// Every joiner eventually leaves or survives to the end; the gauge
+	// must equal joins minus leaves.
+	if got := snap.Gauges["sim_active_peers"]; got != int64(counts[probe.HookPeerJoin])-int64(counts[probe.HookPeerLeave]) {
+		t.Errorf("sim_active_peers = %d, want joins-leaves = %d",
+			got, int64(counts[probe.HookPeerJoin])-int64(counts[probe.HookPeerLeave]))
+	}
+}

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"repro/internal/metrics"
+)
+
+// Metrics is the transport-layer instrumentation bundle: frame and byte
+// volume per direction, flush batch sizes (how many frames each
+// SendBatch/Send coalesced into one write), and the fault-injection
+// observables (drops, injected delays) the Flaky wrapper records. A nil
+// *Metrics is everywhere a valid "don't record" sentinel, so the
+// uninstrumented constructors keep their zero-overhead hot path.
+//
+// Series (transport_ namespace):
+//
+//	transport_frames_sent_total / transport_frames_received_total
+//	transport_bytes_sent_total / transport_bytes_received_total (wire framing; TCP only)
+//	transport_flush_frames                 histogram of frames per flush
+//	transport_frame_bytes{dir="out"|"in"}  histogram of wire frame sizes (TCP only)
+//	transport_dropped_total                frames discarded by fault injection
+//	transport_injected_delay_ns            histogram of injected latencies
+type Metrics struct {
+	framesSent     *metrics.Counter
+	framesReceived *metrics.Counter
+	bytesSent      *metrics.Counter
+	bytesReceived  *metrics.Counter
+	flushFrames    *metrics.Histogram
+	frameBytesOut  *metrics.Histogram
+	frameBytesIn   *metrics.Histogram
+	dropped        *metrics.Counter
+	delayNs        *metrics.Histogram
+}
+
+// NewMetrics registers the transport series in reg and returns the bundle.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		framesSent:     reg.Counter("transport_frames_sent_total"),
+		framesReceived: reg.Counter("transport_frames_received_total"),
+		bytesSent:      reg.Counter("transport_bytes_sent_total"),
+		bytesReceived:  reg.Counter("transport_bytes_received_total"),
+		flushFrames:    reg.Histogram("transport_flush_frames"),
+		frameBytesOut:  reg.Histogram(`transport_frame_bytes{dir="out"}`),
+		frameBytesIn:   reg.Histogram(`transport_frame_bytes{dir="in"}`),
+		dropped:        reg.Counter("transport_dropped_total"),
+		delayNs:        reg.Histogram("transport_injected_delay_ns"),
+	}
+}
+
+// noteFrameOut records one encoded outbound frame of n wire bytes.
+func (m *Metrics) noteFrameOut(n int) {
+	if m == nil {
+		return
+	}
+	m.framesSent.Inc()
+	m.bytesSent.Add(int64(n))
+	m.frameBytesOut.Observe(int64(n))
+}
+
+// noteFrameIn records one decoded inbound frame of n wire bytes.
+func (m *Metrics) noteFrameIn(n int) {
+	if m == nil {
+		return
+	}
+	m.framesReceived.Inc()
+	m.bytesReceived.Add(int64(n))
+	m.frameBytesIn.Observe(int64(n))
+}
+
+// noteFlush records one write flush that coalesced frames frames.
+func (m *Metrics) noteFlush(frames int) {
+	if m == nil {
+		return
+	}
+	m.flushFrames.Observe(int64(frames))
+}
+
+// noteSentFrames records outbound frames with no wire framing (the memory
+// transport passes messages by reference, so there is no byte size).
+func (m *Metrics) noteSentFrames(n int) {
+	if m == nil {
+		return
+	}
+	m.framesSent.Add(int64(n))
+}
+
+// noteReceivedFrames records inbound frames with no wire framing.
+func (m *Metrics) noteReceivedFrames(n int) {
+	if m == nil {
+		return
+	}
+	m.framesReceived.Add(int64(n))
+}
+
+// noteDrop records one frame discarded by fault injection.
+func (m *Metrics) noteDrop() {
+	if m == nil {
+		return
+	}
+	m.dropped.Inc()
+}
+
+// noteDelay records one injected transit delay.
+func (m *Metrics) noteDelay(ns int64) {
+	if m == nil {
+		return
+	}
+	m.delayNs.Observe(ns)
+}

@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+)
+
+// pipe builds one connected (dialer, acceptor) pair on tr.
+func pipe(t *testing.T, tr Transport, addr string) (Conn, Conn) {
+	t.Helper()
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	type res struct {
+		c   Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	dialer, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dialer.Close() })
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { r.c.Close() })
+	return dialer, r.c
+}
+
+// TestTCPInstrumented pins the wire-volume accounting: bytes sent equal
+// bytes received, frame-size histograms match the frame counters, and
+// SendBatch records its batch size in the flush histogram.
+func TestTCPInstrumented(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	dialer, acceptor := pipe(t, NewTCPInstrumented(m), "127.0.0.1:0")
+
+	batch := []protocol.Message{
+		protocol.Have{Index: 1},
+		protocol.Have{Index: 2},
+		protocol.Piece{Index: 3, RepaysKeyID: protocol.NoRepay, Data: make([]byte, 2048)},
+	}
+	if err := dialer.(BatchSender).SendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := dialer.Send(protocol.Bye{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := acceptor.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["transport_frames_sent_total"]; got != 4 {
+		t.Errorf("frames sent = %d, want 4", got)
+	}
+	if got := snap.Counters["transport_frames_received_total"]; got != 4 {
+		t.Errorf("frames received = %d, want 4", got)
+	}
+	sent := snap.Counters["transport_bytes_sent_total"]
+	if recv := snap.Counters["transport_bytes_received_total"]; recv != sent || sent == 0 {
+		t.Errorf("bytes sent %d != bytes received %d", sent, recv)
+	}
+	out := snap.Histograms[`transport_frame_bytes{dir="out"}`]
+	if out.Count != 4 || out.Sum != sent {
+		t.Errorf("out frame histogram %+v, want count 4 sum %d", out, sent)
+	}
+	in := snap.Histograms[`transport_frame_bytes{dir="in"}`]
+	if in.Count != 4 || in.Sum != sent {
+		t.Errorf("in frame histogram %+v, want count 4 sum %d", in, sent)
+	}
+	fl := snap.Histograms["transport_flush_frames"]
+	if fl.Count != 2 || fl.Sum != 4 {
+		t.Errorf("flush histogram %+v, want 2 flushes totalling 4 frames", fl)
+	}
+}
+
+// TestMemInstrumented pins the by-reference transport's frame counting.
+func TestMemInstrumented(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	dialer, acceptor := pipe(t, NewMemInstrumented(m), "")
+
+	for i := int32(0); i < 5; i++ {
+		if err := dialer.Send(protocol.Have{Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := acceptor.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["transport_frames_sent_total"]; got != 5 {
+		t.Errorf("frames sent = %d, want 5", got)
+	}
+	if got := snap.Counters["transport_frames_received_total"]; got != 5 {
+		t.Errorf("frames received = %d, want 5", got)
+	}
+	if got := snap.Counters["transport_bytes_sent_total"]; got != 0 {
+		t.Errorf("mem transport recorded %d wire bytes, want 0 (by-reference)", got)
+	}
+}
+
+// TestFlakyWithMetrics pins the fault-injection observables: total-loss
+// drops count every eligible frame, and configured latency draws land in
+// the delay histogram.
+func TestFlakyWithMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	fl, err := NewFlaky(NewMem(), WithDropProb(1), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dialer, _ := pipe(t, fl, "")
+	for i := int32(0); i < 7; i++ {
+		if err := dialer.Send(protocol.Have{Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Snapshot().Counters["transport_dropped_total"]; got != 7 {
+		t.Errorf("dropped = %d, want 7", got)
+	}
+
+	reg2 := metrics.NewRegistry()
+	m2 := NewMetrics(reg2)
+	fl2, err := NewFlaky(NewMem(), WithLatency(time.Millisecond, 2*time.Millisecond), WithMetrics(m2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, a2 := pipe(t, fl2, "")
+	if err := d2.Send(protocol.Have{Index: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	h := reg2.Snapshot().Histograms["transport_injected_delay_ns"]
+	if h.Count != 1 {
+		t.Fatalf("delay histogram count = %d, want 1", h.Count)
+	}
+	if h.Sum < int64(time.Millisecond) || h.Sum > int64(2*time.Millisecond) {
+		t.Errorf("delay %dns outside configured [1ms, 2ms]", h.Sum)
+	}
+}

@@ -12,34 +12,41 @@ import (
 )
 
 // TCP is the real-network Transport: protocol frames over TCP connections.
-type TCP struct{}
+type TCP struct {
+	m *Metrics
+}
 
 var _ Transport = TCP{}
 
 // NewTCP returns the TCP transport.
 func NewTCP() TCP { return TCP{} }
 
+// NewTCPInstrumented returns a TCP transport whose connections record wire
+// volume, frame sizes, and flush batch sizes into m.
+func NewTCPInstrumented(m *Metrics) TCP { return TCP{m: m} }
+
 // Listen binds a TCP address; use "127.0.0.1:0" to let the kernel pick a
 // port and read it back from Listener.Addr.
-func (TCP) Listen(addr string) (Listener, error) {
+func (t TCP) Listen(addr string) (Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	return &tcpListener{inner: l}, nil
+	return &tcpListener{inner: l, m: t.m}, nil
 }
 
 // Dial connects to a TCP listener.
-func (TCP) Dial(addr string) (Conn, error) {
+func (t TCP) Dial(addr string) (Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, t.m), nil
 }
 
 type tcpListener struct {
 	inner net.Listener
+	m     *Metrics
 	once  sync.Once
 }
 
@@ -53,7 +60,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 		}
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, l.m), nil
 }
 
 func (l *tcpListener) Close() error {
@@ -75,6 +82,7 @@ func (l *tcpListener) Addr() string { return l.inner.Addr().String() }
 type tcpConn struct {
 	inner   net.Conn
 	dec     *protocol.Decoder
+	m       *Metrics // nil when uninstrumented
 	writeMu sync.Mutex
 	bw      *bufio.Writer
 	once    sync.Once
@@ -83,10 +91,11 @@ type tcpConn struct {
 var _ Conn = (*tcpConn)(nil)
 var _ BatchSender = (*tcpConn)(nil)
 
-func newTCPConn(c net.Conn) *tcpConn {
+func newTCPConn(c net.Conn, m *Metrics) *tcpConn {
 	return &tcpConn{
 		inner: c,
 		dec:   protocol.NewDecoder(bufio.NewReaderSize(c, 64<<10)),
+		m:     m,
 		bw:    bufio.NewWriterSize(c, 64<<10),
 	}
 }
@@ -102,9 +111,12 @@ func sendErr(err error) error {
 func (c *tcpConn) Send(m protocol.Message) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	if err := protocol.EncodeTo(c.bw, m); err != nil {
+	n, err := protocol.EncodeToN(c.bw, m)
+	if err != nil {
 		return sendErr(err)
 	}
+	c.m.noteFrameOut(n)
+	c.m.noteFlush(1)
 	return sendErr(c.bw.Flush())
 }
 
@@ -115,10 +127,13 @@ func (c *tcpConn) SendBatch(ms []protocol.Message) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	for _, m := range ms {
-		if err := protocol.EncodeTo(c.bw, m); err != nil {
+		n, err := protocol.EncodeToN(c.bw, m)
+		if err != nil {
 			return sendErr(err)
 		}
+		c.m.noteFrameOut(n)
 	}
+	c.m.noteFlush(len(ms))
 	return sendErr(c.bw.Flush())
 }
 
@@ -130,6 +145,7 @@ func (c *tcpConn) Recv() (protocol.Message, error) {
 		}
 		return nil, err
 	}
+	c.m.noteFrameIn(c.dec.LastFrameSize())
 	return m, nil
 }
 

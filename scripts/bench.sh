@@ -27,6 +27,12 @@
 #       loopback (bufio-batched per-peer writers, one syscall per drain)
 #     - the pinned pre-PR baselines (per-frame allocation, per-message
 #       syscalls, O(peers) interest scans) for the speedup/allocation ratios
+#   metrics -> BENCH_metrics.json
+#     - BenchmarkClusterThroughput with full telemetry attached (per-node
+#       registries + transport metrics), compared against BENCH_node.json;
+#       fails if pieces/sec drops more than METRICS_TOLERANCE_PCT (5)
+#     - BenchmarkCounterAdd / BenchmarkHistogramObserve: the sharded
+#       metrics core's fast paths (0 allocs/op, enforced by check.sh)
 # Each target writes only its own file, so re-recording one PR's numbers
 # never clobbers another's baseline.
 # BENCHTIME overrides -benchtime (default 1x for Figure4, auto for eventsim).
@@ -126,8 +132,47 @@ node)
     "BenchmarkClusterThroughputMemPrePR(pinned):$mem_pre" \
     "BenchmarkClusterThroughputTCPPrePR(pinned):$tcp_pre"
   ;;
+metrics)
+  # The node cluster benchmark now runs fully instrumented (per-node
+  # registries plus a transport metrics bundle), so these numbers are the
+  # telemetry-on cost. The guard compares pieces/sec against the
+  # pre-instrumentation BENCH_node.json baseline and fails if telemetry
+  # costs more than METRICS_TOLERANCE_PCT percent (default 5).
+  node_out=$(go test -run=NONE -bench='^BenchmarkClusterThroughput$' -benchtime="${BENCHTIME:-2x}" -benchmem ./internal/node)
+  mem_line=$(echo "$node_out" | grep '^BenchmarkClusterThroughput/mem-32')
+  tcp_line=$(echo "$node_out" | grep '^BenchmarkClusterThroughput/tcp-16')
+  core_out=$(go test -run=NONE -bench='^Benchmark(CounterAdd|HistogramObserve)$' -benchmem ./internal/metrics)
+  ctr_line=$(echo "$core_out" | grep '^BenchmarkCounterAdd')
+  hist_line=$(echo "$core_out" | grep '^BenchmarkHistogramObserve')
+  emit BENCH_metrics.json \
+    "BenchmarkClusterThroughput/mem-32:$mem_line" \
+    "BenchmarkClusterThroughput/tcp-16:$tcp_line" \
+    "BenchmarkCounterAdd:$ctr_line" \
+    "BenchmarkHistogramObserve:$hist_line"
+  if [ -f BENCH_node.json ]; then
+    tolerance="${METRICS_TOLERANCE_PCT:-5}"
+    for name in 'BenchmarkClusterThroughput/mem-32' 'BenchmarkClusterThroughput/tcp-16'; do
+      base=$(grep -F "\"name\": \"$name\"" BENCH_node.json | sed -n 's/.*"pieces_per_sec": \([0-9.]*\).*/\1/p')
+      now=$(grep -F "\"name\": \"$name\"" BENCH_metrics.json | sed -n 's/.*"pieces_per_sec": \([0-9.]*\).*/\1/p')
+      if [ -z "$base" ] || [ -z "$now" ]; then
+        echo "metrics bench: could not read pieces/sec for $name" >&2
+        exit 1
+      fi
+      ok=$(awk -v b="$base" -v n="$now" -v tol="$tolerance" \
+        'BEGIN { print (n >= b * (1 - tol / 100)) ? 1 : 0 }')
+      pct=$(awk -v b="$base" -v n="$now" 'BEGIN { printf "%.1f", 100 * (n - b) / b }')
+      echo "metrics bench: $name telemetry-on ${now} vs baseline ${base} pieces/sec (${pct}%)"
+      if [ "$ok" != 1 ]; then
+        echo "metrics bench: $name regressed more than ${tolerance}% vs BENCH_node.json" >&2
+        exit 1
+      fi
+    done
+  else
+    echo "metrics bench: BENCH_node.json missing, skipping the regression comparison" >&2
+  fi
+  ;;
 *)
-  echo "bench.sh: unknown target '$target' (want parallel, observability, scale, or node)" >&2
+  echo "bench.sh: unknown target '$target' (want parallel, observability, scale, node, or metrics)" >&2
   exit 2
   ;;
 esac

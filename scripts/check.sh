@@ -78,4 +78,22 @@ if [ "$frame_allocs" -gt 1 ]; then
   exit 1
 fi
 
+echo "== metrics allocation guard =="
+# The sharded metrics core sits on every hot path the node instruments, so
+# a steady-state Counter.Add or Histogram.Observe must be allocation-free.
+# Any nonzero count means a shard lookup or bucket update started escaping.
+metrics_out=$(go test -run=NONE -bench='^Benchmark(CounterAdd|HistogramObserve)$' -benchmem ./internal/metrics)
+echo "$metrics_out"
+for name in BenchmarkCounterAdd BenchmarkHistogramObserve; do
+  allocs=$(echo "$metrics_out" | awk -v n="^$name" '$0 ~ n {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+  if [ -z "$allocs" ]; then
+    echo "metrics guard: could not parse $name output" >&2
+    exit 1
+  fi
+  if [ "$allocs" != "0" ]; then
+    echo "metrics guard: $name allocated $allocs/op (must be 0) — the sharded fast path regressed" >&2
+    exit 1
+  fi
+done
+
 echo "check: OK"

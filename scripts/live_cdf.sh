@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# live_cdf.sh [getters [size_kb [algo]]] — Figure-4-style completion-time
+# CDF from a live swarm. Seeds a synthetic file with coopnode, launches
+# `getters` concurrent get processes against it (default 31, i.e. a
+# 32-node swarm counting the seed), collects each run's wall_ms from its
+# -json summary, and emits the completion CDF as "wall_ms,fraction" CSV on
+# stdout (progress goes to stderr). OUT=<file> redirects the CSV;
+# PIECE_KB overrides the piece size (default 64).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+getters="${1:-31}"
+size_kb="${2:-4096}"
+algo="${3:-tchain}"
+piece_kb="${PIECE_KB:-64}"
+
+work=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$work"' EXIT
+
+echo "building coopnode..." >&2
+go build -o "$work/coopnode" ./cmd/coopnode
+
+head -c "$((size_kb * 1024))" /dev/urandom > "$work/payload.bin"
+
+"$work/coopnode" seed -file "$work/payload.bin" -manifest "$work/payload.manifest" \
+  -listen 127.0.0.1:0 -algo "$algo" -piecesize "$((piece_kb * 1024))" -json \
+  > "$work/seed.json" &
+seed_pid=$!
+
+# The seed prints its bound address as JSON once it is listening.
+seed_addr=""
+for _ in $(seq 1 100); do
+  seed_addr=$(sed -n 's/.*"listen": "\([^"]*\)".*/\1/p' "$work/seed.json" 2>/dev/null || true)
+  [ -n "$seed_addr" ] && break
+  kill -0 "$seed_pid" 2>/dev/null || { echo "live_cdf: seed exited early" >&2; exit 1; }
+  sleep 0.1
+done
+if [ -z "$seed_addr" ]; then
+  echo "live_cdf: seed never reported its address" >&2
+  exit 1
+fi
+echo "seeding ${size_kb} KB ($algo) on $seed_addr; launching $getters getters" >&2
+
+pids=()
+for i in $(seq 1 "$getters"); do
+  "$work/coopnode" get -manifest "$work/payload.manifest" -peer "$seed_addr" \
+    -listen 127.0.0.1:0 -algo "$algo" -id "$i" -json -timeout 10m \
+    -out "$work/copy-$i.bin" > "$work/get-$i.json" 2>"$work/get-$i.err" &
+  pids+=($!)
+done
+
+fail=0
+for i in $(seq 1 "$getters"); do
+  if ! wait "${pids[$((i - 1))]}"; then
+    echo "live_cdf: getter $i failed:" >&2
+    cat "$work/get-$i.err" >&2
+    fail=1
+  fi
+done
+[ "$fail" = 0 ] || exit 1
+kill "$seed_pid" 2>/dev/null || true
+
+# Sort the wall-clock times and emit the empirical CDF.
+csv() {
+  echo "wall_ms,fraction"
+  for i in $(seq 1 "$getters"); do
+    sed -n 's/.*"wall_ms": \([0-9.]*\).*/\1/p' "$work/get-$i.json"
+  done | sort -n | awk -v n="$getters" '{ printf "%s,%.4f\n", $1, NR / n }'
+}
+if [ -n "${OUT:-}" ]; then
+  csv > "$OUT"
+  echo "wrote $OUT" >&2
+else
+  csv
+fi
