@@ -78,6 +78,11 @@ func WithIncentiveParams(p incentive.Params) Option { return sim.WithIncentive(p
 // WithSeeder sets the origin server's upload rate in bytes/second.
 func WithSeeder(rate float64) Option { return sim.WithSeeder(rate) }
 
+// WithShards selects the sharded parallel event engine with n shards
+// (n >= 1); 0 restores the serial engine. Sharded output is identical for
+// every n >= 1.
+func WithShards(n int) Option { return sim.WithShards(n) }
+
 // WithFaults injects failures: abortRate of compliant peers crash
 // mid-download, and the seeder exits at seederExitAt (0 disables either
 // knob). It composes sim.WithAbortRate and sim.WithSeederExit.

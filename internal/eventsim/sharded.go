@@ -1,0 +1,649 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the conservative-lookahead parallel variant of the
+// engine. The model's schedulable units are *lanes* (the swarm simulator
+// uses one lane per peer plus one for the seeder); lanes are packed onto P
+// shards by lane % P, and each shard owns an event heap, a free list, and
+// the sequence counters of its lanes, so shards share no mutable state
+// while a window executes.
+//
+// Time advances in windows of fixed width W (the lookahead): all shards
+// concurrently execute their lanes' events with time in [T, T+W), then meet
+// at a barrier. The model guarantees W is a lower bound on every cross-lane
+// interaction latency, so an event executing inside a window can only
+// schedule onto *other* lanes at or after the next window start — those
+// sends travel through per-shard outboxes and are merged into the
+// destination heaps at the barrier, before any of them is due.
+//
+// Determinism is by construction, independent of P:
+//
+//   - Every event carries the key (time, source lane, per-lane sequence
+//     number). The pair (lane, seq) is unique, so the key is a strict total
+//     order; per-shard heaps pop in key order, and because lanes never
+//     interact inside a window, the union of all shards' pop sequences is
+//     the same multiset in the same per-lane order for any P.
+//   - In-window handlers must not mutate state shared across lanes.
+//     Instead they stage *records* (facts about what happened, in the
+//     model's own record type R); the barrier replays all records of the
+//     window in merged key order on a single goroutine, interleaved with
+//     the control queue below. The merged order is again P-independent.
+//   - Control events (model-global work: joins, samplers, failure and
+//     attack injection) live on a dedicated control queue processed only at
+//     barriers, ordered by the same key with the control lane numbered
+//     after every worker lane.
+//
+// The upshot: shards=1 and shards=N execute the identical event sequence
+// per lane and the identical barrier sequence globally, so simulation
+// output is byte-identical across shard counts.
+type Sharded[R any] struct {
+	p      int     // shard count
+	lanes  int     // worker lanes; the control lane is lane `lanes`
+	window float64 // lookahead W: minimum cross-lane latency
+	replay func(now float64, rec R)
+
+	shards  []*laneShard[R]
+	laneSeq []uint64 // per-lane scheduling counters; last entry = control
+
+	control   []shardEntry // control-queue 4-ary heap (lane = e.lanes)
+	ctlFree   []*event
+	ctlNow    float64
+	ctlEvents uint64
+
+	now          float64 // committed time: last barrier, horizon, or stop
+	barrierFloor float64 // earliest admissible lane time for barrier scheduling
+	lastEvent    float64 // latest executed event time (drain semantics)
+	stopped      bool
+	running      bool
+
+	heads []int // per-shard record cursors, reused across barriers
+}
+
+// ShardStats is one shard's lifetime counters, exported for metrics.
+type ShardStats struct {
+	Lane      int     // shard index
+	Processed uint64  // lane events executed
+	Stalls    uint64  // windows in which this shard had no due event
+	CrossSent uint64  // cross-lane messages sent from this shard
+	CrossRecv uint64  // cross-lane messages delivered into this shard
+	Staged    uint64  // records staged by this shard's lanes
+	MaxTime   float64 // latest event time executed on this shard
+}
+
+// shardEntry is one heap slot: the deterministic key plus the record.
+type shardEntry struct {
+	time float64
+	lane int32
+	seq  uint64
+	ev   *event
+}
+
+// keyLess orders entries by (time, lane, seq) — strict and P-independent.
+func keyLess(a, b shardEntry) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
+	}
+	return a.seq < b.seq
+}
+
+// stagedRec is a model record tagged with its staging event's key; idx
+// disambiguates multiple records from one event.
+type stagedRec[R any] struct {
+	time float64
+	lane int32
+	seq  uint64
+	idx  int32
+	rec  R
+}
+
+// outMsg is a cross-lane event in transit through an outbox.
+type outMsg struct {
+	time float64
+	lane int32 // source lane (the key lane)
+	seq  uint64
+	h    Handler
+}
+
+// laneShard owns the heap, free list, outboxes, and staged records of the
+// lanes assigned to it. Only its worker goroutine touches it during a
+// window; only the coordinator touches it during a barrier.
+type laneShard[R any] struct {
+	id     int
+	heap   []shardEntry
+	free   []*event
+	outbox [][]outMsg // indexed by destination shard
+	recs   []stagedRec[R]
+
+	// current-dispatch key, for Stage
+	curTime   float64
+	curLane   int32
+	curSeq    uint64
+	recIdx    int32
+	winEnd    float64 // current window end, for cross-lane validation
+	now       float64 // current event time while dispatching
+	processed uint64
+	stalls    uint64
+	crossSent uint64
+	crossRecv uint64
+	maxTime   float64
+	// stagedTotal accumulates record counts across cleared windows so
+	// Stats reports lifetime staging volume.
+	stagedTotal uint64
+
+	work chan windowJob
+	done chan struct{}
+}
+
+type windowJob struct {
+	winEnd  float64
+	horizon float64
+}
+
+// NewSharded returns a windowed parallel engine with the given shard count,
+// worker-lane count, and lookahead window. replay is invoked on the barrier
+// goroutine for every staged record, in deterministic merged order. Shard
+// counts above the lane count are clamped (excess shards would only stall).
+func NewSharded[R any](shards, lanes int, window float64, replay func(now float64, rec R)) *Sharded[R] {
+	if shards < 1 || lanes < 1 {
+		panic(fmt.Sprintf("eventsim: NewSharded(%d, %d)", shards, lanes))
+	}
+	if window <= 0 || math.IsNaN(window) || math.IsInf(window, 0) {
+		panic(fmt.Sprintf("eventsim: NewSharded window %g", window))
+	}
+	if shards > lanes {
+		shards = lanes
+	}
+	e := &Sharded[R]{
+		p:       shards,
+		lanes:   lanes,
+		window:  window,
+		replay:  replay,
+		laneSeq: make([]uint64, lanes+1),
+		heads:   make([]int, shards),
+	}
+	e.shards = make([]*laneShard[R], shards)
+	for i := range e.shards {
+		e.shards[i] = &laneShard[R]{
+			id:     i,
+			outbox: make([][]outMsg, shards),
+			work:   make(chan windowJob, 1),
+			done:   make(chan struct{}, 1),
+		}
+	}
+	return e
+}
+
+// Now returns the committed virtual time: the last window boundary, the
+// horizon, or (after a drain) the final event time.
+func (e *Sharded[R]) Now() float64 { return e.now }
+
+// Window returns the lookahead width W.
+func (e *Sharded[R]) Window() float64 { return e.window }
+
+// Shards returns the effective shard count.
+func (e *Sharded[R]) Shards() int { return e.p }
+
+// Processed returns the total events executed (lane events plus control
+// events; staged records are not events).
+func (e *Sharded[R]) Processed() uint64 {
+	total := e.ctlEvents
+	for _, sh := range e.shards {
+		total += sh.processed
+	}
+	return total
+}
+
+// Stats returns a snapshot of the per-shard counters. Call between windows
+// or after Run (the counters are owned by worker goroutines mid-window).
+func (e *Sharded[R]) Stats() []ShardStats {
+	out := make([]ShardStats, e.p)
+	for i, sh := range e.shards {
+		out[i] = ShardStats{
+			Lane:      i,
+			Processed: sh.processed,
+			Stalls:    sh.stalls,
+			CrossSent: sh.crossSent,
+			CrossRecv: sh.crossRecv,
+			Staged:    uint64(len(sh.recs)) + sh.stagedTotal,
+			MaxTime:   sh.maxTime,
+		}
+	}
+	return out
+}
+
+// ControlProcessed returns the number of control events executed.
+func (e *Sharded[R]) ControlProcessed() uint64 { return e.ctlEvents }
+
+func (sh *laneShard[R]) push(en shardEntry) {
+	q := append(sh.heap, en)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !keyLess(en, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = en
+	sh.heap = q
+}
+
+// heapPop4 removes and returns the minimum entry from a
+// (time, lane, seq)-keyed 4-ary heap, returning the shrunk slice alongside
+// it. A plain function over the entry slice so the shard heaps and the
+// control heap share one implementation.
+func heapPop4(q []shardEntry) ([]shardEntry, shardEntry) {
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = shardEntry{}
+	q = q[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := min(c+4, n)
+			for j := c + 1; j < end; j++ {
+				if keyLess(q[j], q[m]) {
+					m = j
+				}
+			}
+			if !keyLess(q[m], last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	return q, top
+}
+
+func (sh *laneShard[R]) acquire() *event {
+	if n := len(sh.free); n > 0 {
+		ev := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (sh *laneShard[R]) release(ev *event) {
+	ev.gen++
+	ev.handler = nil
+	ev.canceled = false
+	sh.free = append(sh.free, ev)
+}
+
+func (e *Sharded[R]) shardOf(lane int) *laneShard[R] {
+	return e.shards[lane%e.p]
+}
+
+func checkTime(t float64) {
+	if math.IsNaN(t) {
+		panic("eventsim: schedule at NaN")
+	}
+}
+
+// LaneSchedule schedules h on lane at absolute time t. It must be called
+// either from a handler already executing on that lane's shard (same-lane
+// self-scheduling: retries, transfer completions on the sender side) or
+// before Run. Scheduling before the shard's current event time panics.
+func (e *Sharded[R]) LaneSchedule(lane int, t float64, h Handler) Timer {
+	checkTime(t)
+	sh := e.shardOf(lane)
+	if t < sh.now {
+		panic(fmt.Sprintf("eventsim: lane %d schedule at %g before now %g", lane, t, sh.now))
+	}
+	seq := e.laneSeq[lane]
+	e.laneSeq[lane] = seq + 1
+	ev := sh.acquire()
+	ev.handler = h
+	sh.push(shardEntry{time: t, lane: int32(lane), seq: seq, ev: ev})
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// Send schedules h on dstLane from a handler currently executing on
+// srcLane's shard. The event is keyed by the *source* lane (whose sequence
+// counter the executing shard owns) and travels through the source shard's
+// outbox, landing in the destination heap at the next barrier. t must be at
+// or after the next window boundary — that is the lookahead contract — and
+// violating it panics rather than silently reordering events.
+func (e *Sharded[R]) Send(srcLane, dstLane int, t float64, h Handler) {
+	checkTime(t)
+	src := e.shardOf(srcLane)
+	if e.running && t < src.winEnd {
+		panic(fmt.Sprintf("eventsim: cross-lane send %d->%d at %g violates lookahead window ending %g",
+			srcLane, dstLane, t, src.winEnd))
+	}
+	seq := e.laneSeq[srcLane]
+	e.laneSeq[srcLane] = seq + 1
+	d := dstLane % e.p
+	src.outbox[d] = append(src.outbox[d], outMsg{time: t, lane: int32(srcLane), seq: seq, h: h})
+	src.crossSent++
+}
+
+// BarrierSchedule schedules h on lane from barrier context (a replayed
+// record, a control handler, or initialization). Times inside the window
+// that just executed are clamped forward to the next window boundary: the
+// lane has already run past them, and the clamp keeps the adjustment
+// identical for every shard count.
+func (e *Sharded[R]) BarrierSchedule(lane int, t float64, h Handler) Timer {
+	checkTime(t)
+	if t < e.barrierFloor {
+		t = e.barrierFloor
+	}
+	sh := e.shardOf(lane)
+	seq := e.laneSeq[lane]
+	e.laneSeq[lane] = seq + 1
+	ev := sh.acquire()
+	ev.handler = h
+	sh.push(shardEntry{time: t, lane: int32(lane), seq: seq, ev: ev})
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// ScheduleControl schedules h on the control queue at absolute time t.
+// Control handlers run single-threaded at window barriers, merged with
+// staged records in (time, lane, seq) order; the control lane orders after
+// every worker lane at equal times.
+func (e *Sharded[R]) ScheduleControl(t float64, h Handler) Timer {
+	checkTime(t)
+	if t < e.ctlNow {
+		panic(fmt.Sprintf("eventsim: control schedule at %g before now %g", t, e.ctlNow))
+	}
+	seq := e.laneSeq[e.lanes]
+	e.laneSeq[e.lanes] = seq + 1
+	var ev *event
+	if n := len(e.ctlFree); n > 0 {
+		ev = e.ctlFree[n-1]
+		e.ctlFree[n-1] = nil
+		e.ctlFree = e.ctlFree[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.handler = h
+	e.control = append(e.control, shardEntry{time: t, lane: int32(e.lanes), seq: seq, ev: ev})
+	i := len(e.control) - 1
+	en := e.control[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !keyLess(en, e.control[p]) {
+			break
+		}
+		e.control[i] = e.control[p]
+		i = p
+	}
+	e.control[i] = en
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// ControlAfter schedules a control handler relative to the current control
+// time (the executing control event's time, or 0 before Run).
+func (e *Sharded[R]) ControlAfter(d float64, h Handler) Timer {
+	return e.ScheduleControl(e.ctlNow+d, h)
+}
+
+// Stage records a model fact from a handler executing on lane's shard. The
+// record is keyed by the staging event's own key plus a per-event index and
+// replayed at this window's barrier in merged deterministic order.
+func (e *Sharded[R]) Stage(lane int, rec R) {
+	sh := e.shardOf(lane)
+	sh.recs = append(sh.recs, stagedRec[R]{
+		time: sh.curTime, lane: sh.curLane, seq: sh.curSeq, idx: sh.recIdx, rec: rec,
+	})
+	sh.recIdx++
+}
+
+// Stop halts the run at the current barrier: the in-flight merge step
+// finishes and Run returns ErrStopped with Now at the window boundary, a
+// virtual time every shard has consistently reached. Call it from barrier
+// context (a replayed record or control handler) so the stop decision is
+// shard-count-independent.
+func (e *Sharded[R]) Stop() { e.stopped = true }
+
+// runWindow executes this shard's due events: those strictly before winEnd
+// and, when a horizon is set, at or before it. Runs on the shard's worker
+// goroutine (shard 0 runs on the coordinator).
+func (sh *laneShard[R]) runWindow(winEnd, horizon float64) {
+	sh.winEnd = winEnd
+	n := 0
+	for len(sh.heap) > 0 {
+		top := sh.heap[0]
+		if top.ev.canceled {
+			var dead shardEntry
+			sh.heap, dead = heapPop4(sh.heap)
+			sh.release(dead.ev)
+			continue
+		}
+		if top.time >= winEnd || (horizon > 0 && top.time > horizon) {
+			break
+		}
+		var en shardEntry
+		sh.heap, en = heapPop4(sh.heap)
+		h := en.ev.handler
+		sh.release(en.ev)
+		sh.now = en.time
+		sh.curTime, sh.curLane, sh.curSeq, sh.recIdx = en.time, en.lane, en.seq, 0
+		sh.processed++
+		if en.time > sh.maxTime {
+			sh.maxTime = en.time
+		}
+		n++
+		h(en.time)
+	}
+	if n == 0 {
+		sh.stalls++
+	}
+}
+
+// nextEventTime returns the earliest queued time across all shards and the
+// control queue (+Inf when everything has drained). Canceled entries are
+// included: their times are identical for every shard count, so letting
+// them pick a window keeps the window sequence P-independent (the window
+// then simply discards them).
+func (e *Sharded[R]) nextEventTime() float64 {
+	t := math.Inf(1)
+	for _, sh := range e.shards {
+		if len(sh.heap) > 0 && sh.heap[0].time < t {
+			t = sh.heap[0].time
+		}
+	}
+	if len(e.control) > 0 && e.control[0].time < t {
+		t = e.control[0].time
+	}
+	return t
+}
+
+// Run executes windows until every queue drains, the horizon passes, or
+// Stop is called, spawning one worker goroutine per extra shard for the
+// duration (shard 0 runs on the calling goroutine). A non-positive horizon
+// means no horizon. Like Engine.Run it returns ErrStopped only for Stop.
+func (e *Sharded[R]) Run(horizon float64) error {
+	e.stopped = false
+	e.running = true
+	defer func() { e.running = false }()
+
+	for _, sh := range e.shards[1:] {
+		go func(sh *laneShard[R]) {
+			for job := range sh.work {
+				sh.runWindow(job.winEnd, job.horizon)
+				sh.done <- struct{}{}
+			}
+		}(sh)
+	}
+	defer func() {
+		for _, sh := range e.shards[1:] {
+			close(sh.work)
+		}
+	}()
+
+	for {
+		t := e.nextEventTime()
+		if math.IsInf(t, 1) {
+			// Drained: match the serial engine, whose clock rests on the
+			// final executed event rather than a window boundary or the
+			// horizon.
+			e.now = e.lastEvent
+			return nil
+		}
+		if horizon > 0 && t > horizon {
+			e.now = horizon
+			return nil
+		}
+		// Fast-forward to the window containing the next event.
+		k := math.Floor(t / e.window)
+		winEnd := (k + 1) * e.window
+
+		for _, sh := range e.shards[1:] {
+			sh.work <- windowJob{winEnd: winEnd, horizon: horizon}
+		}
+		e.shards[0].runWindow(winEnd, horizon)
+		for _, sh := range e.shards[1:] {
+			<-sh.done
+		}
+
+		e.deliverOutboxes(winEnd)
+		e.barrierFloor = winEnd
+		stopped := e.runBarrier(winEnd, horizon)
+
+		for _, sh := range e.shards {
+			if sh.maxTime > e.lastEvent {
+				e.lastEvent = sh.maxTime
+			}
+			sh.stagedTotal += uint64(len(sh.recs))
+			sh.recs = sh.recs[:0]
+		}
+		if e.ctlNow > e.lastEvent {
+			e.lastEvent = e.ctlNow
+		}
+		e.now = winEnd
+		if horizon > 0 && e.now > horizon {
+			e.now = horizon
+		}
+		if stopped {
+			return ErrStopped
+		}
+	}
+}
+
+// deliverOutboxes merges every shard's pending cross-lane messages into the
+// destination heaps. Single-threaded; heap insertion order is irrelevant
+// because pops follow the strict key order.
+func (e *Sharded[R]) deliverOutboxes(winEnd float64) {
+	for _, src := range e.shards {
+		for d := range src.outbox {
+			msgs := src.outbox[d]
+			if len(msgs) == 0 {
+				continue
+			}
+			dst := e.shards[d]
+			for _, m := range msgs {
+				ev := dst.acquire()
+				ev.handler = m.h
+				dst.push(shardEntry{time: m.time, lane: m.lane, seq: m.seq, ev: ev})
+				dst.crossRecv++
+			}
+			src.outbox[d] = msgs[:0]
+		}
+	}
+}
+
+// runBarrier replays the window's staged records merged with due control
+// events in (time, lane, seq, idx) order, on the coordinator goroutine. It
+// reports whether Stop was called; once it is, the merge halts immediately
+// (the deterministic analogue of the serial engine stopping after the
+// current event).
+func (e *Sharded[R]) runBarrier(winEnd, horizon float64) bool {
+	heads := e.heads
+	for i := range heads {
+		heads[i] = 0
+	}
+	for {
+		// Earliest unconsumed record across shards.
+		best := -1
+		var bt float64
+		var bl int32
+		var bs uint64
+		var bi int32
+		for i, sh := range e.shards {
+			h := heads[i]
+			if h >= len(sh.recs) {
+				continue
+			}
+			r := &sh.recs[h]
+			if best < 0 || recLess(r.time, r.lane, r.seq, r.idx, bt, bl, bs, bi) {
+				best, bt, bl, bs, bi = i, r.time, r.lane, r.seq, r.idx
+			}
+		}
+		// Earliest due, live control event.
+		haveCtl := false
+		for len(e.control) > 0 {
+			top := e.control[0]
+			if top.ev.canceled {
+				var dead shardEntry
+				e.control, dead = heapPop4(e.control)
+				e.releaseControl(dead.ev)
+				continue
+			}
+			if top.time >= winEnd || (horizon > 0 && top.time > horizon) {
+				break
+			}
+			haveCtl = true
+			break
+		}
+		switch {
+		case best < 0 && !haveCtl:
+			return e.stopped
+		case haveCtl && (best < 0 || keyLess(e.control[0], shardEntry{time: bt, lane: bl, seq: bs})):
+			var en shardEntry
+			e.control, en = heapPop4(e.control)
+			h := en.ev.handler
+			e.releaseControl(en.ev)
+			e.ctlNow = en.time
+			e.ctlEvents++
+			h(en.time)
+		default:
+			sh := e.shards[best]
+			r := &sh.recs[heads[best]]
+			heads[best]++
+			e.replay(r.time, r.rec)
+		}
+		if e.stopped {
+			return true
+		}
+	}
+}
+
+func (e *Sharded[R]) releaseControl(ev *event) {
+	ev.gen++
+	ev.handler = nil
+	ev.canceled = false
+	e.ctlFree = append(e.ctlFree, ev)
+}
+
+// recLess orders record keys (time, lane, seq, idx).
+func recLess(at float64, al int32, as uint64, ai int32, bt float64, bl int32, bs uint64, bi int32) bool {
+	if at != bt {
+		return at < bt
+	}
+	if al != bl {
+		return al < bl
+	}
+	if as != bs {
+		return as < bs
+	}
+	return ai < bi
+}

@@ -1,0 +1,256 @@
+package eventsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// testRec is the synthetic model's record type: enough structure to detect
+// any reordering between lanes, windows, and the control queue.
+type testRec struct {
+	Kind string
+	Lane int
+	Tick int
+	Time float64
+}
+
+// runLattice drives a synthetic multi-lane workload under the given shard
+// count and returns the replayed record log plus the engine. Each lane
+// self-schedules a tick chain (intra-window events), every third tick sends
+// a cross-lane message one lookahead ahead, and a control chain samples the
+// run; all output funnels through the deterministic barrier.
+func runLattice(t *testing.T, shards, lanes int, horizon float64) ([]testRec, *Sharded[testRec]) {
+	t.Helper()
+	const window = 1.0
+	var log []testRec
+	e := NewSharded(shards, lanes, window, func(now float64, r testRec) {
+		log = append(log, r)
+	})
+	var tick func(lane, n int) Handler
+	tick = func(lane, n int) Handler {
+		return func(now float64) {
+			e.Stage(lane, testRec{Kind: "tick", Lane: lane, Tick: n, Time: now})
+			if n%3 == 2 {
+				dst := (lane + 1) % lanes
+				from, hop := lane, n
+				e.Send(lane, dst, now+window+0.3, func(at float64) {
+					e.Stage(dst, testRec{Kind: "recv", Lane: from, Tick: hop, Time: at})
+				})
+			}
+			e.LaneSchedule(lane, now+0.7, tick(lane, n+1))
+		}
+	}
+	for l := 0; l < lanes; l++ {
+		e.BarrierSchedule(l, 0.1*float64(l), tick(l, 0))
+	}
+	var sample func(now float64)
+	sample = func(now float64) {
+		log = append(log, testRec{Kind: "ctl", Time: now})
+		e.ControlAfter(2.0, sample)
+	}
+	e.ScheduleControl(1.5, sample)
+	if err := e.Run(horizon); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return log, e
+}
+
+func TestShardedDeterministicAcrossShardCounts(t *testing.T) {
+	const lanes, horizon = 9, 25.0
+	base, be := runLattice(t, 1, lanes, horizon)
+	if len(base) == 0 {
+		t.Fatal("baseline produced no records")
+	}
+	for _, p := range []int{2, 4, 7, lanes} {
+		log, e := runLattice(t, p, lanes, horizon)
+		if !reflect.DeepEqual(base, log) {
+			t.Fatalf("shards=%d record log diverged from shards=1 (%d vs %d records)", p, len(log), len(base))
+		}
+		if e.Processed() != be.Processed() {
+			t.Fatalf("shards=%d processed %d events, shards=1 processed %d", p, e.Processed(), be.Processed())
+		}
+		if e.Now() != be.Now() {
+			t.Fatalf("shards=%d final time %g, shards=1 %g", p, e.Now(), be.Now())
+		}
+	}
+}
+
+func TestShardedHorizonSemantics(t *testing.T) {
+	log, e := runLattice(t, 3, 6, 10.0)
+	if e.Now() != 10.0 {
+		t.Fatalf("Now() = %g, want horizon 10", e.Now())
+	}
+	for _, r := range log {
+		if r.Time > 10.0 {
+			t.Fatalf("event beyond horizon executed: %+v", r)
+		}
+	}
+}
+
+func TestShardedStopHaltsAtWindowBoundary(t *testing.T) {
+	const window = 1.0
+	for _, p := range []int{1, 4} {
+		var log []testRec
+		e := NewSharded(p, 8, window, func(now float64, r testRec) {
+			log = append(log, r)
+		})
+		var chain func(lane, n int) Handler
+		chain = func(lane, n int) Handler {
+			return func(now float64) {
+				e.Stage(lane, testRec{Kind: "tick", Lane: lane, Tick: n, Time: now})
+				e.LaneSchedule(lane, now+0.5, chain(lane, n+1))
+			}
+		}
+		for l := 0; l < 8; l++ {
+			e.BarrierSchedule(l, 0, chain(l, 0))
+		}
+		e.ScheduleControl(5.25, func(now float64) { e.Stop() })
+		err := e.Run(100)
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("shards=%d Run = %v, want ErrStopped", p, err)
+		}
+		// The stop lands in window [5,6): every shard quiesced at the
+		// boundary, which is the consistent virtual stop time.
+		if e.Now() != 6.0 {
+			t.Fatalf("shards=%d stopped at %g, want window boundary 6", p, e.Now())
+		}
+		for _, r := range log {
+			if r.Time >= 6.0 {
+				t.Fatalf("shards=%d executed event at %g after stop boundary", p, r.Time)
+			}
+		}
+	}
+}
+
+func TestShardedStopDeterministicAcrossShardCounts(t *testing.T) {
+	run := func(p int) []testRec {
+		var log []testRec
+		var e *Sharded[testRec]
+		count := 0
+		e = NewSharded(p, 5, 1.0, func(now float64, r testRec) {
+			log = append(log, r)
+			count++
+			if count == 37 {
+				e.Stop()
+			}
+		})
+		var chain func(lane, n int) Handler
+		chain = func(lane, n int) Handler {
+			return func(now float64) {
+				e.Stage(lane, testRec{Kind: "tick", Lane: lane, Tick: n, Time: now})
+				e.LaneSchedule(lane, now+0.4, chain(lane, n+1))
+			}
+		}
+		for l := 0; l < 5; l++ {
+			e.BarrierSchedule(l, 0, chain(l, 0))
+		}
+		if err := e.Run(50); !errors.Is(err, ErrStopped) {
+			t.Fatalf("Run = %v, want ErrStopped", err)
+		}
+		return log
+	}
+	base := run(1)
+	for _, p := range []int{2, 5} {
+		if got := run(p); !reflect.DeepEqual(base, got) {
+			t.Fatalf("shards=%d stop-truncated log diverged (%d vs %d records)", p, len(got), len(base))
+		}
+	}
+}
+
+func TestShardedCrossLaneLookaheadViolationPanics(t *testing.T) {
+	e := NewSharded(2, 4, 1.0, func(float64, testRec) {})
+	e.BarrierSchedule(0, 0.2, func(now float64) {
+		defer func() {
+			if recover() == nil {
+				panic("expected lookahead panic")
+			}
+		}()
+		// A cross-lane message inside the current window would race the
+		// destination shard; the engine must reject it loudly.
+		e.Send(0, 1, now+0.1, func(float64) {})
+	})
+	if err := e.Run(5); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestShardedBarrierScheduleClampsIntoNextWindow(t *testing.T) {
+	var at float64 = -1
+	e := NewSharded(2, 4, 1.0, func(float64, testRec) {})
+	e.ScheduleControl(3.6, func(now float64) {
+		// 3.6 sits in window [3,4); a lane event "at 3.7" would be in a
+		// window the lanes may already have finished, so it must clamp to
+		// the boundary.
+		e.BarrierSchedule(2, 3.7, func(fired float64) { at = fired })
+	})
+	if err := e.Run(10); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 4.0 {
+		t.Fatalf("barrier-scheduled lane event fired at %g, want clamp to 4", at)
+	}
+}
+
+func TestShardedTimerCancel(t *testing.T) {
+	fired := false
+	e := NewSharded(2, 4, 1.0, func(float64, testRec) {})
+	var tm Timer
+	e.BarrierSchedule(1, 0.1, func(now float64) {
+		tm = e.LaneSchedule(1, now+0.2, func(float64) { fired = true })
+		e.LaneSchedule(1, now+0.1, func(float64) { tm.Cancel() })
+	})
+	if err := e.Run(5); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("canceled lane timer fired")
+	}
+}
+
+func TestShardedDrainRestsOnLastEventTime(t *testing.T) {
+	e := NewSharded(2, 4, 1.0, func(float64, testRec) {})
+	e.BarrierSchedule(0, 2.3, func(now float64) {})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Now() != 2.3 {
+		t.Fatalf("drained Now() = %g, want last event time 2.3", e.Now())
+	}
+}
+
+func TestShardedStatsAccount(t *testing.T) {
+	log, e := runLattice(t, 4, 8, 20.0)
+	stats := e.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("Stats returned %d shards, want 4", len(stats))
+	}
+	var proc, sent, recv, staged uint64
+	for _, st := range stats {
+		proc += st.Processed
+		sent += st.CrossSent
+		recv += st.CrossRecv
+		staged += st.Staged
+	}
+	if proc+e.ControlProcessed() != e.Processed() {
+		t.Fatalf("per-shard processed %d + control %d != total %d", proc, e.ControlProcessed(), e.Processed())
+	}
+	if sent == 0 || sent != recv {
+		t.Fatalf("cross counters inconsistent: sent %d recv %d", sent, recv)
+	}
+	replayed := 0
+	for _, r := range log {
+		if r.Kind != "ctl" {
+			replayed++
+		}
+	}
+	if staged != uint64(replayed) {
+		t.Fatalf("staged %d records, replayed %d", staged, replayed)
+	}
+	if math.IsInf(e.Now(), 0) {
+		t.Fatal("Now is infinite")
+	}
+	_ = fmt.Sprintf("%+v", stats[0])
+}

@@ -21,6 +21,10 @@ type Scale struct {
 	NumPieces int
 	Horizon   float64
 	Seed      int64
+	// Shards selects the simulator's execution engine for every run in the
+	// experiment: 0 is the serial engine, N >= 1 the sharded parallel
+	// engine with N shards. Rendered output is identical for every N >= 1.
+	Shards int
 }
 
 // FullScale reproduces the paper's experimental scale.

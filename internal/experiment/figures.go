@@ -15,7 +15,7 @@ import (
 // simConfig builds the Section V configuration for one algorithm at the
 // given scale, with any extra options applied on top.
 func simConfig(a algo.Algorithm, scale Scale, opts ...sim.Option) sim.Config {
-	base := []sim.Option{sim.WithHorizon(scale.Horizon), sim.WithSeed(scale.Seed)}
+	base := []sim.Option{sim.WithHorizon(scale.Horizon), sim.WithSeed(scale.Seed), sim.WithShards(scale.Shards)}
 	return sim.Default(a, scale.NumPeers, scale.NumPieces, append(base, opts...)...)
 }
 

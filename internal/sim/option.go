@@ -96,6 +96,13 @@ func WithChurn(abortRate, seederExitAt float64) Option {
 	}
 }
 
+// WithShards selects the sharded parallel engine with n shards (n >= 1);
+// 0 restores the serial engine. Sharded output is identical for every
+// n >= 1, so n only trades wall-clock speed against core usage.
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
 // WithSnapshotAt records an availability snapshot at the given virtual
 // time (used by the validation experiments).
 func WithSnapshotAt(t float64) Option {

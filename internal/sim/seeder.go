@@ -33,9 +33,13 @@ func newSeeder(s *Swarm) *seeder {
 		alloc:    bandwidth.NewAllocator(rate, s.cfg.SeederSlots),
 		distrust: make(map[int]bool),
 	}
-	sd.retryFn = func(float64) {
+	sd.retryFn = func(now float64) {
 		sd.retrying = false
-		sd.schedule()
+		if s.sh != nil {
+			sd.shardSchedule(now)
+		} else {
+			sd.schedule()
+		}
 	}
 	return sd
 }
@@ -87,7 +91,7 @@ func (sd *seeder) startUpload() bool {
 		return false
 	}
 	s.emitUnchoke(s.engine.Now(), int(SeederID), int(receiver.id))
-	pieceIdx := s.pickPiece(nil, receiver)
+	pieceIdx := s.pickPiece(s.rng, nil, receiver)
 	if pieceIdx < 0 {
 		return false
 	}
@@ -125,7 +129,7 @@ func (sd *seeder) deliver(receiver *peer, pieceIdx int, now float64) {
 
 	if receiver.active {
 		receiver.rawDown += bytes
-		if s.credited(nil, receiver) {
+		if s.credited(s.rng, nil, receiver) {
 			s.credit(SeederID, receiver, pieceIdx, bytes, now)
 		} else {
 			sd.distrust[int(receiver.id)] = true

@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eventsim"
+	"repro/internal/incentive"
+	"repro/internal/metrics"
+	"repro/internal/probe"
+)
+
+// This file is the swarm's side of the sharded parallel engine
+// (eventsim.Sharded). The mapping:
+//
+//   - Lane i (0 <= i < NumPeers) is peer i; lane NumPeers is the seeder.
+//   - In-window handlers (kick, startUpload, release, land) touch only
+//     their own lane's peer plus *barrier-stable* shared state — bitfields,
+//     the active/incomplete lists, availability counts — which mutate only
+//     at barriers, so concurrent reads are race-free and P-independent.
+//   - Every piece of probe output and every cross-peer mutation funnels
+//     through the barrier: hook emissions are staged as shardRec records
+//     replayed in deterministic (time, lane, seq) order, and piece credits
+//     run inside the replay via the same credit() the serial engine uses.
+//   - All transfer durations are >= the lookahead window by construction
+//     (the window is the minimum possible piece-transfer time), so a
+//     transfer started in window k always lands in a later window and the
+//     cross-lane Send never violates the conservative lookahead.
+//
+// The result is identical for every shard count >= 1: the record order and
+// every RNG draw depend only on (seed, lane), never on lane placement.
+
+// shardRec is one staged barrier record: a probe emission and, for kGain,
+// the deferred receiver-side credit. Flat struct, no interfaces — staging a
+// record does not allocate.
+type shardRec struct {
+	kind     uint8
+	from     int32
+	to       int32
+	piece    int32
+	receiver *peer
+	bytes    float64
+	duration float64
+}
+
+// The record kinds, in the lifecycle order of one transfer.
+const (
+	recUnchoke uint8 = iota
+	recStart
+	recFinish
+	recGain
+)
+
+// lookaheadWindow derives the engine's conservative lookahead: the minimum
+// time any piece transfer can take, over every peer bandwidth class (each
+// transfer gets Rate/UploadSlots, so the floor is PieceSize*Slots/Rate) and
+// the seeder. Any event one lane schedules on another is at least one
+// transfer away, so this window is a safe horizon for concurrent execution.
+func lookaheadWindow(cfg Config) float64 {
+	w := math.Inf(1)
+	for _, cl := range cfg.Bandwidth.Classes {
+		if cl.Rate > 0 {
+			w = math.Min(w, cfg.PieceSize*float64(cfg.UploadSlots)/cl.Rate)
+		}
+	}
+	if cfg.SeederRate > 0 {
+		w = math.Min(w, cfg.PieceSize*float64(cfg.SeederSlots)/cfg.SeederRate)
+	}
+	if math.IsInf(w, 0) {
+		w = cfg.PollInterval // degenerate config: no one can upload
+	}
+	return w
+}
+
+// laneOf maps a peer to its engine lane.
+func laneOf(p *peer) int { return int(p.id) }
+
+// shardKick is the sharded kick: fill p's free upload slots from p's own
+// lane, arming a jittered lane-local retry when the strategy has nothing to
+// send. It runs in-window on p's shard.
+func (s *Swarm) shardKick(p *peer, now float64) {
+	if !p.active {
+		return
+	}
+	for p.alloc.Free() > 0 {
+		if !s.shardStartUpload(p, now) {
+			s.shardArmRetry(p, now)
+			return
+		}
+	}
+	p.retry.Cancel()
+	p.retry = eventsim.Timer{}
+}
+
+func (s *Swarm) shardArmRetry(p *peer, now float64) {
+	if p.retry.Pending() {
+		return
+	}
+	delay := s.cfg.PollInterval * (0.5 + p.laneRNG.Float64())
+	p.retry = s.sh.LaneSchedule(laneOf(p), now+delay, p.retryFn)
+}
+
+// shardStartUpload mirrors startUpload on the sender's lane. All strategy
+// and piece-selection draws come from the sender's lane stream; the
+// receiver lookup, piece pick, and credit decision read barrier-stable
+// state. The completion is split between both parties: a lane event on the
+// sender (slot release, OnSent) and a cross-lane message to the receiver
+// (arrival, credit staging), both at now+duration >= the next barrier.
+func (s *Swarm) shardStartUpload(p *peer, now float64) bool {
+	p.view.now = now
+	receiverID := p.strategy.NextReceiver(p.view)
+	if receiverID == incentive.NoPeer {
+		return false
+	}
+	s.sh.Stage(laneOf(p), shardRec{kind: recUnchoke, from: int32(p.id), to: int32(receiverID)})
+	receiver := s.lookup(receiverID)
+	if receiver == nil || !receiver.active {
+		return false
+	}
+	pieceIdx := s.pickPiece(p.laneRNG, p.have, receiver)
+	if pieceIdx < 0 {
+		return false
+	}
+	duration, ok := p.alloc.Acquire(s.cfg.PieceSize)
+	if !ok {
+		return false
+	}
+	s.sh.Stage(laneOf(p), shardRec{
+		kind:     recStart,
+		from:     int32(p.id),
+		to:       int32(receiver.id),
+		piece:    int32(pieceIdx),
+		receiver: receiver,
+		bytes:    s.cfg.PieceSize,
+		duration: duration,
+	})
+	// The T-Chain key-release verdict is decided at transfer start from the
+	// sender's stream and barrier-stable collusion state, then carried by
+	// value to both completion events.
+	cred := s.credited(p.laneRNG, p, receiver)
+	at := now + duration
+	// Sender-side completion is scheduled first so its staged finish record
+	// precedes the receiver's gain record at the barrier.
+	s.sh.LaneSchedule(laneOf(p), at, func(t float64) { s.shardRelease(p, receiver, pieceIdx, cred, t) })
+	s.sh.Send(laneOf(p), laneOf(receiver), at, func(t float64) {
+		s.shardLand(p.id, receiver, pieceIdx, cred, t)
+	})
+	return true
+}
+
+// shardRelease is the sender's half of a completed transfer: free the slot,
+// record the upload, apply OnSent or the distrust penalty, and look for the
+// next send. Runs on the sender's lane.
+func (s *Swarm) shardRelease(sender, receiver *peer, pieceIdx int, cred bool, now float64) {
+	sender.alloc.Release()
+	bytes := s.cfg.PieceSize
+	sender.uploaded += bytes
+	s.shardFinish(laneOf(sender), sender.id, receiver.id, pieceIdx, receiver)
+	if receiver.active {
+		if cred {
+			if !sender.freeRider {
+				sender.view.now = now
+				sender.strategy.OnSent(sender.view, receiver.id, bytes)
+			}
+		} else {
+			sender.distrust[receiver.id] = true
+		}
+	}
+	s.shardKick(sender, now)
+}
+
+// shardLand is the receiver's half: the bytes arrive on the receiver's
+// lane. The credit itself (bitfield set, availability, ledger, OnReceived,
+// completion/departure) is deferred to the barrier via a recGain record so
+// it runs under the global deterministic order; the raw byte count and the
+// re-kick are lane-local. from == SeederID marks a seeder upload.
+func (s *Swarm) shardLand(from incentive.PeerID, receiver *peer, pieceIdx int, cred bool, now float64) {
+	if !receiver.active {
+		return
+	}
+	receiver.rawDown += s.cfg.PieceSize
+	if cred {
+		s.sh.Stage(laneOf(receiver), shardRec{
+			kind:     recGain,
+			from:     int32(from),
+			to:       int32(receiver.id),
+			piece:    int32(pieceIdx),
+			receiver: receiver,
+			bytes:    s.cfg.PieceSize,
+		})
+	}
+	s.shardKick(receiver, now)
+}
+
+// shardFinish stages the transfer-finish record for either party's
+// completion; split out so the seeder path shares it.
+func (s *Swarm) shardFinish(lane int, from, to incentive.PeerID, pieceIdx int, receiver *peer) {
+	s.sh.Stage(lane, shardRec{
+		kind:     recFinish,
+		from:     int32(from),
+		to:       int32(to),
+		piece:    int32(pieceIdx),
+		receiver: receiver,
+		bytes:    s.cfg.PieceSize,
+	})
+}
+
+// replayRec executes one staged record at the barrier, in global
+// deterministic order. This is where the swarm-global mutations and every
+// probe emission happen, single-threaded.
+func (s *Swarm) replayRec(now float64, r shardRec) {
+	switch r.kind {
+	case recUnchoke:
+		s.emitUnchoke(now, int(r.from), int(r.to))
+	case recStart:
+		r.receiver.pending.Set(int(r.piece))
+		s.emitTransferStart(now, probe.Transfer{
+			From:     int(r.from),
+			To:       int(r.to),
+			Piece:    int(r.piece),
+			Bytes:    r.bytes,
+			Duration: r.duration,
+		})
+	case recFinish:
+		r.receiver.pending.Clear(int(r.piece))
+		s.emitTransferFinish(now, probe.Transfer{
+			From:  int(r.from),
+			To:    int(r.to),
+			Piece: int(r.piece),
+			Bytes: r.bytes,
+		})
+	case recGain:
+		if r.receiver.freeRider {
+			s.emitFreeRiderCredit(now, int(r.receiver.id), r.bytes)
+		}
+		r.receiver.view.now = now
+		// credit dedups via the have bitfield, so two lanes racing the same
+		// piece toward one receiver (both picked it from pre-window state)
+		// resolve exactly like the serial engine's in-flight duplicates.
+		s.credit(incentive.PeerID(r.from), r.receiver, int(r.piece), r.bytes, now)
+	}
+}
+
+// --- seeder ---
+
+// shardSchedule fills the seeder's slots from the seeder lane; the sharded
+// twin of seeder.schedule.
+func (sd *seeder) shardSchedule(now float64) {
+	if sd.swarm.cfg.SeederRate <= 0 || sd.offline {
+		return
+	}
+	for sd.alloc.Free() > 0 {
+		if !sd.shardStartUpload(now) {
+			sd.shardArmRetry(now)
+			return
+		}
+	}
+}
+
+func (sd *seeder) shardArmRetry(now float64) {
+	s := sd.swarm
+	if sd.retrying || !s.live() {
+		return
+	}
+	sd.retrying = true
+	delay := s.cfg.PollInterval * (0.5 + s.seederRNG.Float64())
+	s.sh.LaneSchedule(s.seederLane, now+delay, sd.retryFn)
+}
+
+// shardStartUpload mirrors seeder.startUpload on the seeder lane, drawing
+// from the seeder's dedicated stream and reading the barrier-stable
+// incomplete list.
+func (sd *seeder) shardStartUpload(now float64) bool {
+	s := sd.swarm
+	count := 0
+	var receiver *peer
+	check := len(sd.distrust) != 0
+	for _, p := range s.incomplete {
+		if check && sd.distrust[int(p.id)] {
+			continue
+		}
+		count++
+		if s.seederRNG.Intn(count) == 0 {
+			receiver = p
+		}
+	}
+	if receiver == nil {
+		return false
+	}
+	s.sh.Stage(s.seederLane, shardRec{kind: recUnchoke, from: int32(SeederID), to: int32(receiver.id)})
+	pieceIdx := s.pickPiece(s.seederRNG, nil, receiver)
+	if pieceIdx < 0 {
+		return false
+	}
+	duration, ok := sd.alloc.Acquire(s.cfg.PieceSize)
+	if !ok {
+		return false
+	}
+	s.sh.Stage(s.seederLane, shardRec{
+		kind:     recStart,
+		from:     int32(SeederID),
+		to:       int32(receiver.id),
+		piece:    int32(pieceIdx),
+		receiver: receiver,
+		bytes:    s.cfg.PieceSize,
+		duration: duration,
+	})
+	cred := s.credited(s.seederRNG, nil, receiver)
+	at := now + duration
+	s.sh.LaneSchedule(s.seederLane, at, func(t float64) { sd.shardRelease(receiver, pieceIdx, cred, t) })
+	s.sh.Send(s.seederLane, laneOf(receiver), at, func(t float64) {
+		s.shardLand(SeederID, receiver, pieceIdx, cred, t)
+	})
+	return true
+}
+
+// shardRelease is the seeder's completion half on the seeder lane.
+func (sd *seeder) shardRelease(receiver *peer, pieceIdx int, cred bool, now float64) {
+	s := sd.swarm
+	sd.alloc.Release()
+	sd.uploaded += s.cfg.PieceSize
+	s.shardFinish(s.seederLane, SeederID, receiver.id, pieceIdx, receiver)
+	if receiver.active && !cred {
+		sd.distrust[int(receiver.id)] = true
+	}
+	sd.shardSchedule(now)
+}
+
+// ShardStats exposes the engine's per-shard counters (events processed,
+// window stalls, cross-shard traffic). Nil under the serial engine. The
+// breakdown depends on the shard count — it is diagnostics, deliberately
+// kept out of Result so Results stay comparable across shard counts.
+func (s *Swarm) ShardStats() []eventsim.ShardStats {
+	if s.sh == nil {
+		return nil
+	}
+	return s.sh.Stats()
+}
+
+// PublishShardMetrics registers the engine's per-shard counters as
+// pull-style gauges on reg, one series per (shard, counter) with the shard
+// index baked in as a label:
+//
+//	sim_shard_events{shard="N"}       lane events executed on shard N
+//	sim_shard_stalls{shard="N"}       windows shard N spent with no due event
+//	sim_shard_cross_sent{shard="N"}   cross-shard messages sent from shard N
+//	sim_shard_cross_recv{shard="N"}   cross-shard messages delivered to N
+//	sim_shard_staged{shard="N"}       barrier records staged by shard N
+//	sim_shard_virtual_time{shard="N"} latest event time executed, whole seconds
+//
+// Values are read at registry-snapshot time. The engine's counters are
+// owned by worker goroutines mid-window, so scrape after Run (the usual
+// shape: run, then snapshot or serve /metrics) for settled values. No-op
+// under the serial engine.
+func (s *Swarm) PublishShardMetrics(reg *metrics.Registry) {
+	if s.sh == nil || reg == nil {
+		return
+	}
+	stat := func(i int, pick func(eventsim.ShardStats) int64) func() int64 {
+		return func() int64 { return pick(s.sh.Stats()[i]) }
+	}
+	for i := 0; i < s.sh.Shards(); i++ {
+		label := fmt.Sprintf(`{shard="%d"}`, i)
+		reg.RegisterGaugeFunc("sim_shard_events"+label,
+			stat(i, func(st eventsim.ShardStats) int64 { return int64(st.Processed) }))
+		reg.RegisterGaugeFunc("sim_shard_stalls"+label,
+			stat(i, func(st eventsim.ShardStats) int64 { return int64(st.Stalls) }))
+		reg.RegisterGaugeFunc("sim_shard_cross_sent"+label,
+			stat(i, func(st eventsim.ShardStats) int64 { return int64(st.CrossSent) }))
+		reg.RegisterGaugeFunc("sim_shard_cross_recv"+label,
+			stat(i, func(st eventsim.ShardStats) int64 { return int64(st.CrossRecv) }))
+		reg.RegisterGaugeFunc("sim_shard_staged"+label,
+			stat(i, func(st eventsim.ShardStats) int64 { return int64(st.Staged) }))
+		reg.RegisterGaugeFunc("sim_shard_virtual_time"+label,
+			stat(i, func(st eventsim.ShardStats) int64 { return int64(st.MaxTime) }))
+	}
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/attack"
+	"repro/internal/metrics"
+	"repro/internal/probe"
+)
+
+// traceProbe records the full hook stream; two runs are equivalent iff
+// their streams match event-for-event.
+type traceProbe struct {
+	probe.Base
+	events []string
+}
+
+func (t *traceProbe) PeerJoin(now float64, p probe.PeerInfo) {
+	t.events = append(t.events, fmt.Sprintf("join %.9g %d %t", now, p.ID, p.FreeRider))
+}
+func (t *traceProbe) PeerLeave(now float64, id int) {
+	t.events = append(t.events, fmt.Sprintf("leave %.9g %d", now, id))
+}
+func (t *traceProbe) PeerAbort(now float64, id int) {
+	t.events = append(t.events, fmt.Sprintf("abort %.9g %d", now, id))
+}
+func (t *traceProbe) PeerBootstrap(now float64, id int) {
+	t.events = append(t.events, fmt.Sprintf("bootstrap %.9g %d", now, id))
+}
+func (t *traceProbe) PeerComplete(now float64, id int) {
+	t.events = append(t.events, fmt.Sprintf("complete %.9g %d", now, id))
+}
+func (t *traceProbe) Unchoke(now float64, from, to int) {
+	t.events = append(t.events, fmt.Sprintf("unchoke %.9g %d %d", now, from, to))
+}
+func (t *traceProbe) TransferStart(now float64, tr probe.Transfer) {
+	t.events = append(t.events, fmt.Sprintf("start %.9g %d %d %d %.9g", now, tr.From, tr.To, tr.Piece, tr.Duration))
+}
+func (t *traceProbe) TransferFinish(now float64, tr probe.Transfer) {
+	t.events = append(t.events, fmt.Sprintf("finish %.9g %d %d %d", now, tr.From, tr.To, tr.Piece))
+}
+func (t *traceProbe) Credit(now float64, c probe.CreditInfo) {
+	t.events = append(t.events, fmt.Sprintf("credit %.9g %d %d %g", now, c.From, c.To, c.Bytes))
+}
+func (t *traceProbe) FreeRiderCredit(now float64, to int, bytes float64) {
+	t.events = append(t.events, fmt.Sprintf("frcredit %.9g %d %g", now, to, bytes))
+}
+func (t *traceProbe) SeederExit(now float64) {
+	t.events = append(t.events, fmt.Sprintf("seederexit %.9g", now))
+}
+func (t *traceProbe) Sample(now float64) {
+	t.events = append(t.events, fmt.Sprintf("sample %.9g", now))
+}
+func (t *traceProbe) EndRun(now float64) {
+	t.events = append(t.events, fmt.Sprintf("end %.9g", now))
+}
+
+// runSharded executes cfg with the given shard count and returns the
+// result plus the complete hook stream.
+func runShardedTrace(t *testing.T, cfg Config, shards int) (*Result, []string) {
+	t.Helper()
+	cfg.Shards = shards
+	s, err := NewSwarm(cfg)
+	if err != nil {
+		t.Fatalf("NewSwarm(shards=%d): %v", shards, err)
+	}
+	tp := &traceProbe{}
+	if err := s.Attach(tp); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("Run(shards=%d): %v", shards, err)
+	}
+	return res, tp.events
+}
+
+// shardTestConfigs spans the behavioral surface: plain BitTorrent, T-Chain
+// collusion (witness sampling), whitewashing churn, failure injection with
+// seeder exit, and Poisson arrivals.
+func shardTestConfigs() map[string]Config {
+	return map[string]Config{
+		"bt-flash-crowd": Default(algo.BitTorrent, 48, 32),
+		"tchain-collusion": Default(algo.TChain, 40, 24,
+			WithFreeRiders(0.25, attack.Plan{Kind: attack.Collusion, LargeView: true})),
+		"reputation-whitewash": Default(algo.Reputation, 40, 24,
+			WithFreeRiders(0.2, attack.Plan{Kind: attack.Whitewash, WhitewashInterval: 40})),
+		"bt-churn": Default(algo.BitTorrent, 48, 32,
+			WithAbortRate(0.15), WithSeederExit(120), WithHorizon(4000)),
+		"prop-share-poisson": Default(algo.PropShare, 40, 24,
+			WithArrival(ArrivalPoisson, 2.5)),
+	}
+}
+
+// TestShardedSwarmDeterministicAcrossShardCounts is the tentpole property:
+// for every configuration and seed, shards=1 and shards=N produce the
+// identical Result and the identical probe hook stream.
+func TestShardedSwarmDeterministicAcrossShardCounts(t *testing.T) {
+	for name, cfg := range shardTestConfigs() {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range []int64{1, 7, 42} {
+				cfg := cfg
+				cfg.Seed = seed
+				base, baseTrace := runShardedTrace(t, cfg, 1)
+				if len(baseTrace) == 0 {
+					t.Fatal("baseline produced no hook events")
+				}
+				for _, p := range []int{2, 4, 7} {
+					res, trace := runShardedTrace(t, cfg, p)
+					if !reflect.DeepEqual(baseTrace, trace) {
+						i := 0
+						for i < len(trace) && i < len(baseTrace) && trace[i] == baseTrace[i] {
+							i++
+						}
+						a, b := "<none>", "<none>"
+						if i < len(baseTrace) {
+							a = baseTrace[i]
+						}
+						if i < len(trace) {
+							b = trace[i]
+						}
+						t.Fatalf("seed %d shards=%d hook stream diverged at event %d:\n  shards=1: %s\n  shards=%d: %s",
+							seed, p, i, a, p, b)
+					}
+					// Shards is the one config field allowed to differ.
+					norm := *res
+					norm.Config.Shards = base.Config.Shards
+					if !reflect.DeepEqual(&norm, base) {
+						t.Fatalf("seed %d shards=%d Result diverged from shards=1", seed, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedSwarmEarlyStopConsistent exercises Stop under sharding: the
+// early stop raised inside a barrier must halt all shards at a consistent
+// virtual time, identically for every shard count (satellite: Stop
+// semantics for parallel runs).
+func TestShardedSwarmEarlyStopConsistent(t *testing.T) {
+	cfg := Default(algo.BitTorrent, 32, 16, WithSeed(5))
+	if !cfg.StopWhenCompliantDone {
+		t.Fatal("default config must early-stop for this test")
+	}
+	base, baseTrace := runShardedTrace(t, cfg, 1)
+	if base.Duration >= cfg.Horizon {
+		t.Fatalf("run did not early-stop (duration %g)", base.Duration)
+	}
+	window := lookaheadWindow(cfg)
+	// The stop lands at a window boundary: a consistent cut across shards.
+	if k := base.Duration / window; math.Abs(k-math.Round(k)) > 1e-9 {
+		t.Fatalf("stop time %g is not a multiple of the %g s window", base.Duration, window)
+	}
+	for _, p := range []int{3, 8} {
+		res, trace := runShardedTrace(t, cfg, p)
+		if res.Duration != base.Duration {
+			t.Fatalf("shards=%d stopped at %g, shards=1 at %g", p, res.Duration, base.Duration)
+		}
+		if !reflect.DeepEqual(baseTrace, trace) {
+			t.Fatalf("shards=%d early-stop hook stream diverged", p)
+		}
+	}
+}
+
+// TestShardedCompletesTheFile sanity-checks the sharded engine actually
+// simulates: compliant peers finish the download.
+func TestShardedCompletesTheFile(t *testing.T) {
+	cfg := Default(algo.BitTorrent, 32, 16, WithSeed(3), WithShards(4))
+	s, err := NewSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.CompletionFraction(); f < 0.99 {
+		t.Fatalf("completion fraction %g under sharded engine", f)
+	}
+	if res.EventsProcessed == 0 {
+		t.Fatal("no events processed")
+	}
+	stats := s.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats returned %d shards, want 4", len(stats))
+	}
+	var processed uint64
+	for _, st := range stats {
+		processed += st.Processed
+	}
+	if processed == 0 {
+		t.Fatal("per-shard processed counters all zero")
+	}
+}
+
+// TestPublishShardMetrics checks the per-shard engine counters surface
+// through an internal/metrics registry: one labelled gauge series per
+// (shard, counter), with values matching ShardStats.
+func TestPublishShardMetrics(t *testing.T) {
+	cfg := Default(algo.BitTorrent, 32, 16, WithSeed(3), WithShards(3))
+	s, err := NewSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	s.PublishShardMetrics(reg)
+	snap := reg.Snapshot()
+	stats := s.ShardStats()
+	var events, stalls int64
+	for _, st := range stats {
+		label := fmt.Sprintf(`{shard="%d"}`, st.Lane)
+		for series, want := range map[string]int64{
+			"sim_shard_events" + label:       int64(st.Processed),
+			"sim_shard_stalls" + label:       int64(st.Stalls),
+			"sim_shard_cross_sent" + label:   int64(st.CrossSent),
+			"sim_shard_cross_recv" + label:   int64(st.CrossRecv),
+			"sim_shard_staged" + label:       int64(st.Staged),
+			"sim_shard_virtual_time" + label: int64(st.MaxTime),
+		} {
+			got, ok := snap.Gauges[series]
+			if !ok {
+				t.Errorf("series %s missing from snapshot", series)
+			} else if got != want {
+				t.Errorf("series %s = %d, want %d", series, got, want)
+			}
+		}
+		events += int64(st.Processed)
+		stalls += int64(st.Stalls)
+	}
+	if events == 0 {
+		t.Fatal("published event gauges sum to zero")
+	}
+	_ = stalls // stalls may legitimately be zero on a saturated swarm
+
+	// The serial engine publishes nothing.
+	serial, err := NewSwarm(Default(algo.BitTorrent, 16, 8, WithSeed(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serial.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := metrics.NewRegistry()
+	serial.PublishShardMetrics(reg2)
+	if n := len(reg2.Snapshot().Gauges); n != 0 {
+		t.Fatalf("serial swarm published %d gauges, want 0", n)
+	}
+}

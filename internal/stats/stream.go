@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math/rand"
+)
+
+// xoshiro256ss is a small-state rand.Source64: four uint64 words instead of
+// the ~5 KB lagged-Fibonacci table behind rand.NewSource. The sharded
+// simulator allocates one independent stream per peer lane, so at 10⁵–10⁶
+// peers the per-stream footprint is what bounds swarm size; 32 bytes keeps a
+// million streams under 100 MB including the rand.Rand wrappers.
+//
+// The generator is Blackman & Vigna's xoshiro256**; stream seeding goes
+// through splitmix64 (their recommended initializer) over a mix of the run
+// seed and the lane number, so distinct lanes get well-separated streams and
+// the same (seed, lane) pair always replays the same sequence.
+type xoshiro256ss struct {
+	s [4]uint64
+}
+
+// splitmix64 advances *x and returns the next output; used only for seeding.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func newXoshiro(seed int64, stream int) *xoshiro256ss {
+	x := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(stream)
+	g := &xoshiro256ss{}
+	for i := range g.s {
+		g.s[i] = splitmix64(&x)
+	}
+	// splitmix64 output is equidistributed, so an all-zero state (the one
+	// degenerate xoshiro state) is unreachable in practice; guard anyway.
+	if g.s[0]|g.s[1]|g.s[2]|g.s[3] == 0 {
+		g.s[0] = 0x9e3779b97f4a7c15
+	}
+	return g
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+func (g *xoshiro256ss) Uint64() uint64 {
+	s := &g.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Int63 implements rand.Source.
+func (g *xoshiro256ss) Int63() int64 { return int64(g.Uint64() >> 1) }
+
+// Seed implements rand.Source by reseeding in place (stream 0).
+func (g *xoshiro256ss) Seed(seed int64) { *g = *newXoshiro(seed, 0) }
+
+// NewStream returns a deterministic *rand.Rand for (seed, stream) backed by
+// a 32-byte xoshiro256** state. Distinct stream numbers under the same seed
+// yield statistically independent sequences; the sharded simulator uses one
+// stream per peer lane so every lane's draws are independent of how lanes
+// are packed onto shards.
+func NewStream(seed int64, stream int) *rand.Rand {
+	return rand.New(newXoshiro(seed, stream))
+}

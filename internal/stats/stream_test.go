@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"unsafe"
+)
+
+func TestStreamDeterministicPerLane(t *testing.T) {
+	a := NewStream(42, 7)
+	b := NewStream(42, 7)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestStreamIndependentAcrossLanes(t *testing.T) {
+	a := NewStream(42, 0)
+	b := NewStream(42, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("lanes 0 and 1 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestStreamFloat64Range(t *testing.T) {
+	r := NewStream(1, 3)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 || math.IsNaN(f) {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean %.3f implausible for a uniform source", mean)
+	}
+}
+
+func TestStreamStateIsSmall(t *testing.T) {
+	// The whole point of the custom source: per-lane state must stay tiny so
+	// million-peer swarms can afford one stream per lane.
+	if size := unsafe.Sizeof(xoshiro256ss{}); size > 64 {
+		t.Fatalf("xoshiro state grew to %d bytes", size)
+	}
+}

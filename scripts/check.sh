@@ -24,6 +24,19 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== sharded engine race gate =="
+# The sharded-engine tests again, explicitly and by name: every sharded
+# code path (determinism across shard counts, early stop, cross-shard
+# sends) under the race detector at a bounded peer count. The full sweep
+# above includes these, but this gate keeps the parallel engine covered
+# even if the main run is ever narrowed or moved behind -short.
+go test -race -count=1 -run 'TestSharded' ./internal/sim ./internal/eventsim
+
+echo "== figure fixture shard-identity gate =="
+# All 8 paper artifacts (tables 1-3, figures 2-6) must render byte-identical
+# — report text and persisted series/tables — between shards=1 and shards=4.
+go test -count=1 -run 'TestFigureFixturesByteIdenticalAcrossShards' ./internal/experiment
+
 echo "== probe overhead guard =="
 # -benchtime=3x, not 1x: a one-time lazy allocation in the first swarm run
 # of the process lands on whichever benchmark runs first; three iterations
