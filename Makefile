@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the CI gate; `make bench`
 # records the parallel-runner trajectory numbers to BENCH_parallel.json.
 
-.PHONY: check test bench bench-observability bench-scale bench-node bench-metrics
+.PHONY: check test bench bench-observability bench-scale bench-node bench-metrics bench-discovery
 
 check:
 	./scripts/check.sh
@@ -23,3 +23,6 @@ bench-node:
 
 bench-metrics:
 	./scripts/bench.sh metrics
+
+bench-discovery:
+	./scripts/bench.sh discovery

@@ -60,6 +60,8 @@ type seedOptions struct {
 	pieceSize    int
 	uploadRate   float64
 	id           int
+	dht          bool
+	degree       int
 	output       cli.OutputFlags
 	telemetry    cli.TelemetryFlags
 }
@@ -74,6 +76,8 @@ func seedFlags(args []string) (seedOptions, error) {
 	fs.IntVar(&opts.pieceSize, "piecesize", 256<<10, "piece size in bytes")
 	fs.Float64Var(&opts.uploadRate, "rate", 0, "upload throttle in bytes/second (0 = unthrottled)")
 	fs.IntVar(&opts.id, "id", 0, "node ID (unique within the swarm)")
+	fs.BoolVar(&opts.dht, "dht", false, "run DHT peer discovery and gossip membership (degree-bounded partial mesh)")
+	fs.IntVar(&opts.degree, "degree", 0, "with -dht: target neighbor degree (0 = default 8; hard cap is twice the target)")
 	opts.output.RegisterJSON(fs)
 	opts.telemetry.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -144,6 +148,7 @@ func startSeed(opts seedOptions, stdout io.Writer) (*node.Node, *nodeTelemetry, 
 		ListenAddr: opts.listen,
 		UploadRate: opts.uploadRate,
 		SeedMode:   true,
+		Discover:   discoverConfig(opts.dht, opts.degree),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -189,6 +194,8 @@ type getOptions struct {
 	algoName     string
 	uploadRate   float64
 	id           int
+	dht          bool
+	degree       int
 	timeout      time.Duration
 	output       cli.OutputFlags
 	telemetry    cli.TelemetryFlags
@@ -213,6 +220,8 @@ func getFlags(args []string) (getOptions, error) {
 	fs.StringVar(&opts.algoName, "algo", "tchain", "incentive mechanism")
 	fs.Float64Var(&opts.uploadRate, "rate", 0, "upload throttle in bytes/second (0 = unthrottled)")
 	fs.IntVar(&opts.id, "id", 1, "node ID (unique within the swarm)")
+	fs.BoolVar(&opts.dht, "dht", false, "run DHT peer discovery and gossip membership (degree-bounded partial mesh)")
+	fs.IntVar(&opts.degree, "degree", 0, "with -dht: target neighbor degree (0 = default 8; hard cap is twice the target)")
 	fs.DurationVar(&opts.timeout, "timeout", 10*time.Minute, "give up after this long")
 	opts.output.RegisterJSON(fs)
 	opts.telemetry.Register(fs)
@@ -262,6 +271,7 @@ func runGet(opts getOptions, stdout io.Writer) error {
 		ListenAddr: opts.listen,
 		Bootstrap:  opts.peers,
 		UploadRate: opts.uploadRate,
+		Discover:   discoverConfig(opts.dht, opts.degree),
 	})
 	if err != nil {
 		return err
@@ -318,6 +328,16 @@ func runGet(opts getOptions, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  %.1f pieces/s, %.0f KB/s, %d frames out, %d frames in\n",
 		summary.PiecesPerSec, summary.BytesPerSec/1024, summary.FramesSent, summary.FramesReceived)
 	return nil
+}
+
+// discoverConfig maps the -dht/-degree flags onto a node DiscoverConfig;
+// nil (full-mesh behavior, every bootstrap peer dialed and kept) when -dht
+// is off.
+func discoverConfig(dht bool, degree int) *node.DiscoverConfig {
+	if !dht {
+		return nil
+	}
+	return &node.DiscoverConfig{TargetDegree: degree}
 }
 
 func waitForInterrupt() {

@@ -227,6 +227,62 @@ func TestSeedAndGetEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSeedAndGetDHT repeats the download with -dht on both ends: the
+// getter bootstraps off the seed's address and the pair runs the
+// discovery membership layer (routing tables, gossip, pings) over real
+// TCP instead of pinning a static mesh.
+func TestSeedAndGetDHT(t *testing.T) {
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "payload.bin")
+	content := make([]byte, 32<<10)
+	for i := range content {
+		content[i] = byte(i*13 + i/512)
+	}
+	if err := os.WriteFile(srcPath, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seed, seedTel, err := startSeed(seedOptions{
+		filePath:     srcPath,
+		manifestPath: filepath.Join(dir, "payload.manifest"),
+		listen:       "127.0.0.1:0",
+		algoName:     "altruism",
+		pieceSize:    4 << 10,
+		id:           0,
+		dht:          true,
+		degree:       4,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Stop()
+	defer seedTel.stop(nil)
+	if seed.RoutingTable() == nil {
+		t.Fatal("-dht seed runs without a routing table")
+	}
+	outPath := filepath.Join(dir, "copy.bin")
+	err = runGet(getOptions{
+		manifestPath: filepath.Join(dir, "payload.manifest"),
+		outPath:      outPath,
+		peers:        cli.StringList{seed.Addr()},
+		listen:       "127.0.0.1:0",
+		algoName:     "altruism",
+		id:           1,
+		dht:          true,
+		degree:       4,
+		timeout:      60 * time.Second,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("downloaded file differs from the original")
+	}
+}
+
 func TestRunGetBadManifest(t *testing.T) {
 	err := runGet(getOptions{
 		manifestPath: filepath.Join(t.TempDir(), "missing.json"),

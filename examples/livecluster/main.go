@@ -64,16 +64,14 @@ func run(algoName string, leechers int, withFreeRider bool, numPieces int) error
 	fmt.Println()
 
 	start := time.Now()
-	cluster, err := node.StartCluster(node.ClusterConfig{
-		Algorithm:  mechanism,
-		Transport:  transport.NewTCP(),
-		ListenAddr: func(int) string { return "127.0.0.1:0" },
-		Manifest:   manifest,
-		Content:    content,
-		Leechers:   total,
-		FreeRiders: freeRiders,
-		UploadRate: 8 << 20, // 8 MB/s per peer keeps the demo quick
-	})
+	cluster, err := node.StartCluster(manifest, content,
+		node.WithAlgorithm(mechanism),
+		node.WithTransport(transport.NewTCP()),
+		node.WithListenAddr(func(int) string { return "127.0.0.1:0" }),
+		node.WithLeechers(total),
+		node.WithFreeRiders(freeRiders),
+		node.WithUploadRate(8<<20), // 8 MB/s per peer keeps the demo quick
+	)
 	if err != nil {
 		return err
 	}

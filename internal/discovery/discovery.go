@@ -1,0 +1,57 @@
+// Package discovery implements the Kademlia-style routing layer the live
+// node (internal/node) uses to find peers without static full-mesh wiring:
+// XOR-distance 64-bit node IDs, k-buckets with least-recently-seen eviction
+// candidates, and alpha-parallel iterative FindNode lookups.
+//
+// The package is transport-agnostic: it owns only the routing data
+// structures and the lookup algorithm. The node supplies a QueryFunc that
+// actually asks a contact for its closest neighbors (over a transient
+// internal/transport connection speaking protocol.FindNode/Nodes frames)
+// and feeds gossip (Announce frames, handshake peer exchange) into the
+// table. Liveness is likewise the caller's: the table hands back eviction
+// candidates and the node pings or dials them.
+package discovery
+
+import "math/bits"
+
+// ID is a node's position in the 64-bit Kademlia XOR-distance space.
+type ID uint64
+
+// IDOf derives the routing ID for a swarm node ID. The mix is splitmix64's
+// finalizer: deterministic (any two nodes agree on everyone's ID without
+// communication) and well spread, so integer node IDs 0,1,2,... land
+// uniformly across the space instead of clustering in one bucket.
+func IDOf(nodeID int) ID {
+	z := uint64(nodeID) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return ID(z ^ (z >> 31))
+}
+
+// Distance is the Kademlia XOR metric between two IDs.
+func Distance(a, b ID) uint64 { return uint64(a ^ b) }
+
+// BucketOf returns which of the 64 k-buckets an ID at the given distance
+// from self belongs to: bucket i holds distances whose highest set bit is
+// bit i, so bucket 63 is the far half of the space and bucket 0 the
+// immediate neighborhood. Distance 0 (self) has no bucket; BucketOf
+// returns -1 for it.
+func BucketOf(self, other ID) int {
+	d := Distance(self, other)
+	if d == 0 {
+		return -1
+	}
+	return bits.Len64(d) - 1
+}
+
+// Contact is one routable peer: its swarm node ID and the address its
+// listener can be dialed at.
+type Contact struct {
+	// NodeID is the peer's swarm identity (protocol.Hello's PeerID).
+	NodeID int
+	// Addr is the peer's advertised listen address.
+	Addr string
+}
+
+// ID returns the contact's position in the XOR space.
+func (c Contact) ID() ID { return IDOf(c.NodeID) }

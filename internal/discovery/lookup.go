@@ -1,0 +1,111 @@
+package discovery
+
+import "sort"
+
+// QueryFunc asks one contact for the closest contacts it knows to target.
+// Implementations block until the answer arrives or their own timeout
+// expires; an error marks the contact unreachable for this lookup.
+type QueryFunc func(c Contact, target ID) ([]Contact, error)
+
+// Lookup runs a Kademlia iterative FindNode: starting from the table's k
+// closest known contacts, it keeps alpha queries in flight toward the
+// closest not-yet-queried candidates, merging every reply into both the
+// shortlist and the table, until the k closest known contacts have all
+// been queried (or failed). It returns the k closest live contacts found.
+//
+// The call blocks for the lookup's duration; queries within a round run
+// concurrently on their own goroutines, all joined before return.
+func (t *Table) Lookup(target ID, k, alpha int, query QueryFunc) []Contact {
+	if k <= 0 {
+		k = t.k
+	}
+	if alpha <= 0 {
+		alpha = 3
+	}
+	type candidate struct {
+		c       Contact
+		queried bool
+		failed  bool
+	}
+	// shortlist holds every contact seen this lookup, sorted by distance.
+	shortlist := make([]candidate, 0, 2*k)
+	known := make(map[int]bool)
+	merge := func(cs []Contact) {
+		for _, c := range cs {
+			if known[c.NodeID] || c.ID() == t.self || c.Addr == "" {
+				continue
+			}
+			known[c.NodeID] = true
+			shortlist = append(shortlist, candidate{c: c})
+		}
+		sort.SliceStable(shortlist, func(i, j int) bool {
+			return Distance(shortlist[i].c.ID(), target) < Distance(shortlist[j].c.ID(), target)
+		})
+	}
+	merge(t.Closest(target, k))
+
+	type reply struct {
+		from   Contact
+		found  []Contact
+		failed bool
+	}
+	for {
+		// Launch queries toward the closest unqueried candidates among the
+		// k best — stopping when those are all settled is the Kademlia
+		// termination rule.
+		var wave []Contact
+		settled := 0
+		for i := range shortlist {
+			if settled >= k || len(wave) >= alpha {
+				break
+			}
+			cand := &shortlist[i]
+			if cand.failed {
+				continue
+			}
+			if cand.queried {
+				settled++
+				continue
+			}
+			cand.queried = true
+			wave = append(wave, cand.c)
+		}
+		if len(wave) == 0 {
+			break
+		}
+		replies := make(chan reply, len(wave))
+		for _, c := range wave {
+			go func(c Contact) {
+				found, err := query(c, target)
+				replies <- reply{from: c, found: found, failed: err != nil}
+			}(c)
+		}
+		for range wave {
+			r := <-replies
+			if r.failed {
+				for i := range shortlist {
+					if shortlist[i].c.NodeID == r.from.NodeID {
+						shortlist[i].failed = true
+					}
+				}
+				continue
+			}
+			t.Add(r.from)
+			for _, c := range r.found {
+				t.Add(c)
+			}
+			merge(r.found)
+		}
+	}
+
+	out := make([]Contact, 0, k)
+	for _, cand := range shortlist {
+		if cand.queried && !cand.failed {
+			out = append(out, cand.c)
+		}
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}

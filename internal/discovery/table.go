@@ -1,0 +1,189 @@
+package discovery
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Table is a Kademlia routing table: 64 k-buckets of contacts ordered by
+// recency, bucket i covering XOR distances whose highest set bit is bit i.
+// All methods are safe for concurrent use.
+//
+// Eviction follows the paper's least-recently-seen policy, adapted to a
+// caller-driven liveness check: Add on a full bucket does not insert but
+// returns the bucket's least-recently-seen contact as an eviction
+// candidate. The caller pings (or dials) it — if it answers, its next
+// RecordSeen keeps it and the newcomer is simply dropped (Kademlia prefers
+// old live contacts, which resists churn and table-poisoning); if it does
+// not, Remove it and re-Add the newcomer.
+type Table struct {
+	self ID
+	k    int
+
+	mu      sync.Mutex
+	buckets [64][]tableEntry // least-recently-seen first, most recent last
+	size    int
+}
+
+// tableEntry is one routed contact plus the last time it was seen alive.
+type tableEntry struct {
+	c    Contact
+	seen time.Time
+}
+
+// NewTable builds an empty routing table for the node with the given swarm
+// ID. k is the per-bucket capacity (Kademlia's k, typically 16).
+func NewTable(selfNodeID, k int) *Table {
+	if k <= 0 {
+		k = 16
+	}
+	return &Table{self: IDOf(selfNodeID), k: k}
+}
+
+// Self returns the table owner's routing ID.
+func (t *Table) Self() ID { return t.self }
+
+// K returns the per-bucket capacity.
+func (t *Table) K() int { return t.k }
+
+// Size returns the number of contacts currently routed.
+func (t *Table) Size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Add records c as seen alive now. If c's bucket is full the contact is
+// NOT inserted; instead the bucket's least-recently-seen entry comes back
+// as the eviction candidate for the caller to liveness-check (see the
+// Table doc). The boolean reports whether c is now in the table (newly
+// inserted or refreshed).
+func (t *Table) Add(c Contact) (evict Contact, added bool) {
+	b := BucketOf(t.self, c.ID())
+	if b < 0 || c.Addr == "" {
+		return Contact{}, false // self, or not routable
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bucket := t.buckets[b]
+	for i := range bucket {
+		if bucket[i].c.NodeID == c.NodeID {
+			// Known contact: refresh address and move to most-recent.
+			entry := tableEntry{c: c, seen: time.Now()}
+			t.buckets[b] = append(append(bucket[:i], bucket[i+1:]...), entry)
+			return Contact{}, true
+		}
+	}
+	if len(bucket) >= t.k {
+		return bucket[0].c, false
+	}
+	t.buckets[b] = append(bucket, tableEntry{c: c, seen: time.Now()})
+	t.size++
+	return Contact{}, true
+}
+
+// Remove drops a contact (failed dial, missed ping, confirmed-dead
+// eviction candidate). Unknown contacts are a no-op.
+func (t *Table) Remove(c Contact) {
+	b := BucketOf(t.self, c.ID())
+	if b < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bucket := t.buckets[b]
+	for i := range bucket {
+		if bucket[i].c.NodeID == c.NodeID {
+			t.buckets[b] = append(bucket[:i], bucket[i+1:]...)
+			t.size--
+			return
+		}
+	}
+}
+
+// Closest returns up to n known contacts ordered by XOR distance to
+// target. The table holds at most 64*k entries, so a full scan plus sort
+// stays cheap at every realistic swarm size.
+func (t *Table) Closest(target ID, n int) []Contact {
+	t.mu.Lock()
+	out := make([]Contact, 0, t.size)
+	for b := range t.buckets {
+		for _, e := range t.buckets[b] {
+			out = append(out, e.c)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return Distance(out[i].ID(), target) < Distance(out[j].ID(), target)
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Contacts snapshots every routed contact in no particular order.
+func (t *Table) Contacts() []Contact {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Contact, 0, t.size)
+	for b := range t.buckets {
+		for _, e := range t.buckets[b] {
+			out = append(out, e.c)
+		}
+	}
+	return out
+}
+
+// NeighborCandidates returns up to n contacts to maintain links toward,
+// spanning the distance scales: the most-recently-seen entry of every
+// nonempty bucket from nearest to farthest, then the second entries, and
+// so on. Connecting to one live contact per bucket is Kademlia's
+// neighbor-set shape — it keeps the overlay connected (every node has
+// links at all distance scales, so greedy XOR routing and flooding both
+// reach everyone) with degree logarithmic in the population, which is
+// exactly the degree-bounded partial mesh the node's Discover mode wants.
+func (t *Table) NeighborCandidates(n int) []Contact {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Contact, 0, n)
+	for layer := 0; len(out) < n; layer++ {
+		found := false
+		for b := 0; b < len(t.buckets) && len(out) < n; b++ {
+			bucket := t.buckets[b]
+			if layer < len(bucket) {
+				found = true
+				// Most recent first: index from the tail.
+				out = append(out, bucket[len(bucket)-1-layer].c)
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return out
+}
+
+// RefreshTarget picks a random ID inside a random nonempty bucket (or a
+// uniformly random ID when the table is empty) — the lookup target for
+// periodic bucket refresh, which keeps every distance scale populated.
+func (t *Table) RefreshTarget(rng *rand.Rand) ID {
+	t.mu.Lock()
+	nonempty := make([]int, 0, 8)
+	for b := range t.buckets {
+		if len(t.buckets[b]) > 0 {
+			nonempty = append(nonempty, b)
+		}
+	}
+	t.mu.Unlock()
+	if len(nonempty) == 0 {
+		return ID(rng.Uint64())
+	}
+	b := nonempty[rng.Intn(len(nonempty))]
+	// An ID at distance with highest bit b: flip bit b of self, randomize
+	// the lower bits.
+	d := uint64(1)<<uint(b) | (rng.Uint64() & (uint64(1)<<uint(b) - 1))
+	return t.self ^ ID(d)
+}

@@ -31,15 +31,13 @@ func benchCluster(b *testing.B, tr transport.Transport, listenAddr func(int) str
 		content = append(content, piece.SyntheticPiece(i, benchPieceSize)...)
 	}
 	start := time.Now()
-	c, err := StartCluster(ClusterConfig{
-		Algorithm:        algo.Altruism,
-		Transport:        tr,
-		Manifest:         manifest,
-		Content:          content,
-		ListenAddr:       listenAddr,
-		Leechers:         nodes - 1,
-		DecisionInterval: time.Millisecond,
-	})
+	c, err := StartCluster(manifest, content,
+		WithAlgorithm(algo.Altruism),
+		WithTransport(tr),
+		WithListenAddr(listenAddr),
+		WithLeechers(nodes-1),
+		WithDecisionInterval(time.Millisecond),
+	)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package node
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/algo"
@@ -11,94 +12,270 @@ import (
 	"repro/internal/transport"
 )
 
-// ClusterConfig describes an in-process swarm of live nodes: one seed
-// holding the full content plus a set of leechers, full-mesh bootstrapped,
-// sharing one reputation ledger.
-type ClusterConfig struct {
-	// Algorithm is the mechanism every compliant node runs.
-	Algorithm algo.Algorithm
-	// Transport carries the swarm (transport.NewMem() or transport.NewTCP()).
-	Transport transport.Transport
-	// ListenAddr returns the listen address for node i ("" for the memory
-	// transport, "127.0.0.1:0" for TCP). Nil defaults to "".
-	ListenAddr func(i int) string
-	// Manifest and Content define the file; the seed holds all of Content.
-	Manifest *piece.Manifest
-	Content  []byte
-	// Leechers is the number of downloading peers (node IDs 1..Leechers).
-	Leechers int
-	// FreeRiders marks node IDs that free-ride.
-	FreeRiders map[int]bool
-	// UploadRate throttles every node (bytes/second, 0 = unthrottled).
-	UploadRate float64
-	// DecisionInterval overrides the upload-scheduler tick.
-	DecisionInterval time.Duration
+// Topology selects how a cluster wires its nodes together. The zero value
+// is the full mesh; Discovery and DiscoveryWith build DHT-wired topologies.
+type Topology struct {
+	discover *DiscoverConfig // nil = full mesh
 }
 
-// Cluster is a running in-process swarm. Stop it when done.
+// FullMesh bootstraps every node with the addresses of all earlier nodes,
+// so the swarm is a complete graph — the classic wiring, where every node's
+// degree is N-1.
+var FullMesh = Topology{}
+
+// Discovery wires the swarm through the Kademlia discovery layer: every
+// node bootstraps off at most three seeds and finds the rest of the swarm
+// via lookups and gossip, keeping its neighbor set near degree (hard cap
+// 2*degree). k is the routing bucket capacity and lookup width, alpha the
+// lookup parallelism; zero values take the DiscoverConfig defaults. The
+// maintenance intervals are tightened for in-process swarms (50ms degree
+// ticks, sub-second gossip) so clusters converge in test-scale time; use
+// DiscoveryWith for deployment-scale tuning.
+func Discovery(k, alpha, degree int) Topology {
+	return DiscoveryWith(DiscoverConfig{
+		K:                k,
+		Alpha:            alpha,
+		TargetDegree:     degree,
+		MaintainInterval: 50 * time.Millisecond,
+		AnnounceInterval: 500 * time.Millisecond,
+		RefreshInterval:  time.Second,
+		PingInterval:     2 * time.Second,
+		QueryTimeout:     500 * time.Millisecond,
+	})
+}
+
+// DiscoveryWith wires the swarm through the discovery layer with full
+// control over the DiscoverConfig.
+func DiscoveryWith(cfg DiscoverConfig) Topology {
+	c := cfg.withDefaults()
+	return Topology{discover: &c}
+}
+
+// clusterOptions is the resolved cluster configuration.
+type clusterOptions struct {
+	algorithm        algo.Algorithm
+	transport        transport.Transport
+	listenAddr       func(i int) string
+	leechers         int
+	freeRiders       map[int]bool
+	uploadRate       float64
+	decisionInterval time.Duration
+	topology         Topology
+}
+
+// ClusterOption customizes StartCluster; options that reject their argument
+// surface the error through StartCluster.
+type ClusterOption func(*clusterOptions) error
+
+// WithAlgorithm selects the incentive mechanism every compliant node runs
+// (default algo.Altruism).
+func WithAlgorithm(a algo.Algorithm) ClusterOption {
+	return func(o *clusterOptions) error {
+		o.algorithm = a
+		return nil
+	}
+}
+
+// WithTransport selects the transport carrying the swarm (default
+// transport.NewMem()).
+func WithTransport(tr transport.Transport) ClusterOption {
+	return func(o *clusterOptions) error {
+		if tr == nil {
+			return fmt.Errorf("node: WithTransport(nil)")
+		}
+		o.transport = tr
+		return nil
+	}
+}
+
+// WithListenAddr sets the listen address for node i ("" suits the memory
+// transport, "127.0.0.1:0" TCP).
+func WithListenAddr(f func(i int) string) ClusterOption {
+	return func(o *clusterOptions) error {
+		if f == nil {
+			return fmt.Errorf("node: WithListenAddr(nil)")
+		}
+		o.listenAddr = f
+		return nil
+	}
+}
+
+// WithLeechers sets the number of downloading peers, node IDs 1..n
+// (default 0: just the seed).
+func WithLeechers(n int) ClusterOption {
+	return func(o *clusterOptions) error {
+		if n < 0 {
+			return fmt.Errorf("node: negative leecher count %d", n)
+		}
+		o.leechers = n
+		return nil
+	}
+}
+
+// WithFreeRiders marks node IDs that free-ride (receive without ever
+// uploading or reciprocating).
+func WithFreeRiders(ids map[int]bool) ClusterOption {
+	return func(o *clusterOptions) error {
+		o.freeRiders = ids
+		return nil
+	}
+}
+
+// WithUploadRate throttles every node to rate bytes/second (0 =
+// unthrottled).
+func WithUploadRate(rate float64) ClusterOption {
+	return func(o *clusterOptions) error {
+		if rate < 0 {
+			return fmt.Errorf("node: UploadRate %g negative", rate)
+		}
+		o.uploadRate = rate
+		return nil
+	}
+}
+
+// WithDecisionInterval overrides every node's upload-scheduler tick.
+func WithDecisionInterval(d time.Duration) ClusterOption {
+	return func(o *clusterOptions) error {
+		o.decisionInterval = d
+		return nil
+	}
+}
+
+// WithTopology selects the swarm wiring: FullMesh (the default) or
+// Discovery/DiscoveryWith.
+func WithTopology(t Topology) ClusterOption {
+	return func(o *clusterOptions) error {
+		o.topology = t
+		return nil
+	}
+}
+
+// maxBootstrapSeeds is how many existing nodes a discovery-wired joiner is
+// pointed at; everything beyond these few contacts is learned through the
+// DHT and gossip.
+const maxBootstrapSeeds = 3
+
+// Cluster is a running in-process swarm. Stop it when done; Join attaches
+// additional leechers while it runs.
 type Cluster struct {
-	// Nodes holds the seed at index 0 followed by the leechers.
+	// Nodes holds the seed at index 0 followed by the leechers, including
+	// any attached by Join. Join appends to it, so do not range over Nodes
+	// concurrently with Join calls.
 	Nodes []*Node
 	// Ledger is the shared reputation service.
 	Ledger *reputation.Ledger
+
+	opts     clusterOptions
+	manifest *piece.Manifest
+	content  []byte
+
+	mu       sync.Mutex
+	nextID   int
+	stopped  bool
+	stopOnce sync.Once
+	stopErr  error
 }
 
-// StartCluster builds and starts the whole swarm. On error, any nodes
-// already started are stopped before returning.
-func StartCluster(cfg ClusterConfig) (*Cluster, error) {
-	if cfg.Manifest == nil || len(cfg.Content) == 0 {
+// StartCluster builds and starts an in-process swarm: one seed holding all
+// of content plus WithLeechers downloading peers, sharing one reputation
+// ledger, wired per WithTopology. On error, any nodes already started are
+// stopped before returning.
+func StartCluster(manifest *piece.Manifest, content []byte, opts ...ClusterOption) (*Cluster, error) {
+	if manifest == nil || len(content) == 0 {
 		return nil, fmt.Errorf("node: cluster needs a manifest and content")
 	}
-	if cfg.Transport == nil {
-		return nil, fmt.Errorf("node: cluster needs a transport")
+	o := clusterOptions{
+		algorithm:  algo.Altruism,
+		listenAddr: func(int) string { return "" },
 	}
-	if cfg.Leechers < 0 {
-		return nil, fmt.Errorf("node: negative leecher count %d", cfg.Leechers)
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
 	}
-	listenAddr := cfg.ListenAddr
-	if listenAddr == nil {
-		listenAddr = func(int) string { return "" }
+	if o.transport == nil {
+		o.transport = transport.NewMem()
 	}
 
-	c := &Cluster{Ledger: reputation.NewLedger()}
-	var addrs []string
-	total := cfg.Leechers + 1
-	for i := 0; i < total; i++ {
-		var store *piece.Store
-		if i == 0 {
-			seeded, err := piece.NewSeedStore(cfg.Manifest, cfg.Content)
-			if err != nil {
-				c.Stop()
-				return nil, fmt.Errorf("node: seeding: %w", err)
-			}
-			store = seeded
-		} else {
-			store = piece.NewStore(cfg.Manifest)
-		}
-		n, err := New(Config{
-			ID:               i,
-			Algorithm:        cfg.Algorithm,
-			Store:            store,
-			Transport:        cfg.Transport,
-			ListenAddr:       listenAddr(i),
-			Bootstrap:        append([]string(nil), addrs...),
-			UploadRate:       cfg.UploadRate,
-			DecisionInterval: cfg.DecisionInterval,
-			FreeRide:         cfg.FreeRiders[i],
-			Ledger:           c.Ledger,
-		})
-		if err != nil {
-			c.Stop()
-			return nil, err
-		}
-		if err := n.Start(); err != nil {
-			c.Stop()
-			return nil, err
-		}
-		c.Nodes = append(c.Nodes, n)
-		addrs = append(addrs, n.Addr())
+	c := &Cluster{
+		Ledger:   reputation.NewLedger(),
+		opts:     o,
+		manifest: manifest,
+		content:  content,
 	}
+	for i := 0; i <= o.leechers; i++ {
+		if _, err := c.startNode(i); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	c.nextID = o.leechers + 1
 	return c, nil
+}
+
+// startNode builds, starts, and registers node id (0 = the seed).
+func (c *Cluster) startNode(id int) (*Node, error) {
+	var store *piece.Store
+	if id == 0 {
+		seeded, err := piece.NewSeedStore(c.manifest, c.content)
+		if err != nil {
+			return nil, fmt.Errorf("node: seeding: %w", err)
+		}
+		store = seeded
+	} else {
+		store = piece.NewStore(c.manifest)
+	}
+	bootstrap := make([]string, 0, len(c.Nodes))
+	for _, prev := range c.Nodes {
+		if c.opts.topology.discover != nil && len(bootstrap) >= maxBootstrapSeeds {
+			break
+		}
+		bootstrap = append(bootstrap, prev.Addr())
+	}
+	var disc *DiscoverConfig
+	if c.opts.topology.discover != nil {
+		cp := *c.opts.topology.discover
+		disc = &cp
+	}
+	n, err := New(Config{
+		ID:               id,
+		Algorithm:        c.opts.algorithm,
+		Store:            store,
+		Transport:        c.opts.transport,
+		ListenAddr:       c.opts.listenAddr(id),
+		Bootstrap:        bootstrap,
+		UploadRate:       c.opts.uploadRate,
+		DecisionInterval: c.opts.decisionInterval,
+		FreeRide:         c.opts.freeRiders[id],
+		Ledger:           c.Ledger,
+		Discover:         disc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Start(); err != nil {
+		return nil, err
+	}
+	c.Nodes = append(c.Nodes, n)
+	return n, nil
+}
+
+// Join attaches one more leecher to the running swarm, bootstrapped the
+// same way StartCluster wires nodes (under a Discovery topology: off the
+// cluster's first few nodes, finding everyone else through the DHT). The
+// node is appended to Nodes and returned; stopping it individually models a
+// peer leaving. Join is not safe to call concurrently with itself or with
+// reads of Nodes.
+func (c *Cluster) Join() (*Node, error) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("node: cluster stopped")
+	}
+	id := c.nextID
+	c.nextID++
+	c.mu.Unlock()
+	return c.startNode(id)
 }
 
 // Seed returns the seeding node.
@@ -123,20 +300,73 @@ func (c *Cluster) WaitAllCompleteContext(ctx context.Context) error {
 	return nil
 }
 
-// WaitAllComplete blocks until every *compliant* leecher holds the full
-// file or the timeout elapses, reporting success.
-//
-// Deprecated: use WaitAllCompleteContext, which reports which node timed out
-// and composes with caller contexts.
-func (c *Cluster) WaitAllComplete(timeout time.Duration) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	return c.WaitAllCompleteContext(ctx) == nil
+// Stop tears every node down. It is idempotent — every call (including
+// concurrent ones) waits for the full teardown — and returns the first
+// per-node teardown error; repeat calls return that same error. Nodes
+// already stopped individually are fine: Node.Stop is idempotent too.
+func (c *Cluster) Stop() error {
+	c.mu.Lock()
+	c.stopped = true
+	c.mu.Unlock()
+	c.stopOnce.Do(func() {
+		var first error
+		for _, n := range c.Nodes {
+			if err := n.Stop(); err != nil && first == nil {
+				first = err
+			}
+		}
+		c.stopErr = first
+	})
+	return c.stopErr
 }
 
-// Stop tears every node down.
-func (c *Cluster) Stop() {
-	for _, n := range c.Nodes {
-		n.Stop()
+// ClusterConfig describes a swarm in the pre-options struct form: one seed
+// plus Leechers downloaders, full-mesh bootstrapped.
+//
+// Deprecated: use StartCluster with ClusterOption values, which also
+// unlocks discovery topologies (WithTopology).
+type ClusterConfig struct {
+	// Algorithm is the mechanism every compliant node runs.
+	Algorithm algo.Algorithm
+	// Transport carries the swarm; unlike the options API it is required
+	// here, preserving the legacy strictness.
+	Transport transport.Transport
+	// ListenAddr returns the listen address for node i ("" for the memory
+	// transport, "127.0.0.1:0" for TCP). Nil defaults to "".
+	ListenAddr func(i int) string
+	// Manifest and Content define the file; the seed holds all of Content.
+	Manifest *piece.Manifest
+	Content  []byte
+	// Leechers is the number of downloading peers (node IDs 1..Leechers).
+	Leechers int
+	// FreeRiders marks node IDs that free-ride.
+	FreeRiders map[int]bool
+	// UploadRate throttles every node (bytes/second, 0 = unthrottled).
+	UploadRate float64
+	// DecisionInterval overrides the upload-scheduler tick.
+	DecisionInterval time.Duration
+}
+
+// StartClusterConfig starts a full-mesh cluster from the legacy struct
+// form, with the legacy validation (an explicit Transport is required).
+//
+// Deprecated: use StartCluster with ClusterOption values.
+func StartClusterConfig(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("node: cluster needs a transport")
 	}
+	opts := []ClusterOption{
+		WithTransport(cfg.Transport),
+		WithLeechers(cfg.Leechers),
+		WithFreeRiders(cfg.FreeRiders),
+		WithUploadRate(cfg.UploadRate),
+		WithDecisionInterval(cfg.DecisionInterval),
+	}
+	if cfg.Algorithm != 0 {
+		opts = append(opts, WithAlgorithm(cfg.Algorithm))
+	}
+	if cfg.ListenAddr != nil {
+		opts = append(opts, WithListenAddr(cfg.ListenAddr))
+	}
+	return StartCluster(cfg.Manifest, cfg.Content, opts...)
 }

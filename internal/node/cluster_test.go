@@ -25,30 +25,39 @@ func clusterFixture(t *testing.T) (*piece.Manifest, []byte) {
 
 func TestStartClusterValidation(t *testing.T) {
 	manifest, content := clusterFixture(t)
-	bad := []ClusterConfig{
-		{Transport: transport.NewMem(), Content: content},   // no manifest
-		{Transport: transport.NewMem(), Manifest: manifest}, // no content
-		{Manifest: manifest, Content: content},              // no transport
-		{Transport: transport.NewMem(), Manifest: manifest, Content: content, Leechers: -1},
+	bad := []struct {
+		name     string
+		manifest *piece.Manifest
+		content  []byte
+		opts     []ClusterOption
+	}{
+		{"no manifest", nil, content, nil},
+		{"no content", manifest, nil, nil},
+		{"nil transport", manifest, content, []ClusterOption{WithTransport(nil)}},
+		{"nil listen func", manifest, content, []ClusterOption{WithListenAddr(nil)}},
+		{"negative leechers", manifest, content, []ClusterOption{WithLeechers(-1)}},
+		{"negative rate", manifest, content, []ClusterOption{WithUploadRate(-1)}},
 	}
-	for i, cfg := range bad {
-		if _, err := StartCluster(cfg); err == nil {
-			t.Errorf("case %d accepted", i)
+	for _, tc := range bad {
+		if _, err := StartCluster(tc.manifest, tc.content, tc.opts...); err == nil {
+			t.Errorf("%s accepted", tc.name)
 		}
+	}
+	// The legacy struct shim keeps its stricter contract: an explicit
+	// transport is required.
+	if _, err := StartClusterConfig(ClusterConfig{Manifest: manifest, Content: content}); err == nil {
+		t.Error("StartClusterConfig accepted a nil transport")
 	}
 }
 
 func TestClusterLifecycle(t *testing.T) {
 	manifest, content := clusterFixture(t)
-	c, err := StartCluster(ClusterConfig{
-		Algorithm:        algo.TChain,
-		Transport:        transport.NewMem(),
-		Manifest:         manifest,
-		Content:          content,
-		Leechers:         3,
-		FreeRiders:       map[int]bool{3: true},
-		DecisionInterval: 2 * time.Millisecond,
-	})
+	c, err := StartCluster(manifest, content,
+		WithAlgorithm(algo.TChain),
+		WithLeechers(3),
+		WithFreeRiders(map[int]bool{3: true}),
+		WithDecisionInterval(2*time.Millisecond),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +93,11 @@ func TestClusterOverDegradedTransport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := StartCluster(ClusterConfig{
-		Algorithm:        algo.Altruism,
-		Transport:        tr,
-		Manifest:         manifest,
-		Content:          content,
-		Leechers:         3,
-		DecisionInterval: 2 * time.Millisecond,
-	})
+	c, err := StartCluster(manifest, content,
+		WithTransport(tr),
+		WithLeechers(3),
+		WithDecisionInterval(2*time.Millisecond),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,9 +109,12 @@ func TestClusterOverDegradedTransport(t *testing.T) {
 	}
 }
 
+// TestClusterStopIdempotent drives the legacy struct shim through a full
+// start/stop cycle and checks the new Stop contract: repeat calls are safe
+// and report the same (nil) error.
 func TestClusterStopIdempotent(t *testing.T) {
 	manifest, content := clusterFixture(t)
-	c, err := StartCluster(ClusterConfig{
+	c, err := StartClusterConfig(ClusterConfig{
 		Algorithm: algo.Altruism,
 		Transport: transport.NewMem(),
 		Manifest:  manifest,
@@ -115,6 +124,14 @@ func TestClusterStopIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Stop()
-	c.Stop()
+	if err := c.Stop(); err != nil {
+		t.Fatalf("first Stop: %v", err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+	// Stopping a member node directly is also idempotent.
+	if err := c.Nodes[0].Stop(); err != nil {
+		t.Fatalf("node re-Stop: %v", err)
+	}
 }

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"repro/internal/discovery"
 	"repro/internal/incentive"
 	"repro/internal/protocol"
 	"repro/internal/tchain"
@@ -43,33 +44,101 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 		return
 	}
 	theirHello, ok := first.(protocol.Hello)
-	if !ok || theirHello.NumPieces != hello.NumPieces {
-		return // protocol violation or different swarm
+	if !ok {
+		// Not a handshake. With discovery on, the accept side serves a
+		// transient discovery session (a FindNode-first connection is how
+		// lookups query us), and the dial side reads a capacity redirect —
+		// the peer answered our Hello with contacts to try instead.
+		if n.disc != nil {
+			if !dialer {
+				n.serveDiscovery(conn, first)
+			} else if m, redirected := first.(protocol.Nodes); redirected {
+				n.addNodeInfos(m.Contacts)
+			}
+		}
+		return
+	}
+	if theirHello.NumPieces != hello.NumPieces {
+		return // different swarm
+	}
+	peerID := int(theirHello.PeerID)
+	if n.disc != nil {
+		// Learn the contact whatever happens next; a redirected dialer is
+		// still a real, routable node.
+		n.disc.table.Add(discovery.Contact{NodeID: peerID, Addr: theirHello.Addr})
 	}
 	if !dialer {
+		if n.disc != nil && !n.roomForPeer() {
+			// At capacity: refuse the handshake but leave the dialer better
+			// off — the closest contacts we know toward it, then Bye. Linger
+			// until the dialer hangs up so an asynchronous transport actually
+			// delivers the redirect before the deferred Close kills it.
+			n.disc.redirects.Inc()
+			if conn.Send(protocol.Nodes{Contacts: n.closestInfos(discovery.IDOf(peerID))}) == nil &&
+				conn.Send(protocol.Bye{}) == nil {
+				n.lingerRedirect(conn)
+			}
+			return
+		}
 		if conn.Send(hello) != nil || conn.Send(n.bitfieldMsg()) != nil {
 			return
 		}
 	}
 
-	peerID := int(theirHello.PeerID)
 	r := newRemote(peerID, conn, n.cfg.Store.Manifest().NumPieces(), theirHello.Addr, n.metrics)
+	r.lastRecv.Store(n.sinceStartNs())
 	n.mu.Lock()
 	if _, dup := n.peers[peerID]; dup || peerID == n.cfg.ID {
 		n.mu.Unlock()
 		return // duplicate connection (simultaneous dial) or self-dial
+	}
+	var evicted *remote
+	if n.disc != nil && len(n.peers) >= n.disc.cfg.MaxDegree {
+		// Late capacity check under the lock, covering both sides: the
+		// accept path's early redirect races concurrent handshakes (at
+		// startup, a whole swarm dials the bootstrap nodes inside one
+		// accept window), and our own in-flight dials could otherwise land
+		// past the cap. An exhausted link (both ends complete) is evicted
+		// to make room; otherwise MaxDegree is a hard bound, so refuse even
+		// a link we dialed — but always redirect with contacts and linger
+		// for the hangup: a refused dialer that learns nothing may have no
+		// other way into the swarm.
+		if evicted = n.evictableLocked(); evicted != nil {
+			delete(n.peers, evicted.id)
+			n.strategy.Forget(incentive.PeerID(evicted.id))
+			delete(n.recentSends, evicted.id)
+		} else {
+			n.mu.Unlock()
+			n.disc.redirects.Inc()
+			if conn.Send(protocol.Nodes{Contacts: n.closestInfos(discovery.IDOf(peerID))}) == nil &&
+				conn.Send(protocol.Bye{}) == nil {
+				n.lingerRedirect(conn)
+			}
+			return
+		}
 	}
 	// Seed the interest counters against an empty peer bitfield; the
 	// peer's Bitfield message re-derives them the moment it lands.
 	r.theyNeed, r.iNeed = n.myBits.DiffCounts(r.have)
 	n.peers[peerID] = r
 	n.mu.Unlock()
+	if evicted != nil {
+		// Closing the evicted link outside the lock lets its read loop run
+		// the normal teardown; it only skips the peer-map cleanup done above.
+		evicted.conn.Close()
+	}
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
 		r.writeLoop()
 	}()
 	defer r.closeOutbox()
+	if n.disc != nil {
+		// Peer exchange: hand the new neighbor the closest contacts we know
+		// toward it, piggybacked on the handshake. This is what lets a swarm
+		// bootstrapped from two or three seeds fan out.
+		r.enqueue(protocol.Nodes{Contacts: n.closestInfos(discovery.IDOf(peerID))})
+	}
 
 	defer func() {
 		n.mu.Lock()
@@ -96,6 +165,9 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 			return
 		}
 		n.metrics.framesIn.Inc()
+		if n.disc != nil {
+			r.lastRecv.Store(n.sinceStartNs())
+		}
 		if done := n.dispatch(r, msg); done {
 			return
 		}
@@ -145,6 +217,30 @@ func (n *Node) dispatch(r *remote, msg protocol.Message) bool {
 
 	case protocol.Receipt:
 		n.handleReceipt(r, m)
+
+	case protocol.Ping:
+		if n.disc != nil && !m.Ack {
+			r.enqueue(protocol.Ping{Seq: m.Seq, Ack: true})
+		}
+
+	case protocol.FindNode:
+		// Lookups normally query over transient connections, but answering
+		// on an established link too costs nothing and helps a peer that
+		// already knows us.
+		if n.disc != nil {
+			n.disc.queriesServed.Inc()
+			r.enqueue(protocol.Nodes{Seq: m.Seq, Contacts: n.closestInfos(discovery.ID(m.Target))})
+		}
+
+	case protocol.Nodes:
+		if n.disc != nil {
+			n.addNodeInfos(m.Contacts)
+		}
+
+	case protocol.Announce:
+		if n.disc != nil {
+			n.handleAnnounce(r, m)
+		}
 
 	case protocol.Bye:
 		return true
@@ -216,8 +312,14 @@ func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
 			n.noteFirstByteLocked(int(m.Index))
 		}
 		n.mu.Unlock()
+		receipt := protocol.Receipt{KeyID: m.KeyID, From: m.ForwarderID}
 		if connected {
-			origin.enqueue(protocol.Receipt{KeyID: m.KeyID, From: m.ForwarderID})
+			origin.enqueue(receipt)
+		} else if n.disc != nil && m.OriginAddr != "" {
+			// On a degree-bounded mesh the witness may not neighbor the
+			// origin; deliver the receipt over a transient connection so the
+			// forwarder still earns its key.
+			n.sendTransientReceipt(m.OriginAddr, receipt)
 		}
 		return
 	}
@@ -255,21 +357,37 @@ func (n *Node) reciprocate(r *remote, m protocol.SealedPiece, ciphertext []byte)
 	}
 
 	// Indirect: forward the sealed piece to a neighbor that needs it; the
-	// witness will send the origin a receipt.
+	// witness will send the origin a receipt. When every neighbor already
+	// holds the piece — a drained swarm facing a newcomer — forward anyway:
+	// reciprocation in T-Chain proves contribution (upload spent), not
+	// utility, and the witness discards the duplicate ciphertext but still
+	// receipts it. Without this fallback a node that joins after the swarm
+	// finishes has no obligation it can ever fulfil, earns no trust, and
+	// starves on undecryptable ciphertext forever.
 	n.mu.Lock()
-	var witness *remote
-	seen := 0
+	var witness, fallback *remote
+	needySeen, anySeen := 0, 0
 	for _, p := range n.peers {
-		if p.id != int(m.OriginID) && !p.have.Has(int(m.Index)) {
-			seen++
-			if n.rng.Intn(seen) == 0 { // reservoir pick, no candidate slice
+		if p.id == int(m.OriginID) {
+			continue
+		}
+		anySeen++
+		if n.rng.Intn(anySeen) == 0 { // reservoir pick, no candidate slice
+			fallback = p
+		}
+		if !p.have.Has(int(m.Index)) {
+			needySeen++
+			if n.rng.Intn(needySeen) == 0 {
 				witness = p
 			}
 		}
 	}
+	if witness == nil {
+		witness = fallback
+	}
 	n.mu.Unlock()
 	if witness == nil {
-		return // nobody to reciprocate toward; the key may never arrive
+		return // no neighbor but the origin itself; the key may never arrive
 	}
 	forwarded := m
 	forwarded.Ciphertext = ciphertext
@@ -320,7 +438,16 @@ func (n *Node) handleKey(m protocol.Key) {
 // from a colluder extracts the key without real reciprocation, exactly the
 // paper's T-Chain collusion attack.
 func (n *Node) handleReceipt(r *remote, m protocol.Receipt) {
-	released := n.recip.Confirm(r.id, int(m.From))
+	n.confirmReceipt(r.id, m)
+}
+
+// confirmReceipt applies one receipt from the given witness. Receipts also
+// arrive over transient connections (a witness that does not neighbor the
+// origin), where the witness identity is unauthenticated anyway — the
+// demands are AnyPeer, so the witness ID only matters for targeted
+// obligations.
+func (n *Node) confirmReceipt(witnessID int, m protocol.Receipt) {
+	released := n.recip.Confirm(witnessID, int(m.From))
 	n.mu.Lock()
 	receiver := n.peers[int(m.From)]
 	n.mu.Unlock()

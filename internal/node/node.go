@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algo"
@@ -75,6 +76,10 @@ type Config struct {
 	// is per-node — sharing one across nodes merges their counters into an
 	// aggregate view, which is valid but loses the per-node breakdown.
 	Metrics *metrics.Registry
+	// Discover enables decentralized peer discovery (Kademlia routing +
+	// gossip membership, see DiscoverConfig); nil keeps the node purely
+	// bootstrap-wired, exactly the pre-discovery behaviour.
+	Discover *DiscoverConfig
 	// Seed drives the node's random choices; 0 derives one from ID.
 	Seed int64
 }
@@ -124,6 +129,12 @@ type remote struct {
 	spare     []protocol.Message // previous drained batch, recycled
 	outData   int                // bulk frames enqueued or being written
 	outClosed bool
+
+	// lastRecv and lastPing are sinceStartNs timestamps for discovery's
+	// failure detector (maintained only when discovery is on): the last
+	// inbound frame on this link and the last keepalive ping we sent.
+	lastRecv atomic.Int64
+	lastPing atomic.Int64
 
 	nm *nodeMetrics // owning node's instrumentation
 }
@@ -295,10 +306,12 @@ type Node struct {
 	wantScratch     []incentive.PeerID
 
 	metrics *nodeMetrics // never nil after New
+	disc    *discState   // nil unless Config.Discover is set
 
 	listener transport.Listener
 	done     chan struct{}
 	closed   sync.Once
+	stopErr  error // set inside closed.Do, read after wg.Wait
 	wg       sync.WaitGroup
 	start    time.Time
 
@@ -356,6 +369,9 @@ func New(cfg Config) (*Node, error) {
 		reg = metrics.NewRegistry()
 	}
 	n.metrics = newNodeMetrics(reg, n)
+	if cfg.Discover != nil {
+		n.disc = newDiscState(*cfg.Discover, cfg.ID, cfg.Seed, reg)
+	}
 	if cfg.Store.Complete() {
 		n.completeOnce.Do(func() { close(n.completeCh) })
 	}
@@ -401,15 +417,22 @@ func (n *Node) Start() error {
 
 	n.wg.Add(1)
 	go n.uploadLoop()
+	if n.disc != nil {
+		n.wg.Add(1)
+		go n.discoverLoop()
+	}
 	return nil
 }
 
-// Stop tears the node down and waits for all its goroutines.
-func (n *Node) Stop() {
+// Stop tears the node down and waits for all its goroutines. It is
+// idempotent — every call waits for the full teardown — and returns the
+// first teardown error (listener close); repeat calls return that same
+// error.
+func (n *Node) Stop() error {
 	n.closed.Do(func() {
 		close(n.done)
 		if n.listener != nil {
-			n.listener.Close()
+			n.stopErr = n.listener.Close()
 		}
 		n.mu.Lock()
 		n.stopping = true
@@ -419,6 +442,7 @@ func (n *Node) Stop() {
 		n.mu.Unlock()
 	})
 	n.wg.Wait()
+	return n.stopErr
 }
 
 // WaitCompleteContext blocks until the node holds the full file or the
@@ -431,17 +455,6 @@ func (n *Node) WaitCompleteContext(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-}
-
-// WaitComplete blocks until the node holds the full file or the timeout
-// elapses; it reports whether completion happened.
-//
-// Deprecated: use WaitCompleteContext, which distinguishes cancellation from
-// deadline expiry and composes with caller contexts.
-func (n *Node) WaitComplete(timeout time.Duration) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	return n.WaitCompleteContext(ctx) == nil
 }
 
 // Stats returns a snapshot of the node's counters. It is a shim over the

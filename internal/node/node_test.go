@@ -144,10 +144,9 @@ func TestDistributeAllAlgorithms(t *testing.T) {
 // leechers stay empty (Lemma 2's deadlock, on the real stack).
 func TestReciprocityStallsLive(t *testing.T) {
 	c := newCluster(t, transport.NewMem(), memAddrs, algo.Reciprocity, 2, nil)
-	// Deliberately the deprecated duration-based wrapper: this keeps one
-	// caller compiling against the old WaitComplete signature and checks its
-	// boolean timeout contract.
-	if c.nodes[1].WaitComplete(500 * time.Millisecond) {
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if c.nodes[1].WaitCompleteContext(ctx) == nil {
 		t.Fatal("reciprocity leecher completed — someone initiated an upload")
 	}
 	for _, n := range c.nodes[1:] {

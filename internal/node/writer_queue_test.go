@@ -27,14 +27,12 @@ func TestWriterQueueDegradedNoLeak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := StartCluster(ClusterConfig{
-		Algorithm:        algo.Altruism,
-		Transport:        tr,
-		Manifest:         manifest,
-		Content:          content,
-		Leechers:         4,
-		DecisionInterval: 2 * time.Millisecond,
-	})
+	c, err := StartCluster(manifest, content,
+		WithAlgorithm(algo.Altruism),
+		WithTransport(tr),
+		WithLeechers(4),
+		WithDecisionInterval(2*time.Millisecond),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -162,6 +162,24 @@ func appendPayload(dst []byte, m Message) ([]byte, error) {
 		w.i32(msg.From)
 	case Bye:
 		// empty payload
+	case Ping:
+		w.u32(msg.Seq)
+		w.boolean(msg.Ack)
+	case FindNode:
+		w.u32(msg.Seq)
+		w.u64(msg.Target)
+	case Nodes:
+		w.u32(msg.Seq)
+		w.u32(uint32(len(msg.Contacts)))
+		for _, c := range msg.Contacts {
+			w.i32(c.ID)
+			w.str(c.Addr)
+		}
+	case Announce:
+		w.i32(msg.ID)
+		w.str(msg.Addr)
+		w.u32(msg.Seq)
+		w.u8(msg.TTL)
 	default:
 		return dst, fmt.Errorf("protocol: cannot marshal %T", m)
 	}
@@ -202,6 +220,28 @@ func unmarshalPayload(t Type, payload []byte, zeroCopy bool) (Message, error) {
 		m = Receipt{KeyID: r.u64(), From: r.i32()}
 	case TypeBye:
 		m = Bye{}
+	case TypePing:
+		m = Ping{Seq: r.u32(), Ack: r.boolean()}
+	case TypeFindNode:
+		m = FindNode{Seq: r.u32(), Target: r.u64()}
+	case TypeNodes:
+		msg := Nodes{Seq: r.u32()}
+		count := r.u32()
+		// Each contact costs at least 8 bytes (ID + address length), so a
+		// count beyond the remaining payload is malformed — reject before
+		// allocating the slice a forged header asks for.
+		if r.err == nil && uint64(count)*8 > uint64(len(r.buf)) {
+			r.err = ErrMalformed
+		}
+		if r.err == nil && count > 0 {
+			msg.Contacts = make([]NodeInfo, 0, count)
+			for i := uint32(0); i < count; i++ {
+				msg.Contacts = append(msg.Contacts, NodeInfo{ID: r.i32(), Addr: r.str()})
+			}
+		}
+		m = msg
+	case TypeAnnounce:
+		m = Announce{ID: r.i32(), Addr: r.str(), Seq: r.u32(), TTL: r.u8()}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
 	}

@@ -27,6 +27,10 @@ func FuzzDecode(f *testing.F) {
 		Key{KeyID: 55, Index: 2, Key: [32]byte{0xaa}},
 		Receipt{KeyID: 55, From: 4},
 		Bye{},
+		Ping{Seq: 17, Ack: true},
+		FindNode{Seq: 18, Target: 0xdeadbeefcafe},
+		Nodes{Seq: 18, Contacts: []NodeInfo{{ID: 3, Addr: "mem://3"}}},
+		Announce{ID: 12, Addr: "mem://12", Seq: 4, TTL: 2},
 	}
 	for _, m := range seeds {
 		frame, err := AppendFrame(nil, m)

@@ -38,6 +38,10 @@ const (
 	TypeKey
 	TypeReceipt
 	TypeBye
+	TypePing
+	TypeFindNode
+	TypeNodes
+	TypeAnnounce
 )
 
 // String returns the type name.
@@ -59,6 +63,14 @@ func (t Type) String() string {
 		return "receipt"
 	case TypeBye:
 		return "bye"
+	case TypePing:
+		return "ping"
+	case TypeFindNode:
+		return "find-node"
+	case TypeNodes:
+		return "nodes"
+	case TypeAnnounce:
+		return "announce"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -136,6 +148,48 @@ type Receipt struct {
 // Bye announces a graceful departure.
 type Bye struct{}
 
+// Ping is the discovery layer's liveness probe. A request (Ack false) asks
+// the receiver to echo the Seq back with Ack set; any frame arriving on a
+// connection refreshes its liveness, so the reply doubles as a keepalive.
+type Ping struct {
+	Seq uint32
+	Ack bool
+}
+
+// FindNode asks a peer for the closest contacts it knows to Target (a
+// Kademlia XOR-distance ID, see internal/discovery). Seq correlates the
+// Nodes reply on connections multiplexing several lookups.
+type FindNode struct {
+	Seq    uint32
+	Target uint64
+}
+
+// NodeInfo is one routable contact carried in a Nodes frame: a swarm node
+// ID plus the address its listener can be dialed at.
+type NodeInfo struct {
+	ID   int32
+	Addr string
+}
+
+// Nodes carries a contact list: the reply to a FindNode (echoing its Seq),
+// or an unsolicited peer-exchange gossip frame (Seq 0) piggybacked on the
+// handshake and on capacity redirects.
+type Nodes struct {
+	Seq      uint32
+	Contacts []NodeInfo
+}
+
+// Announce gossips swarm membership: "node ID participates and listens at
+// Addr". Seq increases with every re-announce by the origin so receivers
+// can discard stale duplicates; TTL bounds how many hops a forwarded
+// announce travels.
+type Announce struct {
+	ID   int32
+	Addr string
+	Seq  uint32
+	TTL  uint8
+}
+
 // MsgType returns TypeHello.
 func (Hello) MsgType() Type { return TypeHello }
 
@@ -159,6 +213,18 @@ func (Receipt) MsgType() Type { return TypeReceipt }
 
 // MsgType returns TypeBye.
 func (Bye) MsgType() Type { return TypeBye }
+
+// MsgType returns TypePing.
+func (Ping) MsgType() Type { return TypePing }
+
+// MsgType returns TypeFindNode.
+func (FindNode) MsgType() Type { return TypeFindNode }
+
+// MsgType returns TypeNodes.
+func (Nodes) MsgType() Type { return TypeNodes }
+
+// MsgType returns TypeAnnounce.
+func (Announce) MsgType() Type { return TypeAnnounce }
 
 // Errors returned by Decode.
 var (
@@ -224,12 +290,6 @@ func EncodeToN(w io.Writer, m Message) (int, error) {
 	framePool.Put(bp)
 	return n, err
 }
-
-// Encode writes one framed message to w.
-//
-// Deprecated: Encode is EncodeTo under its historical name; new code should
-// call EncodeTo directly.
-func Encode(w io.Writer, m Message) error { return EncodeTo(w, m) }
 
 // Decoder reads framed messages from one stream through a reusable scratch
 // buffer, so the steady-state decode path performs zero per-frame

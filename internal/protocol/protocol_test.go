@@ -13,7 +13,7 @@ import (
 func roundTrip(t *testing.T, m Message) Message {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := Encode(&buf, m); err != nil {
+	if err := EncodeTo(&buf, m); err != nil {
 		t.Fatalf("encode %T: %v", m, err)
 	}
 	got, err := Decode(&buf)
@@ -43,6 +43,11 @@ func TestRoundTripAllTypes(t *testing.T) {
 		Key{KeyID: 55, Index: 2, Key: [32]byte{0xaa}},
 		Receipt{KeyID: 55, From: 4},
 		Bye{},
+		Ping{Seq: 17, Ack: true},
+		FindNode{Seq: 18, Target: 0xdeadbeefcafe},
+		Nodes{Seq: 18, Contacts: []NodeInfo{{ID: 3, Addr: "mem://3"}, {ID: 9, Addr: "127.0.0.1:9000"}}},
+		Nodes{Seq: 0},
+		Announce{ID: 12, Addr: "mem://12", Seq: 4, TTL: 2},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -62,7 +67,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 }
 
 func TestTypeStrings(t *testing.T) {
-	for _, tt := range []Type{TypeHello, TypeBitfield, TypeHave, TypePiece, TypeSealedPiece, TypeKey, TypeReceipt, TypeBye} {
+	for _, tt := range []Type{TypeHello, TypeBitfield, TypeHave, TypePiece, TypeSealedPiece, TypeKey, TypeReceipt, TypeBye, TypePing, TypeFindNode, TypeNodes, TypeAnnounce} {
 		if s := tt.String(); s == "" || strings.HasPrefix(s, "type(") {
 			t.Errorf("type %d has no name: %q", tt, s)
 		}
@@ -119,7 +124,7 @@ func TestDecodeEOFPassesThrough(t *testing.T) {
 func TestEncodeRejectsOversized(t *testing.T) {
 	var buf bytes.Buffer
 	big := Piece{Index: 0, RepaysKeyID: NoRepay, Data: make([]byte, MaxFrameSize)}
-	if err := Encode(&buf, big); !errors.Is(err, ErrFrameTooLarge) {
+	if err := EncodeTo(&buf, big); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("err = %v, want ErrFrameTooLarge", err)
 	}
 }
@@ -127,7 +132,7 @@ func TestEncodeRejectsOversized(t *testing.T) {
 func TestMultipleFramesSequential(t *testing.T) {
 	var buf bytes.Buffer
 	for i := int32(0); i < 10; i++ {
-		if err := Encode(&buf, Have{Index: i}); err != nil {
+		if err := EncodeTo(&buf, Have{Index: i}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -145,7 +150,7 @@ func TestMultipleFramesSequential(t *testing.T) {
 func TestPieceRoundTripProperty(t *testing.T) {
 	f := func(index int32, keyID uint64, data []byte) bool {
 		var buf bytes.Buffer
-		if err := Encode(&buf, Piece{Index: index, RepaysKeyID: keyID, Data: data}); err != nil {
+		if err := EncodeTo(&buf, Piece{Index: index, RepaysKeyID: keyID, Data: data}); err != nil {
 			return len(data) > MaxFrameSize-64
 		}
 		got, err := Decode(&buf)

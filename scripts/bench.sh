@@ -39,6 +39,12 @@
 #       fails if pieces/sec drops more than METRICS_TOLERANCE_PCT (5)
 #     - BenchmarkCounterAdd / BenchmarkHistogramObserve: the sharded
 #       metrics core's fast paths (0 allocs/op, enforced by check.sh)
+#   discovery -> BENCH_dht.json
+#     - BenchmarkDHTLookup: one iterative Kademlia lookup on a simulated
+#       1024-node overlay (routing layer only, no sockets)
+#     - BenchmarkDiscoveryConvergence256: a live 256-node swarm from three
+#       bootstrap contacts; s/wire is time until every node has a neighbor,
+#       s/complete until every leecher finishes the download
 # Each target writes only its own file, so re-recording one PR's numbers
 # never clobbers another's baseline.
 # BENCHTIME overrides -benchtime (default 1x for Figure4, auto for eventsim).
@@ -60,9 +66,13 @@ json_entry() {
       if ($i == "B/op") bytes = $(i-1)
       if ($i == "allocs/op") allocs = $(i-1)
       if ($i == "pieces/sec") pieces = $(i-1)
+      if ($i == "s/wire") wire = $(i-1)
+      if ($i == "s/complete") complete = $(i-1)
     }
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", name, ns, bytes, allocs
     if (pieces != "") printf ", \"pieces_per_sec\": %s", pieces
+    if (wire != "") printf ", \"s_wire\": %s", wire
+    if (complete != "") printf ", \"s_complete\": %s", complete
     printf "}"
   }'
 }
@@ -187,8 +197,20 @@ metrics)
     echo "metrics bench: BENCH_node.json missing, skipping the regression comparison" >&2
   fi
   ;;
+discovery)
+  # The DHT's two scales: routing-layer lookup latency on a simulated
+  # 1024-node overlay (pure internal/discovery, no sockets), and the live
+  # swarm number — 256 loopback nodes bootstrapped from three contacts,
+  # timed until the mesh is wired (every node has a neighbor) and until
+  # every leecher completes the download.
+  lookup_line=$(go test -run=NONE -bench='^BenchmarkDHTLookup$' -benchmem ./internal/discovery | grep '^BenchmarkDHTLookup')
+  conv_line=$(go test -run=NONE -bench='^BenchmarkDiscoveryConvergence256$' -benchtime="${BENCHTIME:-1x}" -timeout=10m -benchmem ./internal/node | grep '^BenchmarkDiscoveryConvergence256')
+  emit BENCH_dht.json \
+    "BenchmarkDHTLookup:$lookup_line" \
+    "BenchmarkDiscoveryConvergence256:$conv_line"
+  ;;
 *)
-  echo "bench.sh: unknown target '$target' (want parallel, observability, scale, node, or metrics)" >&2
+  echo "bench.sh: unknown target '$target' (want parallel, observability, scale, node, metrics, or discovery)" >&2
   exit 2
   ;;
 esac

@@ -32,6 +32,14 @@ echo "== sharded engine race gate =="
 # even if the main run is ever narrowed or moved behind -short.
 go test -race -count=1 -run 'TestSharded' ./internal/sim ./internal/eventsim
 
+echo "== discovery churn race gate =="
+# The discovery subsystem's integration test again, explicitly and by name:
+# a 64-node DHT-discovered swarm on a lossy, laggy transport with 20% of
+# the leechers replaced mid-download, under the race detector. Survivors
+# and joiners must complete, the degree bound must hold, and Stop must
+# leak no goroutines even if the main sweep is ever narrowed.
+go test -race -count=1 -run 'TestDiscoveryChurn64' ./internal/node
+
 echo "== figure fixture shard-identity gate =="
 # All 8 paper artifacts (tables 1-3, figures 2-6) must render byte-identical
 # — report text and persisted series/tables — between shards=1 and shards=4.
