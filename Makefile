@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the CI gate; `make bench`
 # records the parallel-runner trajectory numbers to BENCH_parallel.json.
 
-.PHONY: check test bench bench-observability bench-scale bench-node bench-metrics bench-discovery
+.PHONY: check test bench bench-observability bench-scale bench-node bench-metrics bench-discovery bench-attest
 
 check:
 	./scripts/check.sh
@@ -26,3 +26,6 @@ bench-metrics:
 
 bench-discovery:
 	./scripts/bench.sh discovery
+
+bench-attest:
+	./scripts/bench.sh attest

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/attest"
 	"repro/internal/cli"
 	"repro/internal/node"
 	"repro/internal/piece"
@@ -60,6 +61,7 @@ type seedOptions struct {
 	pieceSize    int
 	uploadRate   float64
 	id           int
+	sign         bool
 	dht          bool
 	degree       int
 	output       cli.OutputFlags
@@ -76,6 +78,7 @@ func seedFlags(args []string) (seedOptions, error) {
 	fs.IntVar(&opts.pieceSize, "piecesize", 256<<10, "piece size in bytes")
 	fs.Float64Var(&opts.uploadRate, "rate", 0, "upload throttle in bytes/second (0 = unthrottled)")
 	fs.IntVar(&opts.id, "id", 0, "node ID (unique within the swarm)")
+	fs.BoolVar(&opts.sign, "sign", false, "sign per-piece receipts and verify peers' (Ed25519; peer keys pinned trust-on-first-use)")
 	fs.BoolVar(&opts.dht, "dht", false, "run DHT peer discovery and gossip membership (degree-bounded partial mesh)")
 	fs.IntVar(&opts.degree, "degree", 0, "with -dht: target neighbor degree (0 = default 8; hard cap is twice the target)")
 	opts.output.RegisterJSON(fs)
@@ -140,6 +143,10 @@ func startSeed(opts seedOptions, stdout io.Writer) (*node.Node, *nodeTelemetry, 
 	if err != nil {
 		return nil, nil, err
 	}
+	identity, err := signingKey(opts.sign, opts.id)
+	if err != nil {
+		return nil, nil, err
+	}
 	n, err := node.New(node.Config{
 		ID:         opts.id,
 		Algorithm:  mechanism,
@@ -148,6 +155,7 @@ func startSeed(opts seedOptions, stdout io.Writer) (*node.Node, *nodeTelemetry, 
 		ListenAddr: opts.listen,
 		UploadRate: opts.uploadRate,
 		SeedMode:   true,
+		Identity:   identity,
 		Discover:   discoverConfig(opts.dht, opts.degree),
 	})
 	if err != nil {
@@ -194,6 +202,7 @@ type getOptions struct {
 	algoName     string
 	uploadRate   float64
 	id           int
+	sign         bool
 	dht          bool
 	degree       int
 	timeout      time.Duration
@@ -220,6 +229,7 @@ func getFlags(args []string) (getOptions, error) {
 	fs.StringVar(&opts.algoName, "algo", "tchain", "incentive mechanism")
 	fs.Float64Var(&opts.uploadRate, "rate", 0, "upload throttle in bytes/second (0 = unthrottled)")
 	fs.IntVar(&opts.id, "id", 1, "node ID (unique within the swarm)")
+	fs.BoolVar(&opts.sign, "sign", false, "sign per-piece receipts and verify peers' (Ed25519; peer keys pinned trust-on-first-use)")
 	fs.BoolVar(&opts.dht, "dht", false, "run DHT peer discovery and gossip membership (degree-bounded partial mesh)")
 	fs.IntVar(&opts.degree, "degree", 0, "with -dht: target neighbor degree (0 = default 8; hard cap is twice the target)")
 	fs.DurationVar(&opts.timeout, "timeout", 10*time.Minute, "give up after this long")
@@ -263,6 +273,10 @@ func runGet(opts getOptions, stdout io.Writer) error {
 		return err
 	}
 	store := piece.NewStore(manifest)
+	identity, err := signingKey(opts.sign, opts.id)
+	if err != nil {
+		return err
+	}
 	n, err := node.New(node.Config{
 		ID:         opts.id,
 		Algorithm:  mechanism,
@@ -271,6 +285,7 @@ func runGet(opts getOptions, stdout io.Writer) error {
 		ListenAddr: opts.listen,
 		Bootstrap:  opts.peers,
 		UploadRate: opts.uploadRate,
+		Identity:   identity,
 		Discover:   discoverConfig(opts.dht, opts.degree),
 	})
 	if err != nil {
@@ -328,6 +343,17 @@ func runGet(opts getOptions, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  %.1f pieces/s, %.0f KB/s, %d frames out, %d frames in\n",
 		summary.PiecesPerSec, summary.BytesPerSec/1024, summary.FramesSent, summary.FramesReceived)
 	return nil
+}
+
+// signingKey mints the node's attestation keypair when -sign is on. The
+// key is fresh per process: cross-process swarms pin each other's public
+// keys trust-on-first-use from the handshake, so durable identity is the
+// operator's concern, not this CLI's.
+func signingKey(sign bool, id int) (*attest.Key, error) {
+	if !sign {
+		return nil, nil
+	}
+	return attest.NewKey(int32(id))
 }
 
 // discoverConfig maps the -dht/-degree flags onto a node DiscoverConfig;

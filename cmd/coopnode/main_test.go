@@ -227,6 +227,85 @@ func TestSeedAndGetEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSeedAndGetSigned repeats the download with -sign on both ends: each
+// process mints a fresh Ed25519 keypair, pins the counterparty's key
+// trust-on-first-use from the handshake, and every stored piece produces a
+// signed receipt instead of a bare claim.
+func TestSeedAndGetSigned(t *testing.T) {
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "payload.bin")
+	content := make([]byte, 32<<10)
+	for i := range content {
+		content[i] = byte(i*11 + i/256)
+	}
+	if err := os.WriteFile(srcPath, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var seedOut strings.Builder
+	seed, seedTel, err := startSeed(seedOptions{
+		filePath:     srcPath,
+		manifestPath: filepath.Join(dir, "payload.manifest"),
+		listen:       "127.0.0.1:0",
+		algoName:     "tchain",
+		pieceSize:    8 << 10,
+		id:           0,
+		sign:         true,
+	}, &seedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Stop()
+	defer seedTel.stop(nil)
+
+	outPath := filepath.Join(dir, "copy.bin")
+	var getOut strings.Builder
+	err = runGet(getOptions{
+		manifestPath: filepath.Join(dir, "payload.manifest"),
+		outPath:      outPath,
+		peers:        cli.StringList{seed.Addr()},
+		listen:       "127.0.0.1:0",
+		algoName:     "tchain",
+		id:           1,
+		sign:         true,
+		timeout:      60 * time.Second,
+	}, &getOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("signed download differs from the original")
+	}
+	info := seed.VerifyInfoSnapshot()
+	if !info.Enabled {
+		t.Error("seed did not enable attestation under -sign")
+	}
+	// The seed holds proof of its own uploads: the getter signed a receipt
+	// for every piece and sent the seed its copy. Receipt copies ride
+	// normal traffic (the last ones flush when the getter disconnects), so
+	// poll briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if seed.Metrics().Snapshot().Counters[`node_attest_acks_total{result="ok"}`] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			for k, v := range seed.Metrics().Snapshot().Counters {
+				if strings.Contains(k, "attest") {
+					t.Logf("seed %s = %d", k, v)
+				}
+			}
+			t.Error("seed verified no receipt copies of its uploads")
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestSeedAndGetDHT repeats the download with -dht on both ends: the
 // getter bootstraps off the seed's address and the pair runs the
 // discovery membership layer (routing tables, gossip, pings) over real

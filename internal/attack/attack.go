@@ -4,12 +4,19 @@
 // whitewashing (identity resets that erase accumulated deficits), the
 // reputation false-praise collusion from Table III, and the large-view
 // exploit (connecting to many more neighbors to harvest more altruism).
+//
+// The attestation adversaries (ForgedAttest, ReplayAttest, SybilAttest)
+// target the verified-reputation extension: each fabricates contribution
+// evidence that the unverified baseline would credit and a proof-checking
+// ledger must refuse. Their helpers mint the exact malicious inputs so
+// ledger tests and live-cluster runs exercise identical forgeries.
 package attack
 
 import (
 	"fmt"
 
 	"repro/internal/algo"
+	"repro/internal/attest"
 	"repro/internal/incentive"
 )
 
@@ -17,12 +24,16 @@ import (
 type Kind int
 
 // The attack kinds. Passive is the baseline "receive but never upload"
-// behaviour; the others augment it.
+// behaviour; the others augment it. The last three are attestation-layer
+// forgeries evaluated against the verified reputation ledger.
 const (
 	Passive Kind = iota + 1
 	Collusion
 	Whitewash
 	FalsePraise
+	ForgedAttest
+	ReplayAttest
+	SybilAttest
 )
 
 // String returns the attack name.
@@ -36,6 +47,12 @@ func (k Kind) String() string {
 		return "whitewash"
 	case FalsePraise:
 		return "false-praise"
+	case ForgedAttest:
+		return "forged-attest"
+	case ReplayAttest:
+		return "replay-attest"
+	case SybilAttest:
+		return "sybil-attest"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -83,7 +100,8 @@ func (p Plan) Normalize() (Plan, error) {
 		p.Kind = Passive
 	}
 	switch p.Kind {
-	case Passive, Collusion, Whitewash, FalsePraise:
+	case Passive, Collusion, Whitewash, FalsePraise,
+		ForgedAttest, ReplayAttest, SybilAttest:
 	default:
 		return p, fmt.Errorf("attack: unknown kind %d", int(p.Kind))
 	}
@@ -105,6 +123,47 @@ func (p Plan) Normalize() (Plan, error) {
 		return p, fmt.Errorf("attack: negative praise parameters")
 	}
 	return p, nil
+}
+
+// claimantID is the pseudo-receiver forged unsigned reports name: no real
+// counterparty ever confirms a fabricated contribution.
+const claimantID int32 = -1
+
+// ForgedClaim fabricates an unsigned contribution report crediting
+// beneficiary with bytes — the reputation false-praise collusion from
+// Table III expressed in attestation form. The unverified baseline ledger
+// (attest.AcceptAll) credits it wholesale; a verifying ledger refuses it
+// with attest.ErrUnsigned.
+func ForgedClaim(beneficiary int32, bytes float64) attest.Attestation {
+	return attest.Claim(beneficiary, claimantID, 0, int64(bytes))
+}
+
+// ForgeSignature returns att re-addressed to credit beneficiary while
+// keeping its (now wrong) signature — the tampering a man-in-the-middle or
+// a colluder editing a captured receipt performs. Verification fails with
+// attest.ErrBadSignature.
+func ForgeSignature(att attest.Attestation, beneficiary int32) attest.Attestation {
+	att.Sender = beneficiary
+	att.Sig[0] ^= 0xff // even an unedited copy must not verify for the new sender
+	return att
+}
+
+// SybilReceipt mints a correctly signed receipt from an identity nobody
+// admitted: the Sybil sock-puppet vouching for its operator. The signature
+// itself verifies under the sybil's key, but a directory-backed verifier
+// refuses it with attest.ErrUnknownSigner — and a *sealed* directory cannot
+// be talked into admitting the key at all.
+func SybilReceipt(sybil *attest.Key, beneficiary, index int32, bytes int64) attest.Attestation {
+	return sybil.Attest(attest.SchemeEd25519, beneficiary, index, [32]byte{}, bytes)
+}
+
+// SelfReceipt mints a receipt in which the attacker attests its own
+// contribution under its own (possibly even admitted) key. Verification
+// fails with attest.ErrSelfAttestation regardless of admission: reputation
+// requires a counterparty.
+func SelfReceipt(key *attest.Key, index int32, bytes int64) attest.Attestation {
+	att := key.Attest(attest.SchemeEd25519, key.ID(), index, [32]byte{}, bytes)
+	return att
 }
 
 // FreeRider is the incentive.Strategy a free-riding peer runs: it never

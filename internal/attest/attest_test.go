@@ -1,0 +1,285 @@
+package attest
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"testing"
+)
+
+// newTestPair returns a directory with two registered peers plus their keys.
+func newTestPair(t *testing.T) (*Directory, *Key, *Key) {
+	t.Helper()
+	dir := NewDirectory()
+	a := NewKeyFromSeed(1, 42)
+	b := NewKeyFromSeed(2, 42)
+	dir.Register(1, a.Identity())
+	dir.Register(2, b.Identity())
+	return dir, a, b
+}
+
+func TestAttestVerifyBothSchemes(t *testing.T) {
+	dir, _, b := newTestPair(t)
+	v := NewVerifier(dir)
+	for _, scheme := range []Scheme{SchemeEd25519, SchemeSession} {
+		att := b.Attest(scheme, 1, 7, [32]byte{0xaa}, 4096)
+		if att.Sender != 1 || att.Receiver != 2 || att.Seq == 0 {
+			t.Fatalf("%v: bad attestation fields: %+v", scheme, att)
+		}
+		if err := v.Verify(att); err != nil {
+			t.Fatalf("%v: genuine receipt rejected: %v", scheme, err)
+		}
+	}
+}
+
+func TestVerifyRejectsTamperedFields(t *testing.T) {
+	dir, _, b := newTestPair(t)
+	for _, scheme := range []Scheme{SchemeEd25519, SchemeSession} {
+		base := b.Attest(scheme, 1, 7, [32]byte{0xaa}, 4096)
+		mutations := map[string]func(*Attestation){
+			"sender":   func(a *Attestation) { a.Sender = 3 },
+			"index":    func(a *Attestation) { a.Index = 8 },
+			"hash":     func(a *Attestation) { a.Hash[0] ^= 1 },
+			"bytes":    func(a *Attestation) { a.Bytes++ },
+			"seq":      func(a *Attestation) { a.Seq++ },
+			"sig":      func(a *Attestation) { a.Sig[0] ^= 1 },
+			"receiver": func(a *Attestation) { a.Receiver = 1; a.Sender = 2 },
+		}
+		for name, mutate := range mutations {
+			v := NewVerifier(dir)
+			att := base
+			mutate(&att)
+			if err := v.Verify(att); err == nil {
+				t.Errorf("%v: tampered %s accepted", scheme, name)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsReplay(t *testing.T) {
+	dir, _, b := newTestPair(t)
+	v := NewVerifier(dir)
+	att := b.Attest(SchemeEd25519, 1, 0, [32]byte{}, 100)
+	if err := v.Verify(att); err != nil {
+		t.Fatalf("first use rejected: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := v.Verify(att); !errors.Is(err, ErrReplayed) {
+			t.Fatalf("replay %d: got %v, want ErrReplayed", i, err)
+		}
+	}
+	// Check is stateless: the spent receipt still audits as genuine.
+	if err := v.Check(att); err != nil {
+		t.Fatalf("Check after spend: %v", err)
+	}
+}
+
+func TestVerifyToleratesReorderWithinWindow(t *testing.T) {
+	dir, _, b := newTestPair(t)
+	v := NewVerifier(dir)
+	var atts []Attestation
+	for i := 0; i < 10; i++ {
+		atts = append(atts, b.Attest(SchemeSession, 1, int32(i), [32]byte{}, 100))
+	}
+	// Deliver out of order: evens first, then odds.
+	for i := 0; i < 10; i += 2 {
+		if err := v.Verify(atts[i]); err != nil {
+			t.Fatalf("even %d: %v", i, err)
+		}
+	}
+	for i := 1; i < 10; i += 2 {
+		if err := v.Verify(atts[i]); err != nil {
+			t.Fatalf("odd %d: %v", i, err)
+		}
+	}
+	// And every one of them is now spent.
+	for i, att := range atts {
+		if err := v.Verify(att); !errors.Is(err, ErrReplayed) {
+			t.Fatalf("re-spend %d: got %v", i, err)
+		}
+	}
+}
+
+func TestVerifyRejectsStaleBeyondWindow(t *testing.T) {
+	dir, _, b := newTestPair(t)
+	v := NewVerifier(dir)
+	first := b.Attest(SchemeSession, 1, 0, [32]byte{}, 100)
+	var last Attestation
+	for i := 0; i < windowSpan+1; i++ {
+		last = b.Attest(SchemeSession, 1, 0, [32]byte{}, 100)
+	}
+	if err := v.Verify(last); err != nil {
+		t.Fatalf("latest: %v", err)
+	}
+	if err := v.Verify(first); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale: got %v, want ErrStale", err)
+	}
+}
+
+func TestVerifyRejectsSelfAttestation(t *testing.T) {
+	dir, a, _ := newTestPair(t)
+	v := NewVerifier(dir)
+	att := a.Attest(SchemeEd25519, a.ID(), 0, [32]byte{}, 100)
+	if err := v.Verify(att); !errors.Is(err, ErrSelfAttestation) {
+		t.Fatalf("got %v, want ErrSelfAttestation", err)
+	}
+}
+
+func TestVerifyRejectsUnknownSigner(t *testing.T) {
+	dir, _, _ := newTestPair(t)
+	v := NewVerifier(dir)
+	sybil := NewKeyFromSeed(99, 7) // validly signed, never admitted
+	att := sybil.Attest(SchemeEd25519, 1, 0, [32]byte{}, 100)
+	if err := v.Verify(att); !errors.Is(err, ErrUnknownSigner) {
+		t.Fatalf("got %v, want ErrUnknownSigner", err)
+	}
+}
+
+func TestVerifyRejectsUnsignedClaim(t *testing.T) {
+	dir, _, _ := newTestPair(t)
+	v := NewVerifier(dir)
+	if err := v.Verify(Claim(1, 2, 0, 100)); !errors.Is(err, ErrUnsigned) {
+		t.Fatalf("got %v, want ErrUnsigned", err)
+	}
+	if err := (AcceptAll{}).Verify(Claim(1, 2, 0, 100)); err != nil {
+		t.Fatalf("AcceptAll rejected a claim: %v", err)
+	}
+}
+
+func TestVerifyRejectsSessionWithoutSecret(t *testing.T) {
+	dir, _, b := newTestPair(t)
+	// Re-admit peer 2 through TOFU: public key only, no session secret.
+	dir2 := NewDirectory()
+	if err := dir2.Observe(2, b.Public()); err != nil {
+		t.Fatal(err)
+	}
+	_ = dir
+	v := NewVerifier(dir2)
+	sessionAtt := b.Attest(SchemeSession, 1, 0, [32]byte{}, 100)
+	if err := v.Verify(sessionAtt); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("session: got %v, want ErrNoSession", err)
+	}
+	edAtt := b.Attest(SchemeEd25519, 1, 0, [32]byte{}, 100)
+	if err := v.Verify(edAtt); err != nil {
+		t.Fatalf("ed25519 under TOFU identity: %v", err)
+	}
+}
+
+func TestDirectorySealAndConflict(t *testing.T) {
+	dir := NewDirectory()
+	a := NewKeyFromSeed(1, 1)
+	if err := dir.Observe(1, a.Public()); err != nil {
+		t.Fatal(err)
+	}
+	// Same key again: fine. Different key for the same ID: conflict.
+	if err := dir.Observe(1, a.Public()); err != nil {
+		t.Fatalf("re-observe same key: %v", err)
+	}
+	imposter := NewKeyFromSeed(1, 999)
+	if err := dir.Observe(1, imposter.Public()); !errors.Is(err, ErrKeyConflict) {
+		t.Fatalf("imposter: got %v, want ErrKeyConflict", err)
+	}
+	dir.Seal()
+	late := NewKeyFromSeed(5, 1)
+	if err := dir.Observe(5, late.Public()); !errors.Is(err, ErrSealed) {
+		t.Fatalf("sealed observe: got %v, want ErrSealed", err)
+	}
+	// The authorized path still admits after sealing.
+	dir.Register(5, late.Identity())
+	if _, ok := dir.Lookup(5); !ok {
+		t.Fatal("Register after Seal did not admit")
+	}
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	a1 := NewKeyFromSeed(3, 1234)
+	a2 := NewKeyFromSeed(3, 1234)
+	if !a1.Public().Equal(a2.Public()) {
+		t.Fatal("same (id, seed) produced different keys")
+	}
+	b := NewKeyFromSeed(4, 1234)
+	if a1.Public().Equal(b.Public()) {
+		t.Fatal("different ids produced the same key")
+	}
+}
+
+func TestVerifyBatch(t *testing.T) {
+	dir, _, b := newTestPair(t)
+	v := NewVerifier(dir)
+	var atts []Attestation
+	for i := 0; i < 8; i++ {
+		atts = append(atts, b.Attest(SchemeEd25519, 1, int32(i), [32]byte{}, 100))
+	}
+	atts[3].Sig[0] ^= 1          // forged
+	atts[6] = atts[5]            // replay within the batch
+	atts = append(atts, atts[0]) // replay of an earlier entry
+	errs := v.VerifyBatch(atts)
+	for i, err := range errs {
+		switch i {
+		case 3:
+			if !errors.Is(err, ErrBadSignature) {
+				t.Errorf("entry 3: got %v, want ErrBadSignature", err)
+			}
+		case 6, 8:
+			if !errors.Is(err, ErrReplayed) {
+				t.Errorf("entry %d: got %v, want ErrReplayed", i, err)
+			}
+		default:
+			if err != nil {
+				t.Errorf("entry %d: %v", i, err)
+			}
+		}
+	}
+}
+
+func TestWindowAdmit(t *testing.T) {
+	var w window
+	seqs := []struct {
+		seq   uint64
+		ok    bool
+		stale bool
+	}{
+		{5, true, false},
+		{5, false, false},
+		{3, true, false},
+		{200, true, false},
+		{200 - windowSpan + 1, true, false}, // oldest still inside
+		{200 - windowSpan, false, true},     // just fell out
+		{5, false, true},
+	}
+	for i, s := range seqs {
+		ok, stale := w.admit(s.seq)
+		if ok != s.ok || stale != s.stale {
+			t.Fatalf("step %d seq %d: got ok=%v stale=%v, want ok=%v stale=%v",
+				i, s.seq, ok, stale, s.ok, s.stale)
+		}
+	}
+}
+
+// TestHMACSHA256MatchesCrypto pins the open-coded single-block HMAC used on
+// the receipt hot path to the crypto/hmac reference for every message length
+// it can be handed, so the allocation-free rewrite cannot drift from RFC 2104.
+func TestHMACSHA256MatchesCrypto(t *testing.T) {
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(i*7 + 3)
+	}
+	msg := make([]byte, 64)
+	for i := range msg {
+		msg[i] = byte(255 - i)
+	}
+	for n := 0; n <= len(msg); n++ {
+		got := hmacSHA256(&key, msg[:n])
+		ref := hmac.New(sha256.New, key[:])
+		ref.Write(msg[:n])
+		if !hmac.Equal(got[:], ref.Sum(nil)) {
+			t.Fatalf("hmacSHA256 diverges from crypto/hmac at message length %d", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hmacSHA256 accepted a message over one block")
+		}
+	}()
+	hmacSHA256(&key, make([]byte, 65))
+}

@@ -1,0 +1,78 @@
+package attest
+
+import "testing"
+
+// The bench.sh attest target records these: the Ed25519 identity-signature
+// cost (admission, witness receipts, cross-process swarms) and the session
+// MAC cost (per-piece receipts on the cluster hot path). The gap between
+// them is why the two-scheme design exists.
+
+func benchPair(b *testing.B) (*Verifier, *Key) {
+	b.Helper()
+	dir := NewDirectory()
+	recv := NewKeyFromSeed(2, 42)
+	dir.Register(1, NewKeyFromSeed(1, 42).Identity())
+	dir.Register(2, recv.Identity())
+	return NewVerifier(dir), recv
+}
+
+func BenchmarkAttestSignEd25519(b *testing.B) {
+	_, recv := benchPair(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		recv.Attest(SchemeEd25519, 1, int32(i), [32]byte{}, 4096)
+	}
+}
+
+func BenchmarkAttestVerifyEd25519(b *testing.B) {
+	v, recv := benchPair(b)
+	att := recv.Attest(SchemeEd25519, 1, 0, [32]byte{}, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Check(att); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttestVerifyBatchEd25519(b *testing.B) {
+	v, recv := benchPair(b)
+	const batch = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		atts := make([]Attestation, batch)
+		for j := range atts {
+			atts[j] = recv.Attest(SchemeEd25519, 1, int32(j), [32]byte{}, 4096)
+		}
+		b.StartTimer()
+		errs := v.VerifyBatch(atts)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAttestSignSession(b *testing.B) {
+	_, recv := benchPair(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		recv.Attest(SchemeSession, 1, int32(i), [32]byte{}, 4096)
+	}
+}
+
+func BenchmarkAttestVerifySession(b *testing.B) {
+	v, recv := benchPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		att := recv.Attest(SchemeSession, 1, int32(i), [32]byte{}, 4096)
+		if err := v.Verify(att); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

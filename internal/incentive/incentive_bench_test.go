@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/algo"
+	"repro/internal/attest"
 	"repro/internal/reputation"
 )
 
@@ -17,9 +18,9 @@ func benchView() *fakeView {
 }
 
 func BenchmarkNextReceiver(b *testing.B) {
-	ledger := reputation.NewLedger()
+	ledger := reputation.NewLedger(attest.AcceptAll{})
 	for i := 0; i < 50; i++ {
-		ledger.Credit(i, float64(i*1000))
+		_ = ledger.Credit(attest.Claim(int32(i), -1, 0, int64(i*1000)))
 	}
 	algorithms := append(algo.All(), algo.PropShare)
 	for _, a := range algorithms {

@@ -5,8 +5,17 @@ import (
 	"testing"
 
 	"repro/internal/algo"
+	"repro/internal/attest"
 	"repro/internal/reputation"
 )
+
+// mustCredit seeds a ledger score through the proof-first API.
+func mustCredit(t *testing.T, l *reputation.Ledger, att attest.Attestation) {
+	t.Helper()
+	if err := l.Credit(att); err != nil {
+		t.Fatalf("Credit: %v", err)
+	}
+}
 
 // fakeView is a scriptable NodeView for strategy unit tests.
 type fakeView struct {
@@ -55,7 +64,7 @@ func (v *fakeView) PieceCount(p PeerID) int     { return v.pieceCount[p] }
 func (v *fakeView) Reputation(p PeerID) float64 { return v.reps[p] }
 
 func TestFactoryAllAlgorithms(t *testing.T) {
-	ledger := reputation.NewLedger()
+	ledger := reputation.NewLedger(attest.AcceptAll{})
 	for _, a := range algo.All() {
 		s, err := New(a, Params{}, ledger)
 		if err != nil {
@@ -277,9 +286,9 @@ func TestFairTorrentPrefersNewcomerOverCreditor(t *testing.T) {
 }
 
 func TestReputationWeightedPick(t *testing.T) {
-	ledger := reputation.NewLedger()
-	ledger.Credit(1, 900)
-	ledger.Credit(2, 100)
+	ledger := reputation.NewLedger(attest.AcceptAll{})
+	mustCredit(t, ledger, attest.Claim(1, 9, 0, 900))
+	mustCredit(t, ledger, attest.Claim(2, 9, 0, 100))
 	p, _ := (Params{AlphaR: 0.0001, AlphaBT: 0.2, NBT: 4, RoundSeconds: 10}).Normalize()
 	s := newReputation(p, ledger)
 	v := newFakeView(1, 2, 3)
@@ -300,7 +309,7 @@ func TestReputationWeightedPick(t *testing.T) {
 }
 
 func TestReputationIdlesWhenAllZero(t *testing.T) {
-	ledger := reputation.NewLedger()
+	ledger := reputation.NewLedger(attest.AcceptAll{})
 	p, _ := (Params{AlphaR: 0.1, AlphaBT: 0.2, NBT: 4, RoundSeconds: 10}).Normalize()
 	s := newReputation(p, ledger)
 	v := newFakeView(1, 2)
@@ -389,7 +398,7 @@ func TestTChainObligationQueueBounded(t *testing.T) {
 }
 
 func TestStrategiesHandleEmptyNeighborhood(t *testing.T) {
-	ledger := reputation.NewLedger()
+	ledger := reputation.NewLedger(attest.AcceptAll{})
 	empty := newFakeView()
 	for _, a := range algo.All() {
 		s, err := New(a, Params{}, ledger)

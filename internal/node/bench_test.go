@@ -20,7 +20,7 @@ const (
 // benchCluster runs one full swarm download — a seed plus leechers-1 empty
 // nodes on tr, full-mesh bootstrapped — and returns the wall-clock time and
 // the total number of piece deliveries.
-func benchCluster(b *testing.B, tr transport.Transport, listenAddr func(int) string, nodes int) (time.Duration, int) {
+func benchCluster(b *testing.B, tr transport.Transport, listenAddr func(int) string, nodes int, extra ...ClusterOption) (time.Duration, int) {
 	b.Helper()
 	manifest, err := piece.SyntheticManifest(benchPieces, benchPieceSize)
 	if err != nil {
@@ -30,14 +30,15 @@ func benchCluster(b *testing.B, tr transport.Transport, listenAddr func(int) str
 	for i := 0; i < benchPieces; i++ {
 		content = append(content, piece.SyntheticPiece(i, benchPieceSize)...)
 	}
-	start := time.Now()
-	c, err := StartCluster(manifest, content,
+	opts := append([]ClusterOption{
 		WithAlgorithm(algo.Altruism),
 		WithTransport(tr),
 		WithListenAddr(listenAddr),
-		WithLeechers(nodes-1),
+		WithLeechers(nodes - 1),
 		WithDecisionInterval(time.Millisecond),
-	)
+	}, extra...)
+	start := time.Now()
+	c, err := StartCluster(manifest, content, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -85,4 +86,23 @@ func BenchmarkClusterThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(pieces)/elapsed.Seconds(), "pieces/sec")
 	})
+}
+
+// BenchmarkClusterThroughputUnsigned is the same mem-32 swarm with
+// attestation disabled: the trust-the-report configuration the signed
+// default is compared against. scripts/bench.sh attest runs both and
+// reports the signing overhead as a same-machine delta, immune to baseline
+// drift between benchmark-recording sessions.
+func BenchmarkClusterThroughputUnsigned(b *testing.B) {
+	var elapsed time.Duration
+	var pieces int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := transport.NewMetrics(metrics.NewRegistry())
+		d, p := benchCluster(b, transport.NewMemInstrumented(tm), func(int) string { return "" }, 32,
+			WithoutAttestation())
+		elapsed += d
+		pieces += p
+	}
+	b.ReportMetric(float64(pieces)/elapsed.Seconds(), "pieces/sec")
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/attest"
 	"repro/internal/piece"
 	"repro/internal/reputation"
 	"repro/internal/transport"
@@ -51,6 +52,11 @@ func DiscoveryWith(cfg DiscoverConfig) Topology {
 	return Topology{discover: &c}
 }
 
+// clusterKeySeed derives the default deterministic node keypairs; any
+// fixed value works, it only needs to be stable across runs so cluster
+// tests and benchmarks are reproducible.
+const clusterKeySeed int64 = 0x1CDC5
+
 // clusterOptions is the resolved cluster configuration.
 type clusterOptions struct {
 	algorithm        algo.Algorithm
@@ -61,6 +67,9 @@ type clusterOptions struct {
 	uploadRate       float64
 	decisionInterval time.Duration
 	topology         Topology
+	identity         func(id int) *attest.Key
+	attScheme        attest.Scheme
+	unsigned         bool
 }
 
 // ClusterOption customizes StartCluster; options that reject their argument
@@ -150,6 +159,43 @@ func WithTopology(t Topology) ClusterOption {
 	}
 }
 
+// WithIdentity supplies the signing keypair for each node ID, overriding
+// the default deterministic derivation (attest.NewKeyFromSeed off a fixed
+// cluster seed). Returning nil for an ID leaves that node unsigned — the
+// hook a Sybil or legacy peer experiment uses.
+func WithIdentity(keyFor func(id int) *attest.Key) ClusterOption {
+	return func(o *clusterOptions) error {
+		if keyFor == nil {
+			return fmt.Errorf("node: WithIdentity(nil)")
+		}
+		o.identity = keyFor
+		return nil
+	}
+}
+
+// WithAttestScheme selects the per-piece receipt scheme (default
+// attest.SchemeSession, the pairwise-MAC fast path suited to in-process
+// swarms; pass attest.SchemeEd25519 to exercise full signatures).
+func WithAttestScheme(s attest.Scheme) ClusterOption {
+	return func(o *clusterOptions) error {
+		if s != attest.SchemeSession && s != attest.SchemeEd25519 {
+			return fmt.Errorf("node: WithAttestScheme(%v)", s)
+		}
+		o.attScheme = s
+		return nil
+	}
+}
+
+// WithoutAttestation runs the cluster on the legacy unsigned protocol:
+// no keys, no directory, a ledger that accepts bare claims — the paper's
+// trust-the-report world, kept available as the experimental baseline.
+func WithoutAttestation() ClusterOption {
+	return func(o *clusterOptions) error {
+		o.unsigned = true
+		return nil
+	}
+}
+
 // maxBootstrapSeeds is how many existing nodes a discovery-wired joiner is
 // pointed at; everything beyond these few contacts is learned through the
 // DHT and gossip.
@@ -162,14 +208,21 @@ type Cluster struct {
 	// any attached by Join. Join appends to it, so do not range over Nodes
 	// concurrently with Join calls.
 	Nodes []*Node
-	// Ledger is the shared reputation service.
+	// Ledger is the shared reputation service. Unless WithoutAttestation
+	// was given it verifies every credit against Directory, so scores are
+	// sums of proven transfers.
 	Ledger *reputation.Ledger
+	// Directory is the shared admitted-identity set (nil for an unsigned
+	// cluster). It is sealed once the initial nodes are registered; Join
+	// admits later nodes through the authorized Register path.
+	Directory *attest.Directory
 
 	opts     clusterOptions
 	manifest *piece.Manifest
 	content  []byte
 
 	mu       sync.Mutex
+	keys     map[int]*attest.Key
 	nextID   int
 	stopped  bool
 	stopOnce sync.Once
@@ -178,8 +231,12 @@ type Cluster struct {
 
 // StartCluster builds and starts an in-process swarm: one seed holding all
 // of content plus WithLeechers downloading peers, sharing one reputation
-// ledger, wired per WithTopology. On error, any nodes already started are
-// stopped before returning.
+// ledger, wired per WithTopology. By default every node gets a
+// deterministic Ed25519 identity registered in a shared directory (sealed
+// after startup — closed membership), receipts travel signed, and the
+// shared ledger credits only verified proofs; WithoutAttestation restores
+// the unsigned baseline. On error, any nodes already started are stopped
+// before returning.
 func StartCluster(manifest *piece.Manifest, content []byte, opts ...ClusterOption) (*Cluster, error) {
 	if manifest == nil || len(content) == 0 {
 		return nil, fmt.Errorf("node: cluster needs a manifest and content")
@@ -187,6 +244,8 @@ func StartCluster(manifest *piece.Manifest, content []byte, opts ...ClusterOptio
 	o := clusterOptions{
 		algorithm:  algo.Altruism,
 		listenAddr: func(int) string { return "" },
+		identity:   func(id int) *attest.Key { return attest.NewKeyFromSeed(int32(id), clusterKeySeed) },
+		attScheme:  attest.SchemeSession,
 	}
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
@@ -198,10 +257,16 @@ func StartCluster(manifest *piece.Manifest, content []byte, opts ...ClusterOptio
 	}
 
 	c := &Cluster{
-		Ledger:   reputation.NewLedger(),
 		opts:     o,
 		manifest: manifest,
 		content:  content,
+		keys:     make(map[int]*attest.Key),
+	}
+	if o.unsigned {
+		c.Ledger = reputation.NewLedger(attest.AcceptAll{})
+	} else {
+		c.Directory = attest.NewDirectory()
+		c.Ledger = reputation.NewLedger(attest.NewVerifier(c.Directory))
 	}
 	for i := 0; i <= o.leechers; i++ {
 		if _, err := c.startNode(i); err != nil {
@@ -209,8 +274,22 @@ func StartCluster(manifest *piece.Manifest, content []byte, opts ...ClusterOptio
 			return nil, err
 		}
 	}
+	if c.Directory != nil {
+		// Close membership: from here on only the authorized Register path
+		// (Join) admits identities; trust-on-first-use is refused.
+		c.Directory.Seal()
+	}
 	c.nextID = o.leechers + 1
 	return c, nil
+}
+
+// Key returns the signing keypair startNode assigned to node id (nil for
+// an unsigned cluster or an unknown id) — test hooks use it to mint or
+// tamper with attestations.
+func (c *Cluster) Key(id int) *attest.Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.keys[id]
 }
 
 // startNode builds, starts, and registers node id (0 = the seed).
@@ -237,6 +316,17 @@ func (c *Cluster) startNode(id int) (*Node, error) {
 		cp := *c.opts.topology.discover
 		disc = &cp
 	}
+	var key *attest.Key
+	if c.Directory != nil {
+		if key = c.opts.identity(id); key != nil {
+			// Authorized admission: works before and after Seal, so Join
+			// keeps attaching signed nodes to a closed directory.
+			c.Directory.Register(int32(id), key.Identity())
+			c.mu.Lock()
+			c.keys[id] = key
+			c.mu.Unlock()
+		}
+	}
 	n, err := New(Config{
 		ID:               id,
 		Algorithm:        c.opts.algorithm,
@@ -247,6 +337,9 @@ func (c *Cluster) startNode(id int) (*Node, error) {
 		UploadRate:       c.opts.uploadRate,
 		DecisionInterval: c.opts.decisionInterval,
 		FreeRide:         c.opts.freeRiders[id],
+		Identity:         key,
+		Directory:        c.Directory,
+		AttestScheme:     c.opts.attScheme,
 		Ledger:           c.Ledger,
 		Discover:         disc,
 	})
@@ -318,55 +411,4 @@ func (c *Cluster) Stop() error {
 		c.stopErr = first
 	})
 	return c.stopErr
-}
-
-// ClusterConfig describes a swarm in the pre-options struct form: one seed
-// plus Leechers downloaders, full-mesh bootstrapped.
-//
-// Deprecated: use StartCluster with ClusterOption values, which also
-// unlocks discovery topologies (WithTopology).
-type ClusterConfig struct {
-	// Algorithm is the mechanism every compliant node runs.
-	Algorithm algo.Algorithm
-	// Transport carries the swarm; unlike the options API it is required
-	// here, preserving the legacy strictness.
-	Transport transport.Transport
-	// ListenAddr returns the listen address for node i ("" for the memory
-	// transport, "127.0.0.1:0" for TCP). Nil defaults to "".
-	ListenAddr func(i int) string
-	// Manifest and Content define the file; the seed holds all of Content.
-	Manifest *piece.Manifest
-	Content  []byte
-	// Leechers is the number of downloading peers (node IDs 1..Leechers).
-	Leechers int
-	// FreeRiders marks node IDs that free-ride.
-	FreeRiders map[int]bool
-	// UploadRate throttles every node (bytes/second, 0 = unthrottled).
-	UploadRate float64
-	// DecisionInterval overrides the upload-scheduler tick.
-	DecisionInterval time.Duration
-}
-
-// StartClusterConfig starts a full-mesh cluster from the legacy struct
-// form, with the legacy validation (an explicit Transport is required).
-//
-// Deprecated: use StartCluster with ClusterOption values.
-func StartClusterConfig(cfg ClusterConfig) (*Cluster, error) {
-	if cfg.Transport == nil {
-		return nil, fmt.Errorf("node: cluster needs a transport")
-	}
-	opts := []ClusterOption{
-		WithTransport(cfg.Transport),
-		WithLeechers(cfg.Leechers),
-		WithFreeRiders(cfg.FreeRiders),
-		WithUploadRate(cfg.UploadRate),
-		WithDecisionInterval(cfg.DecisionInterval),
-	}
-	if cfg.Algorithm != 0 {
-		opts = append(opts, WithAlgorithm(cfg.Algorithm))
-	}
-	if cfg.ListenAddr != nil {
-		opts = append(opts, WithListenAddr(cfg.ListenAddr))
-	}
-	return StartCluster(cfg.Manifest, cfg.Content, opts...)
 }

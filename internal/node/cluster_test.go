@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/attest"
 	"repro/internal/piece"
 	"repro/internal/transport"
 )
@@ -37,16 +38,13 @@ func TestStartClusterValidation(t *testing.T) {
 		{"nil listen func", manifest, content, []ClusterOption{WithListenAddr(nil)}},
 		{"negative leechers", manifest, content, []ClusterOption{WithLeechers(-1)}},
 		{"negative rate", manifest, content, []ClusterOption{WithUploadRate(-1)}},
+		{"nil identity func", manifest, content, []ClusterOption{WithIdentity(nil)}},
+		{"bad attest scheme", manifest, content, []ClusterOption{WithAttestScheme(attest.SchemeNone)}},
 	}
 	for _, tc := range bad {
 		if _, err := StartCluster(tc.manifest, tc.content, tc.opts...); err == nil {
 			t.Errorf("%s accepted", tc.name)
 		}
-	}
-	// The legacy struct shim keeps its stricter contract: an explicit
-	// transport is required.
-	if _, err := StartClusterConfig(ClusterConfig{Manifest: manifest, Content: content}); err == nil {
-		t.Error("StartClusterConfig accepted a nil transport")
 	}
 }
 
@@ -109,18 +107,16 @@ func TestClusterOverDegradedTransport(t *testing.T) {
 	}
 }
 
-// TestClusterStopIdempotent drives the legacy struct shim through a full
-// start/stop cycle and checks the new Stop contract: repeat calls are safe
-// and report the same (nil) error.
+// TestClusterStopIdempotent drives a cluster through a full start/stop
+// cycle and checks the Stop contract: repeat calls are safe and report the
+// same (nil) error.
 func TestClusterStopIdempotent(t *testing.T) {
 	manifest, content := clusterFixture(t)
-	c, err := StartClusterConfig(ClusterConfig{
-		Algorithm: algo.Altruism,
-		Transport: transport.NewMem(),
-		Manifest:  manifest,
-		Content:   content,
-		Leechers:  1,
-	})
+	c, err := StartCluster(manifest, content,
+		WithAlgorithm(algo.Altruism),
+		WithTransport(transport.NewMem()),
+		WithLeechers(1),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"repro/internal/attest"
 	"repro/internal/discovery"
 	"repro/internal/incentive"
 	"repro/internal/protocol"
@@ -34,6 +35,9 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 		NumPieces: int32(n.cfg.Store.Manifest().NumPieces()),
 		Addr:      n.Addr(),
 	}
+	if n.identity != nil {
+		hello.PubKey = n.identity.Public()
+	}
 	if dialer {
 		if conn.Send(hello) != nil || conn.Send(n.bitfieldMsg()) != nil {
 			return
@@ -62,6 +66,15 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 		return // different swarm
 	}
 	peerID := int(theirHello.PeerID)
+	if n.directory != nil && len(theirHello.PubKey) > 0 {
+		// Pin the peer's key trust-on-first-use. A key that conflicts with
+		// the pinned (or registered) one is an imposter — refuse the link; a
+		// sealed directory likewise refuses identities it was not told about.
+		if err := n.directory.Observe(theirHello.PeerID, theirHello.PubKey); err != nil {
+			n.metrics.attestTOFURejected.Inc()
+			return
+		}
+	}
 	if n.disc != nil {
 		// Learn the contact whatever happens next; a redirected dialer is
 		// still a real, routable node.
@@ -218,6 +231,15 @@ func (n *Node) dispatch(r *remote, msg protocol.Message) bool {
 	case protocol.Receipt:
 		n.handleReceipt(r, m)
 
+	case protocol.Attest:
+		n.handleAttest(m)
+
+	case protocol.AttestBatch:
+		n.handleAttestBatch(m)
+
+	case protocol.AttestedReceipt:
+		n.handleAttestedReceipt(m)
+
 	case protocol.Ping:
 		if n.disc != nil && !m.Ack {
 			r.enqueue(protocol.Ping{Seq: m.Seq, Ack: true})
@@ -257,6 +279,10 @@ func (n *Node) handlePiece(r *remote, m protocol.Piece) {
 	if err := n.cfg.Store.Put(int(m.Index), m.Data); err != nil {
 		return // forged or duplicate data; Put verified the hash
 	}
+	// Sign (or, unsigned, claim) the receipt outside n.mu — Ed25519 is two
+	// orders of magnitude slower than anything else under that lock.
+	att := n.signReceipt(int32(r.id), m.Index, len(m.Data))
+	n.creditAttestation(r, att)
 	n.mu.Lock()
 	n.noteFirstByteLocked(int(m.Index))
 	// A racing duplicate (Put is idempotent) still credits the ledger as
@@ -267,7 +293,6 @@ func (n *Node) handlePiece(r *remote, m protocol.Piece) {
 	} else {
 		n.metrics.noteDownload(r.id, len(m.Data))
 	}
-	n.ledger.Credit(r.id, float64(len(m.Data)))
 	n.strategy.OnReceived(n.view(), incentive.PeerID(r.id), float64(len(m.Data)))
 	// A pending seal for this index is now moot; drop the ciphertext.
 	for keyID, pending := range n.pendingSeals {
@@ -293,6 +318,9 @@ func (n *Node) handlePiece(r *remote, m protocol.Piece) {
 // the origin directly when possible, otherwise forward the seal to a third
 // peer (who will send the origin a receipt). Free-riders renege.
 func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
+	if m.Index < 0 || int(m.Index) >= n.cfg.Store.Manifest().NumPieces() {
+		return // malformed index; nothing downstream would accept it
+	}
 	// The ciphertext outlives this dispatch (pending-seal escrow, possible
 	// forward), while m.Ciphertext may alias the connection's decode
 	// scratch — copy once here, then share the stable copy everywhere.
@@ -312,7 +340,17 @@ func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
 			n.noteFirstByteLocked(int(m.Index))
 		}
 		n.mu.Unlock()
-		receipt := protocol.Receipt{KeyID: m.KeyID, From: m.ForwarderID}
+		var receipt protocol.Message = protocol.Receipt{KeyID: m.KeyID, From: m.ForwarderID}
+		if n.identity != nil {
+			// Sign the witness confirmation: the origin releases the key only
+			// for a receipt minted by an admitted identity that names the
+			// exact sealed piece. Always Ed25519 — witness receipts cross
+			// trust domains (transient connections, possibly other processes).
+			hash := [32]byte(n.cfg.Store.Manifest().Hashes[m.Index])
+			wAtt := n.identity.Attest(attest.SchemeEd25519, m.ForwarderID, m.Index, hash, int64(len(ciphertext)))
+			n.metrics.attestSigned.Inc()
+			receipt = protocol.AttestedReceipt{KeyID: m.KeyID, Att: wAtt}
+		}
 		if connected {
 			origin.enqueue(receipt)
 		} else if n.disc != nil && m.OriginAddr != "" {
@@ -420,25 +458,123 @@ func (n *Node) handleKey(m protocol.Key) {
 	if err := n.cfg.Store.Put(pending.index, plaintext); err != nil {
 		return // wrong key or corrupt ciphertext: hash check failed
 	}
+	att := n.signReceipt(int32(pending.originID), int32(pending.index), len(plaintext))
+	n.mu.Lock()
+	origin := n.peers[pending.originID]
+	n.mu.Unlock()
+	n.creditAttestation(origin, att)
 	n.mu.Lock()
 	if n.myBits.Has(pending.index) {
 		n.metrics.noteDuplicate(len(plaintext))
 	} else {
 		n.metrics.noteDownload(pending.originID, len(plaintext))
 	}
-	n.ledger.Credit(pending.originID, float64(len(plaintext)))
 	n.strategy.OnReceived(n.view(), incentive.PeerID(pending.originID), float64(len(plaintext)))
 	n.noteGainedLocked(pending.index)
 	n.mu.Unlock()
 	n.checkComplete()
 }
 
-// handleReceipt processes a witness confirmation: release the key to the
-// receiver that reciprocated. Note the trust assumption — a forged receipt
-// from a colluder extracts the key without real reciprocation, exactly the
-// paper's T-Chain collusion attack.
+// handleReceipt processes an unsigned witness confirmation: release the key
+// to the receiver that reciprocated. Note the trust assumption — a forged
+// receipt from a colluder extracts the key without real reciprocation,
+// exactly the paper's T-Chain collusion attack. A signing node therefore
+// refuses this frame outright and releases keys only for AttestedReceipt.
 func (n *Node) handleReceipt(r *remote, m protocol.Receipt) {
+	if n.identity != nil {
+		n.metrics.attestReceiptsRejected.Inc()
+		return
+	}
 	n.confirmReceipt(r.id, m)
+}
+
+// signReceipt builds the receiver-side attestation for one verified piece
+// delivery: signed under the node's configured scheme when it has an
+// identity, a bare unsigned claim otherwise (the paper's trust model).
+func (n *Node) signReceipt(sender, index int32, size int) attest.Attestation {
+	if n.identity == nil {
+		return attest.Claim(sender, int32(n.cfg.ID), index, int64(size))
+	}
+	hash := [32]byte(n.cfg.Store.Manifest().Hashes[index])
+	return n.identity.Attest(n.attScheme, sender, index, hash, int64(size))
+}
+
+// creditAttestation submits a receipt to the reputation ledger, counts the
+// outcome, and — when the receipt is signed — enqueues the sender's copy on
+// to: the proof it can present to anyone holding the directory.
+func (n *Node) creditAttestation(to *remote, att attest.Attestation) {
+	if err := n.ledger.Credit(att); err != nil {
+		n.metrics.attestRejected(err).Inc()
+	} else {
+		n.metrics.attestCredited.Inc()
+	}
+	if att.Scheme == attest.SchemeNone {
+		return
+	}
+	n.metrics.attestSigned.Inc()
+	if to != nil {
+		to.enqueueAck(att)
+	}
+}
+
+// handleAttest records the receipt copy a receiver sent back for one of our
+// deliveries. The crediting (and its replay accounting) happened on the
+// receiver's side; here the copy is checked statelessly and scored in
+// metrics — a tampered or mis-addressed copy is counted and dropped, which
+// is what the tampering-transport test observes.
+func (n *Node) handleAttest(m protocol.Attest) {
+	n.checkAck(m.Att)
+}
+
+// handleAttestBatch checks each coalesced receipt individually; the batch
+// frame is pure transport-level coalescing (see protocol.AttestBatch).
+func (n *Node) handleAttestBatch(m protocol.AttestBatch) {
+	for i := range m.Atts {
+		n.checkAck(m.Atts[i])
+	}
+}
+
+// checkAck audits one receipt another peer signed over our upload. The
+// counters are the node's evidence feed: a bad ack means the counterparty
+// is minting receipts we could never spend.
+func (n *Node) checkAck(att attest.Attestation) {
+	if n.verifier == nil {
+		return // unsigned node: no key material to check against
+	}
+	if att.Sender != int32(n.cfg.ID) || n.verifier.Check(att) != nil {
+		n.metrics.attestAcksBad.Inc()
+		return
+	}
+	n.metrics.attestAcksOK.Inc()
+}
+
+// handleAttestedReceipt applies a witness-signed T-Chain receipt: the
+// witness (Att.Receiver) attests that the forwarder (Att.Sender) relayed
+// our sealed piece. This closes the collusion hole unsigned receipts leave
+// open — the signature must verify under an admitted identity and the
+// receipt must name the exact piece the escrow is holding the key for, so
+// a receipt can be neither minted from thin air nor replayed after the
+// key is released (releaseKeys deletes the seal's index entry).
+func (n *Node) handleAttestedReceipt(m protocol.AttestedReceipt) {
+	legacy := protocol.Receipt{KeyID: m.KeyID, From: m.Att.Sender}
+	if n.verifier == nil {
+		// Unsigned node: degrade to the legacy trust-the-witness path.
+		n.confirmReceipt(int(m.Att.Receiver), legacy)
+		return
+	}
+	if n.verifier.Check(m.Att) != nil {
+		n.metrics.attestReceiptsRejected.Inc()
+		return
+	}
+	n.mu.Lock()
+	idx, held := n.sealIndex[m.KeyID]
+	n.mu.Unlock()
+	if !held || int32(idx) != m.Att.Index {
+		n.metrics.attestReceiptsRejected.Inc()
+		return
+	}
+	n.metrics.attestReceiptsVerified.Inc()
+	n.confirmReceipt(int(m.Att.Receiver), legacy)
 }
 
 // confirmReceipt applies one receipt from the given witness. Receipts also

@@ -1,10 +1,12 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/attest"
 	"repro/internal/metrics"
 )
 
@@ -28,6 +30,16 @@ import (
 //	node_span_want_to_verified_ns       the full piece-acquisition span
 //	node_pieces_held / node_neighbors / node_sealed_pending /
 //	node_complete / node_outbox_depth   pull-style gauges
+//
+// Attestation series (present on every node; they only move when signing
+// or verification actually happens):
+//
+//	node_attest_signed_total            receipts this node signed
+//	node_attest_credited_total          attestations the ledger accepted
+//	node_attest_rejected_total{reason=} attestations the ledger refused
+//	node_attest_acks_total{result=}     sender-side receipt copies checked
+//	node_attest_receipts_total{result=} witness-signed T-Chain receipts
+//	node_attest_tofu_rejected_total     handshakes refused by the directory
 type nodeMetrics struct {
 	reg *metrics.Registry
 
@@ -39,6 +51,24 @@ type nodeMetrics struct {
 	backpressure   *metrics.Counter
 	piecesVerified *metrics.Counter
 	duplicateBytes *metrics.Counter
+
+	attestSigned           *metrics.Counter
+	attestCredited         *metrics.Counter
+	attestAcksOK           *metrics.Counter
+	attestAcksBad          *metrics.Counter
+	attestReceiptsVerified *metrics.Counter
+	attestReceiptsRejected *metrics.Counter
+	attestTOFURejected     *metrics.Counter
+
+	// Ledger rejections, pre-resolved per reason so the error path never
+	// touches the registry's name map.
+	rejBadSig   *metrics.Counter
+	rejReplayed *metrics.Counter
+	rejStale    *metrics.Counter
+	rejUnknown  *metrics.Counter
+	rejSelf     *metrics.Counter
+	rejUnsigned *metrics.Counter
+	rejOther    *metrics.Counter
 
 	uploadPieceBytes   *metrics.Histogram
 	downloadPieceBytes *metrics.Histogram
@@ -73,6 +103,21 @@ func newNodeMetrics(reg *metrics.Registry, n *Node) *nodeMetrics {
 		spanWantVerified:      reg.Histogram("node_span_want_to_verified_ns"),
 		peerUp:                make(map[int]*metrics.Counter),
 		peerDown:              make(map[int]*metrics.Counter),
+
+		attestSigned:           reg.Counter("node_attest_signed_total"),
+		attestCredited:         reg.Counter("node_attest_credited_total"),
+		attestAcksOK:           reg.Counter(`node_attest_acks_total{result="ok"}`),
+		attestAcksBad:          reg.Counter(`node_attest_acks_total{result="bad"}`),
+		attestReceiptsVerified: reg.Counter(`node_attest_receipts_total{result="ok"}`),
+		attestReceiptsRejected: reg.Counter(`node_attest_receipts_total{result="rejected"}`),
+		attestTOFURejected:     reg.Counter("node_attest_tofu_rejected_total"),
+		rejBadSig:              reg.Counter(`node_attest_rejected_total{reason="bad-signature"}`),
+		rejReplayed:            reg.Counter(`node_attest_rejected_total{reason="replayed"}`),
+		rejStale:               reg.Counter(`node_attest_rejected_total{reason="stale"}`),
+		rejUnknown:             reg.Counter(`node_attest_rejected_total{reason="unknown-signer"}`),
+		rejSelf:                reg.Counter(`node_attest_rejected_total{reason="self"}`),
+		rejUnsigned:            reg.Counter(`node_attest_rejected_total{reason="unsigned"}`),
+		rejOther:               reg.Counter(`node_attest_rejected_total{reason="other"}`),
 	}
 	reg.RegisterGaugeFunc("node_pieces_held", func() int64 {
 		return int64(n.cfg.Store.Count())
@@ -136,6 +181,26 @@ func (m *nodeMetrics) noteDownload(peer, bytes int) {
 	m.creditedBytes.Add(int64(bytes))
 	m.downloadPieceBytes.Observe(int64(bytes))
 	m.peerDownload(peer).Add(int64(bytes))
+}
+
+// attestRejected maps a ledger rejection to its reason-labelled counter.
+func (m *nodeMetrics) attestRejected(err error) *metrics.Counter {
+	switch {
+	case errors.Is(err, attest.ErrBadSignature):
+		return m.rejBadSig
+	case errors.Is(err, attest.ErrReplayed):
+		return m.rejReplayed
+	case errors.Is(err, attest.ErrStale):
+		return m.rejStale
+	case errors.Is(err, attest.ErrUnknownSigner), errors.Is(err, attest.ErrNoSession):
+		return m.rejUnknown
+	case errors.Is(err, attest.ErrSelfAttestation):
+		return m.rejSelf
+	case errors.Is(err, attest.ErrUnsigned):
+		return m.rejUnsigned
+	default:
+		return m.rejOther
+	}
 }
 
 // noteDuplicate records a verified delivery of a piece we already held —

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/attest"
 	"repro/internal/incentive"
 	"repro/internal/metrics"
 	"repro/internal/piece"
@@ -68,8 +69,27 @@ type Config struct {
 	// swarm cannot even start: reciprocation toward a peer that needs
 	// nothing is infeasible.
 	SeedMode bool
+	// Identity is the node's attestation keypair. When set, the node signs
+	// a receipt for every verified piece it stores (crediting the sender
+	// with proof instead of trust), advertises its public key in the
+	// handshake, and refuses unsigned T-Chain receipts. Nil runs the
+	// legacy unsigned protocol — crediting is then a bare claim, exactly
+	// the trust model the paper analyzes.
+	Identity *attest.Key
+	// Directory is the admitted-identity set attestations are verified
+	// against. Nil with Identity set creates a private open directory that
+	// pins peer keys trust-on-first-use from their Hello frames; clusters
+	// share one sealed directory instead (closed membership, no Sybils).
+	Directory *attest.Directory
+	// AttestScheme selects the per-piece receipt signature. Zero with
+	// Identity set defaults to SchemeEd25519 (self-contained signatures,
+	// right for cross-process swarms); in-process clusters pass
+	// SchemeSession, the pairwise-MAC fast path. Witness receipts are
+	// always Ed25519 — they cross trust domains.
+	AttestScheme attest.Scheme
 	// Ledger is the shared global-reputation service; nil creates a
-	// private one (reputation scores then stay local).
+	// private one (reputation scores then stay local), verifying against
+	// Directory when Identity is set and accepting bare claims otherwise.
 	Ledger *reputation.Ledger
 	// Metrics receives the node's telemetry (the node_ series); nil
 	// creates a private registry, reachable via Node.Metrics. The registry
@@ -103,6 +123,11 @@ func (c *Config) validate() error {
 // upload scheduler redirects its budget elsewhere (see enqueueData).
 const maxQueuedData = 16
 
+// stopFlushTimeout bounds how long Stop waits, in total across all peers,
+// for queued outbound frames to reach the wire before connections are
+// closed under the writers.
+const stopFlushTimeout = 2 * time.Second
+
 // remote is one connected neighbor. Outbound messages go through a
 // per-peer queue drained by a dedicated writer goroutine, so the read
 // loops never block on a slow peer (two mutually full pipes would
@@ -128,6 +153,7 @@ type remote struct {
 	outbox    []protocol.Message
 	spare     []protocol.Message // previous drained batch, recycled
 	outData   int                // bulk frames enqueued or being written
+	writing   bool               // a drained batch is on its way to the wire
 	outClosed bool
 
 	// lastRecv and lastPing are sinceStartNs timestamps for discovery's
@@ -158,6 +184,16 @@ func (r *remote) enqueue(m protocol.Message) {
 	r.outCond.Signal()
 }
 
+// enqueueAck queues a signed receipt copy for this peer. Receipts are
+// ordinary control frames: a lazy no-wakeup variant was measured and
+// bought nothing (the drain that follows each piece's Have broadcast picks
+// acks up either way), while it silently stranded receipts on links with
+// no other outbound traffic — a downloader never Have-broadcasts to a
+// complete seed, so the seed's proof copies only flushed at close.
+func (r *remote) enqueueAck(att attest.Attestation) {
+	r.enqueue(protocol.Attest{Att: att})
+}
+
 // enqueueData appends a bulk payload frame, reporting whether it was
 // accepted. A full queue refuses the frame — the caller treats the peer as
 // saturated and the scheduler's resend cooldown re-offers the piece later.
@@ -184,6 +220,15 @@ func (r *remote) dataBacklogged() bool {
 	r.outMu.Lock()
 	defer r.outMu.Unlock()
 	return r.outData >= maxQueuedData
+}
+
+// flushed reports whether every frame handed to this remote has reached
+// the wire: nothing queued and no drained batch mid-Send. A closed outbox
+// counts as flushed — its writer is gone and waiting would be pointless.
+func (r *remote) flushed() bool {
+	r.outMu.Lock()
+	defer r.outMu.Unlock()
+	return r.outClosed || (len(r.outbox) == 0 && !r.writing)
 }
 
 // closeOutbox stops the writer goroutine.
@@ -215,6 +260,7 @@ func (r *remote) writeLoop() {
 		batch := r.outbox
 		r.outbox = r.spare[:0]
 		nData := r.outData
+		r.writing = true
 		r.outMu.Unlock()
 
 		var err error
@@ -238,6 +284,7 @@ func (r *remote) writeLoop() {
 		r.outMu.Lock()
 		r.spare = batch[:0]
 		r.outData -= nData
+		r.writing = false
 		r.outMu.Unlock()
 		if err != nil {
 			r.closeOutbox()
@@ -275,6 +322,15 @@ type Node struct {
 	escrow   *tchain.Escrow
 	recip    *tchain.ReciprocationLedger
 	ledger   *reputation.Ledger
+
+	// identity/directory/verifier are the attestation plumbing (nil when
+	// Config.Identity is nil): the key that signs our receipts, the
+	// admitted-identity set, and the stateless checker for receipts and
+	// acks (the crediting replay windows live in the ledger's policy).
+	identity  *attest.Key
+	directory *attest.Directory
+	verifier  *attest.Verifier
+	attScheme attest.Scheme
 
 	mu           sync.Mutex
 	stopping     bool
@@ -330,9 +386,31 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = int64(cfg.ID)*7919 + 17
 	}
+	var verifier *attest.Verifier
+	directory := cfg.Directory
+	if cfg.Identity != nil {
+		if cfg.AttestScheme == attest.SchemeNone {
+			cfg.AttestScheme = attest.SchemeEd25519
+		}
+		if directory == nil {
+			directory = attest.NewDirectory()
+		}
+		// Registering ourselves is idempotent for a cluster-shared
+		// directory and necessary for a private one: the ledger verifies
+		// our own signed receipts before crediting.
+		directory.Register(int32(cfg.ID), cfg.Identity.Identity())
+		verifier = attest.NewVerifier(directory)
+	}
 	ledger := cfg.Ledger
 	if ledger == nil {
-		ledger = reputation.NewLedger()
+		if verifier != nil {
+			// The private ledger shares this node's verifier: Credit spends
+			// replay windows there, while the node's own uses (receipt and
+			// ack checks, the /verify audit endpoint) are stateless.
+			ledger = reputation.NewLedger(verifier)
+		} else {
+			ledger = reputation.NewLedger(attest.AcceptAll{})
+		}
 	}
 	// The live T-Chain node enforces reciprocation at the protocol layer
 	// (seal/forward/receipt/key), so its strategy only needs the
@@ -351,6 +429,10 @@ func New(cfg Config) (*Node, error) {
 		escrow:       tchain.NewEscrow(),
 		recip:        tchain.NewReciprocationLedger(),
 		ledger:       ledger,
+		identity:     cfg.Identity,
+		directory:    directory,
+		verifier:     verifier,
+		attScheme:    cfg.AttestScheme,
 		peers:        make(map[int]*remote),
 		conns:        make(map[transport.Conn]bool),
 		pendingSeals: make(map[uint64]pendingSeal),
@@ -436,6 +518,26 @@ func (n *Node) Stop() error {
 		}
 		n.mu.Lock()
 		n.stopping = true
+		remotes := make([]*remote, 0, len(n.peers))
+		for _, r := range n.peers {
+			remotes = append(remotes, r)
+		}
+		n.mu.Unlock()
+		// Let the writer goroutines put already-queued frames on the wire
+		// before the connections go away. A caller that stops the node the
+		// instant its download completes — the CLI does exactly this — may
+		// close before the writers have even been scheduled, and the tail
+		// of the conversation (receipt copies, in particular: the proof a
+		// seeder keeps of its uploads) would be dropped on the floor. The
+		// deadline is shared across peers so a wedged link cannot stall
+		// shutdown.
+		deadline := time.Now().Add(stopFlushTimeout)
+		for _, r := range remotes {
+			for !r.flushed() && time.Now().Before(deadline) {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+		n.mu.Lock()
 		for conn := range n.conns {
 			conn.Close()
 		}

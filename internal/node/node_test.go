@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/attest"
 	"repro/internal/incentive"
 	"repro/internal/piece"
 	"repro/internal/reputation"
@@ -46,7 +47,7 @@ func newCluster(t *testing.T, tr transport.Transport, listenAddr func(i int) str
 	for i := 0; i < testPieces; i++ {
 		content = append(content, piece.SyntheticPiece(i, testPieceSize)...)
 	}
-	ledger := reputation.NewLedger()
+	ledger := reputation.NewLedger(attest.AcceptAll{})
 
 	c := &cluster{t: t, manifest: manifest, content: content}
 	var addrs []string

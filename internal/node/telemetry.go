@@ -1,6 +1,7 @@
 package node
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/attest"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 )
@@ -124,11 +126,135 @@ func (n *Node) DebugSwarmInfo() DebugSwarm {
 	}
 }
 
+// VerifyStanding is one peer's row in the /verify standings: its credited
+// score plus how many of its attestations the ledger accepted and refused.
+type VerifyStanding struct {
+	Peer    int     `json:"peer"`
+	Score   float64 `json:"score"`
+	Valid   uint64  `json:"valid"`
+	Invalid uint64  `json:"invalid"`
+}
+
+// VerifyInfo is the GET /verify payload: the node's attestation posture and
+// the proof-derived reputation standings it holds.
+type VerifyInfo struct {
+	// ID is this node's identity; Enabled whether it signs and verifies.
+	ID      int  `json:"id"`
+	Enabled bool `json:"enabled"`
+	// Scheme is the per-piece receipt scheme ("ed25519" or "session").
+	Scheme string `json:"scheme,omitempty"`
+	// PubKey is the node's hex Ed25519 public key.
+	PubKey string `json:"pub_key,omitempty"`
+	// Admitted is the directory size (peers whose receipts verify).
+	Admitted int `json:"admitted,omitempty"`
+	// Standings lists per-peer proof standings, sorted by peer ID.
+	Standings []VerifyStanding `json:"standings"`
+}
+
+// VerifyInfoSnapshot assembles the node's current /verify view.
+func (n *Node) VerifyInfoSnapshot() VerifyInfo {
+	info := VerifyInfo{ID: n.cfg.ID, Enabled: n.identity != nil}
+	if n.identity != nil {
+		info.Scheme = n.attScheme.String()
+		info.PubKey = hex.EncodeToString(n.identity.Public())
+		info.Admitted = n.directory.Len()
+	}
+	snap := n.ledger.Snapshot()
+	info.Standings = make([]VerifyStanding, 0, len(snap))
+	for peer, s := range snap {
+		info.Standings = append(info.Standings, VerifyStanding{Peer: peer, Score: s.Score, Valid: s.Valid, Invalid: s.Invalid})
+	}
+	sort.Slice(info.Standings, func(i, j int) bool { return info.Standings[i].Peer < info.Standings[j].Peer })
+	return info
+}
+
+// VerifyAttJSON is the wire form of one attestation in a POST /verify
+// audit request; Hash and Sig are hex.
+type VerifyAttJSON struct {
+	Sender   int32  `json:"sender"`
+	Receiver int32  `json:"receiver"`
+	Index    int32  `json:"index"`
+	Hash     string `json:"hash"`
+	Bytes    int64  `json:"bytes"`
+	Seq      uint64 `json:"seq"`
+	Scheme   uint8  `json:"scheme"`
+	Sig      string `json:"sig"`
+}
+
+// VerifyResult is one POST /verify verdict.
+type VerifyResult struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+func (j VerifyAttJSON) attestation() (attest.Attestation, error) {
+	att := attest.Attestation{
+		Sender: j.Sender, Receiver: j.Receiver, Index: j.Index,
+		Bytes: j.Bytes, Seq: j.Seq, Scheme: attest.Scheme(j.Scheme),
+	}
+	if j.Hash != "" {
+		h, err := hex.DecodeString(j.Hash)
+		if err != nil || len(h) != len(att.Hash) {
+			return att, fmt.Errorf("bad hash %q", j.Hash)
+		}
+		copy(att.Hash[:], h)
+	}
+	if j.Sig != "" {
+		s, err := hex.DecodeString(j.Sig)
+		if err != nil || len(s) != len(att.Sig) {
+			return att, fmt.Errorf("bad sig %q", j.Sig)
+		}
+		copy(att.Sig[:], s)
+	}
+	return att, nil
+}
+
+// handleVerify serves /verify: GET returns the proof-derived standings,
+// POST audits a JSON array of attestations statelessly (replay windows are
+// not spent, so auditing a receipt never invalidates it).
+func (n *Node) handleVerify(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(n.VerifyInfoSnapshot())
+	case http.MethodPost:
+		if n.verifier == nil {
+			http.Error(w, "attestation disabled on this node", http.StatusServiceUnavailable)
+			return
+		}
+		var req []VerifyAttJSON
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results := make([]VerifyResult, len(req))
+		for i, entry := range req {
+			att, err := entry.attestation()
+			if err == nil {
+				err = n.verifier.Check(att)
+			}
+			if err != nil {
+				results[i] = VerifyResult{Error: err.Error()}
+			} else {
+				results[i] = VerifyResult{OK: true}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(results)
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
 // MetricsMux serves the node's telemetry over HTTP:
 //
 //	/metrics      Prometheus text (JSON Snapshot with ?format=json)
 //	/debug/swarm  the DebugSwarm peer table and rarity summary
 //	/debug/vars   standard expvar, including this node's registry
+//	/verify       GET: proof-derived reputation standings;
+//	              POST: stateless audit of a JSON attestation batch
 //
 // The registry is also published as the expvar variable "node_<id>" (first
 // publication per process wins; republishing is a no-op).
@@ -143,6 +269,7 @@ func MetricsMux(n *Node) *http.ServeMux {
 		_ = enc.Encode(n.DebugSwarmInfo())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/verify", n.handleVerify)
 	return mux
 }
 

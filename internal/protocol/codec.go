@@ -3,6 +3,8 @@ package protocol
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/attest"
 )
 
 // writer appends big-endian primitives to a caller-provided buffer. It is
@@ -115,6 +117,33 @@ func (r *reader) str() string {
 
 func (r *reader) boolean() bool { return r.u8() != 0 }
 
+// attestationWireSize is the fixed wire width of one attestation: the
+// canonical signed fields (sender, receiver, index, hash, bytes, seq,
+// scheme) plus the signature.
+const attestationWireSize = 4 + 4 + 4 + 32 + 8 + 8 + 1 + attest.SigSize
+
+// attestation appends an attestation's wire form: every canonical field in
+// canonical order, then the signature. Fixed-width throughout.
+func (w *writer) attestation(a *attest.Attestation) {
+	w.buf = a.AppendCanonical(w.buf)
+	w.buf = append(w.buf, a.Sig[:]...)
+}
+
+// attestation consumes an attestation's wire form.
+func (r *reader) attestation() attest.Attestation {
+	a := attest.Attestation{
+		Sender:   r.i32(),
+		Receiver: r.i32(),
+		Index:    r.i32(),
+	}
+	copy(a.Hash[:], r.take(len(a.Hash)))
+	a.Bytes = int64(r.u64())
+	a.Seq = r.u64()
+	a.Scheme = attest.Scheme(r.u8())
+	copy(a.Sig[:], r.take(len(a.Sig)))
+	return a
+}
+
 // done verifies the payload was consumed exactly.
 func (r *reader) done() error {
 	if r.err != nil {
@@ -135,6 +164,7 @@ func appendPayload(dst []byte, m Message) ([]byte, error) {
 		w.i32(msg.PeerID)
 		w.i32(msg.NumPieces)
 		w.str(msg.Addr)
+		w.bytes(msg.PubKey)
 	case Bitfield:
 		w.i32(msg.NumPieces)
 		w.bytes(msg.Bits)
@@ -180,6 +210,16 @@ func appendPayload(dst []byte, m Message) ([]byte, error) {
 		w.str(msg.Addr)
 		w.u32(msg.Seq)
 		w.u8(msg.TTL)
+	case Attest:
+		w.attestation(&msg.Att)
+	case AttestedReceipt:
+		w.u64(msg.KeyID)
+		w.attestation(&msg.Att)
+	case AttestBatch:
+		w.u32(uint32(len(msg.Atts)))
+		for i := range msg.Atts {
+			w.attestation(&msg.Atts[i])
+		}
 	default:
 		return dst, fmt.Errorf("protocol: cannot marshal %T", m)
 	}
@@ -195,6 +235,11 @@ func unmarshalPayload(t Type, payload []byte, zeroCopy bool) (Message, error) {
 	switch t {
 	case TypeHello:
 		msg := Hello{PeerID: r.i32(), NumPieces: r.i32(), Addr: r.str()}
+		// PubKey outlives the frame (it is pinned in a directory), so it is
+		// always materialized rather than aliasing the decode scratch.
+		if pk := r.bytes(); len(pk) > 0 {
+			msg.PubKey = append([]byte(nil), pk...)
+		}
 		m = msg
 	case TypeBitfield:
 		msg := Bitfield{NumPieces: r.i32(), Bits: r.bytes()}
@@ -242,6 +287,26 @@ func unmarshalPayload(t Type, payload []byte, zeroCopy bool) (Message, error) {
 		m = msg
 	case TypeAnnounce:
 		m = Announce{ID: r.i32(), Addr: r.str(), Seq: r.u32(), TTL: r.u8()}
+	case TypeAttest:
+		m = Attest{Att: r.attestation()}
+	case TypeAttestedReceipt:
+		m = AttestedReceipt{KeyID: r.u64(), Att: r.attestation()}
+	case TypeAttestBatch:
+		msg := AttestBatch{}
+		count := r.u32()
+		// Every attestation is fixed-width on the wire, so a count that
+		// overruns the remaining payload is malformed — reject before
+		// allocating the slice a forged header asks for.
+		if r.err == nil && uint64(count)*attestationWireSize > uint64(len(r.buf)) {
+			r.err = ErrMalformed
+		}
+		if r.err == nil && count > 0 {
+			msg.Atts = make([]attest.Attestation, 0, count)
+			for i := uint32(0); i < count; i++ {
+				msg.Atts = append(msg.Atts, r.attestation())
+			}
+		}
+		m = msg
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, uint8(t))
 	}

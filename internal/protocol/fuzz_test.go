@@ -3,6 +3,8 @@ package protocol
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/attest"
 )
 
 // FuzzDecode feeds raw byte streams to both decode paths. Invariants:
@@ -14,6 +16,7 @@ func FuzzDecode(f *testing.F) {
 	// Seed with one valid frame of every message type...
 	seeds := []Message{
 		Hello{PeerID: 7, NumPieces: 512, Addr: "127.0.0.1:9000"},
+		Hello{PeerID: 8, NumPieces: 512, Addr: "127.0.0.1:9001", PubKey: bytes.Repeat([]byte{0xb7}, 32)},
 		Bitfield{NumPieces: 12, Bits: []byte{0xff, 0x0f}},
 		Have{Index: 42},
 		Piece{Index: 3, RepaysKeyID: NoRepay, Data: []byte("payload")},
@@ -31,6 +34,19 @@ func FuzzDecode(f *testing.F) {
 		FindNode{Seq: 18, Target: 0xdeadbeefcafe},
 		Nodes{Seq: 18, Contacts: []NodeInfo{{ID: 3, Addr: "mem://3"}}},
 		Announce{ID: 12, Addr: "mem://12", Seq: 4, TTL: 2},
+		Attest{Att: attest.Attestation{
+			Sender: 3, Receiver: 4, Index: 11,
+			Hash:  [32]byte{0xde, 0xad},
+			Bytes: 4096, Seq: 9,
+			Scheme: attest.SchemeEd25519,
+			Sig:    [64]byte{0x01, 0x02},
+		}},
+		AttestedReceipt{KeyID: 77, Att: attest.Attestation{
+			Sender: 5, Receiver: 6,
+			Bytes: 1024, Seq: 1,
+			Scheme: attest.SchemeSession,
+			Sig:    [64]byte{0xfe},
+		}},
 	}
 	for _, m := range seeds {
 		frame, err := AppendFrame(nil, m)

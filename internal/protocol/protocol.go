@@ -15,6 +15,8 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"repro/internal/attest"
 )
 
 // MaxFrameSize bounds a frame payload (16 MiB): large enough for any
@@ -42,6 +44,9 @@ const (
 	TypeFindNode
 	TypeNodes
 	TypeAnnounce
+	TypeAttest
+	TypeAttestedReceipt
+	TypeAttestBatch
 )
 
 // String returns the type name.
@@ -71,6 +76,12 @@ func (t Type) String() string {
 		return "nodes"
 	case TypeAnnounce:
 		return "announce"
+	case TypeAttest:
+		return "attest"
+	case TypeAttestedReceipt:
+		return "attested-receipt"
+	case TypeAttestBatch:
+		return "attest-batch"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -83,11 +94,15 @@ type Message interface {
 }
 
 // Hello opens a connection in both directions: who am I, how many pieces
-// does the swarm's file have, and where can I be dialed.
+// does the swarm's file have, and where can I be dialed. PubKey, when
+// non-empty, is the sender's Ed25519 identity key; receivers pin it
+// trust-on-first-use (attest.Directory.Observe) so the peer's transfer
+// attestations can be verified. Empty means the peer runs unsigned.
 type Hello struct {
 	PeerID    int32
 	NumPieces int32
 	Addr      string
+	PubKey    []byte
 }
 
 // Bitfield announces the complete set of held pieces.
@@ -190,6 +205,34 @@ type Announce struct {
 	TTL  uint8
 }
 
+// Attest carries a transfer attestation on piece delivery: the receiver's
+// signed receipt ("you delivered piece Index to me"), sent back to the
+// uploader so it holds spendable proof of its contribution. The receiver
+// also submits the same attestation to its own reputation ledger — the
+// frame is the sender's copy.
+type Attest struct {
+	Att attest.Attestation
+}
+
+// AttestBatch carries several coalesced Attest receipts in one frame. A
+// busy downloader signs a receipt per piece; sending each as its own frame
+// would wake the peer's writer and reader once per delivery, so pending
+// receipts accumulate in the outbound queue and ride the next drain as a
+// single frame. Semantically identical to that many Attest frames.
+type AttestBatch struct {
+	Atts []attest.Attestation
+}
+
+// AttestedReceipt is the verifiable replacement for Receipt on the T-Chain
+// path: the witness's signed attestation that reciprocation for KeyID
+// arrived from Att.Sender. The seal's origin verifies the witness signature
+// before releasing the key, which is exactly the check whose absence the
+// paper's T-Chain collusion attack (a forged Receipt frame) exploits.
+type AttestedReceipt struct {
+	KeyID uint64
+	Att   attest.Attestation
+}
+
 // MsgType returns TypeHello.
 func (Hello) MsgType() Type { return TypeHello }
 
@@ -225,6 +268,15 @@ func (Nodes) MsgType() Type { return TypeNodes }
 
 // MsgType returns TypeAnnounce.
 func (Announce) MsgType() Type { return TypeAnnounce }
+
+// MsgType returns TypeAttest.
+func (Attest) MsgType() Type { return TypeAttest }
+
+// MsgType returns TypeAttestedReceipt.
+func (AttestedReceipt) MsgType() Type { return TypeAttestedReceipt }
+
+// MsgType returns TypeAttestBatch.
+func (AttestBatch) MsgType() Type { return TypeAttestBatch }
 
 // Errors returned by Decode.
 var (

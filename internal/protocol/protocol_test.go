@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/attest"
 )
 
 func roundTrip(t *testing.T, m Message) Message {
@@ -29,6 +31,7 @@ func roundTrip(t *testing.T, m Message) Message {
 func TestRoundTripAllTypes(t *testing.T) {
 	msgs := []Message{
 		Hello{PeerID: 7, NumPieces: 512, Addr: "127.0.0.1:9000"},
+		Hello{PeerID: 8, NumPieces: 512, Addr: "127.0.0.1:9001", PubKey: bytes.Repeat([]byte{0xb7}, 32)},
 		Bitfield{NumPieces: 12, Bits: []byte{0xff, 0x0f}},
 		Have{Index: 42},
 		Piece{Index: 3, RepaysKeyID: NoRepay, Data: []byte("payload")},
@@ -48,6 +51,19 @@ func TestRoundTripAllTypes(t *testing.T) {
 		Nodes{Seq: 18, Contacts: []NodeInfo{{ID: 3, Addr: "mem://3"}, {ID: 9, Addr: "127.0.0.1:9000"}}},
 		Nodes{Seq: 0},
 		Announce{ID: 12, Addr: "mem://12", Seq: 4, TTL: 2},
+		Attest{Att: attest.Attestation{
+			Sender: 3, Receiver: 4, Index: 11,
+			Hash:  [32]byte{0xde, 0xad},
+			Bytes: 4096, Seq: 9,
+			Scheme: attest.SchemeEd25519,
+			Sig:    [64]byte{0x01, 0x02},
+		}},
+		AttestedReceipt{KeyID: 77, Att: attest.Attestation{
+			Sender: 5, Receiver: 6, Index: 0,
+			Bytes: 1024, Seq: 1,
+			Scheme: attest.SchemeSession,
+			Sig:    [64]byte{0xfe},
+		}},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -67,7 +83,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 }
 
 func TestTypeStrings(t *testing.T) {
-	for _, tt := range []Type{TypeHello, TypeBitfield, TypeHave, TypePiece, TypeSealedPiece, TypeKey, TypeReceipt, TypeBye, TypePing, TypeFindNode, TypeNodes, TypeAnnounce} {
+	for _, tt := range []Type{TypeHello, TypeBitfield, TypeHave, TypePiece, TypeSealedPiece, TypeKey, TypeReceipt, TypeBye, TypePing, TypeFindNode, TypeNodes, TypeAnnounce, TypeAttest, TypeAttestedReceipt} {
 		if s := tt.String(); s == "" || strings.HasPrefix(s, "type(") {
 			t.Errorf("type %d has no name: %q", tt, s)
 		}

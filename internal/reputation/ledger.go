@@ -3,47 +3,80 @@
 // assumed to know the total amount of data each other user has uploaded,
 // and upload preference is proportional to that score.
 //
-// The ledger deliberately accepts unverified self-reports — that is the
-// design weakness the paper's collusion attack (Table III, collusion
-// probability 1) exploits, and the attack package drives it through
-// ReportCredit.
+// The ledger API is proof-first: every credit is an attest.Attestation and
+// the ledger consults its verification policy before mutating anything.
+// The paper's trust-the-report world — the design weakness its collusion
+// and false-praise attacks (Table III) exploit — is still expressible, but
+// only explicitly, by constructing the ledger with attest.AcceptAll; a
+// ledger built over an attest.Verifier credits nothing it cannot prove.
 package reputation
 
 import (
+	"errors"
 	"sync"
+
+	"repro/internal/attest"
 )
 
-// Ledger tracks cumulative upload contributions per peer. Safe for
-// concurrent use: the simulator mutates it from one goroutine, but the live
-// network node updates it from many.
+// ErrNonPositive rejects attestations claiming zero or negative bytes.
+var ErrNonPositive = errors.New("reputation: non-positive byte count")
+
+// Standing is one peer's ledger entry: its cumulative verified score plus
+// how many proofs naming it as the contributor were accepted and rejected.
+// A forger shows up as a peer with a large Invalid count and no Score.
+type Standing struct {
+	Score   float64
+	Valid   uint64
+	Invalid uint64
+}
+
+// Ledger tracks cumulative upload contributions per peer, credited only
+// through attestations its policy admits. Safe for concurrent use: the
+// simulator mutates it from one goroutine (or one per shard lane), the
+// live network node from many.
 type Ledger struct {
-	mu     sync.RWMutex
-	scores map[int]float64
+	policy attest.Policy
+
+	mu      sync.RWMutex
+	scores  map[int]float64
+	valid   map[int]uint64
+	invalid map[int]uint64
 }
 
-// NewLedger returns an empty ledger.
-func NewLedger() *Ledger {
-	return &Ledger{scores: make(map[int]float64)}
+// NewLedger returns an empty ledger enforcing policy. The policy is
+// required: pass an attest.Verifier to credit only cryptographic proofs,
+// or attest.AcceptAll for the paper's unverified baseline.
+func NewLedger(policy attest.Policy) *Ledger {
+	if policy == nil {
+		panic("reputation: NewLedger requires a policy (attest.AcceptAll for the unverified baseline)")
+	}
+	return &Ledger{
+		policy:  policy,
+		scores:  make(map[int]float64),
+		valid:   make(map[int]uint64),
+		invalid: make(map[int]uint64),
+	}
 }
 
-// Credit records that peer uploaded bytes of verified data. Non-positive
-// amounts are ignored.
-func (l *Ledger) Credit(peer int, bytes float64) {
-	if bytes <= 0 {
-		return
+// Credit records that att.Sender uploaded att.Bytes of data, if and only
+// if the attestation passes the ledger's policy. On rejection the claimed
+// beneficiary's invalid-proof count rises and the policy's error is
+// returned; scores never move on unproven claims.
+func (l *Ledger) Credit(att attest.Attestation) error {
+	if att.Bytes <= 0 {
+		return ErrNonPositive
+	}
+	if err := l.policy.Verify(att); err != nil {
+		l.mu.Lock()
+		l.invalid[int(att.Sender)]++
+		l.mu.Unlock()
+		return err
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.scores[peer] += bytes
-}
-
-// ReportCredit records an *unverified* contribution claim on behalf of
-// peer. It is functionally identical to Credit — which is precisely the
-// vulnerability: the basic reputation algorithm cannot distinguish false
-// praise from real uploads. Kept as a separate entry point so call sites
-// document whether a credit was observed or merely claimed.
-func (l *Ledger) ReportCredit(peer int, bytes float64) {
-	l.Credit(peer, bytes)
+	l.scores[int(att.Sender)] += float64(att.Bytes)
+	l.valid[int(att.Sender)]++
+	l.mu.Unlock()
+	return nil
 }
 
 // Score returns peer's cumulative reputation (0 for unknown peers).
@@ -53,11 +86,13 @@ func (l *Ledger) Score(peer int) float64 {
 	return l.scores[peer]
 }
 
-// Reset erases peer's reputation, modelling a whitewashing identity reset.
+// Reset erases peer's standing, modelling a whitewashing identity reset.
 func (l *Ledger) Reset(peer int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	delete(l.scores, peer)
+	delete(l.valid, peer)
+	delete(l.invalid, peer)
 }
 
 // Total returns the sum of all scores.
@@ -71,13 +106,25 @@ func (l *Ledger) Total() float64 {
 	return sum
 }
 
-// Snapshot returns a copy of all scores, for metrics and debugging.
-func (l *Ledger) Snapshot() map[int]float64 {
+// Snapshot returns every peer's standing — including peers that only ever
+// produced rejected proofs — for metrics, the /verify endpoint, and
+// debugging.
+func (l *Ledger) Snapshot() map[int]Standing {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	out := make(map[int]float64, len(l.scores))
+	out := make(map[int]Standing, len(l.scores))
 	for k, v := range l.scores {
-		out[k] = v
+		out[k] = Standing{Score: v, Valid: l.valid[k]}
+	}
+	for k, n := range l.valid {
+		if _, ok := out[k]; !ok {
+			out[k] = Standing{Valid: n}
+		}
+	}
+	for k, n := range l.invalid {
+		s := out[k]
+		s.Invalid = n
+		out[k] = s
 	}
 	return out
 }

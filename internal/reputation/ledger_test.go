@@ -1,18 +1,31 @@
 package reputation
 
 import (
+	"errors"
 	"sync"
 	"testing"
+
+	"repro/internal/attest"
 )
 
+// acceptAll is shorthand for the unverified-baseline ledger.
+func acceptAll() *Ledger { return NewLedger(attest.AcceptAll{}) }
+
+func mustCredit(t *testing.T, l *Ledger, att attest.Attestation) {
+	t.Helper()
+	if err := l.Credit(att); err != nil {
+		t.Fatalf("Credit: %v", err)
+	}
+}
+
 func TestCreditAndScore(t *testing.T) {
-	l := NewLedger()
+	l := acceptAll()
 	if l.Score(1) != 0 {
 		t.Error("unknown peer has nonzero score")
 	}
-	l.Credit(1, 100)
-	l.Credit(1, 50)
-	l.Credit(2, 25)
+	mustCredit(t, l, attest.Claim(1, 9, 0, 100))
+	mustCredit(t, l, attest.Claim(1, 9, 1, 50))
+	mustCredit(t, l, attest.Claim(2, 9, 0, 25))
 	if got := l.Score(1); got != 150 {
 		t.Errorf("Score(1) = %g", got)
 	}
@@ -21,40 +34,83 @@ func TestCreditAndScore(t *testing.T) {
 	}
 }
 
-func TestCreditIgnoresNonPositive(t *testing.T) {
-	l := NewLedger()
-	l.Credit(1, 0)
-	l.Credit(1, -10)
+func TestCreditRejectsNonPositive(t *testing.T) {
+	l := acceptAll()
+	if err := l.Credit(attest.Claim(1, 9, 0, 0)); !errors.Is(err, ErrNonPositive) {
+		t.Errorf("zero bytes: got %v", err)
+	}
+	if err := l.Credit(attest.Claim(1, 9, 0, -10)); !errors.Is(err, ErrNonPositive) {
+		t.Errorf("negative bytes: got %v", err)
+	}
 	if l.Score(1) != 0 {
 		t.Error("non-positive credit recorded")
 	}
 }
 
-func TestReportCreditIsUnverified(t *testing.T) {
-	// The collusion vulnerability: claimed credit is indistinguishable
-	// from observed credit.
-	l := NewLedger()
-	l.ReportCredit(7, 1000)
+func TestAcceptAllCreditsUnsignedClaims(t *testing.T) {
+	// The paper's modelled vulnerability: under the unverified baseline a
+	// bare claim is indistinguishable from an observed upload.
+	l := acceptAll()
+	mustCredit(t, l, attest.Claim(7, 3, 0, 1000))
 	if l.Score(7) != 1000 {
-		t.Error("false praise not recorded — the modelled vulnerability is gone")
+		t.Error("false praise not recorded — the modelled vulnerability is gone from the baseline")
+	}
+}
+
+func TestVerifiedLedgerCreditsOnlyProofs(t *testing.T) {
+	dir := attest.NewDirectory()
+	alice := attest.NewKeyFromSeed(1, 7)
+	bob := attest.NewKeyFromSeed(2, 7)
+	dir.Register(1, alice.Identity())
+	dir.Register(2, bob.Identity())
+	l := NewLedger(attest.NewVerifier(dir))
+
+	// A genuine receipt signed by bob credits alice.
+	genuine := bob.Attest(attest.SchemeEd25519, 1, 0, [32]byte{}, 500)
+	mustCredit(t, l, genuine)
+	if l.Score(1) != 500 {
+		t.Fatalf("Score(1) = %g, want 500", l.Score(1))
+	}
+
+	// A bare claim is rejected and leaves no score.
+	if err := l.Credit(attest.Claim(3, 2, 0, 900)); !errors.Is(err, attest.ErrUnsigned) {
+		t.Fatalf("claim: got %v", err)
+	}
+	// A replay is rejected.
+	if err := l.Credit(genuine); !errors.Is(err, attest.ErrReplayed) {
+		t.Fatalf("replay: got %v", err)
+	}
+	if l.Score(1) != 500 {
+		t.Fatalf("replay moved the score: %g", l.Score(1))
+	}
+
+	snap := l.Snapshot()
+	if s := snap[1]; s.Score != 500 || s.Valid != 1 || s.Invalid != 1 {
+		t.Errorf("standing[1] = %+v, want {500 1 1}", s)
+	}
+	if s := snap[3]; s.Score != 0 || s.Invalid != 1 {
+		t.Errorf("standing[3] = %+v, want zero score, one invalid", s)
 	}
 }
 
 func TestResetModelsWhitewashing(t *testing.T) {
-	l := NewLedger()
-	l.Credit(3, 500)
+	l := acceptAll()
+	mustCredit(t, l, attest.Claim(3, 9, 0, 500))
 	l.Reset(3)
 	if l.Score(3) != 0 {
 		t.Error("Reset did not clear the score")
+	}
+	if len(l.Snapshot()) != 0 {
+		t.Error("Reset left standings behind")
 	}
 	l.Reset(99) // unknown peer: no-op
 }
 
 func TestSnapshotIsCopy(t *testing.T) {
-	l := NewLedger()
-	l.Credit(1, 10)
+	l := acceptAll()
+	mustCredit(t, l, attest.Claim(1, 9, 0, 10))
 	snap := l.Snapshot()
-	snap[1] = 999
+	snap[1] = Standing{Score: 999}
 	if l.Score(1) != 10 {
 		t.Error("Snapshot aliases internal state")
 	}
@@ -64,14 +120,17 @@ func TestSnapshotIsCopy(t *testing.T) {
 }
 
 func TestLedgerConcurrent(t *testing.T) {
-	l := NewLedger()
+	l := acceptAll()
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			for j := 0; j < 100; j++ {
-				l.Credit(id, 1)
+				if err := l.Credit(attest.Claim(int32(id), -1, int32(j), 1)); err != nil {
+					t.Errorf("Credit: %v", err)
+					return
+				}
 				l.Score(id)
 				l.Total()
 			}

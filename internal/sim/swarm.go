@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/attack"
+	"repro/internal/attest"
 	"repro/internal/bandwidth"
 	"repro/internal/eventsim"
 	"repro/internal/incentive"
@@ -91,7 +92,7 @@ func NewSwarm(cfg Config) (*Swarm, error) {
 		cfg:          cfg,
 		engine:       eventsim.New(),
 		rng:          stats.NewRNG(cfg.Seed),
-		ledger:       reputation.NewLedger(),
+		ledger:       reputation.NewLedger(attest.AcceptAll{}),
 		availability: piece.NewAvailability(cfg.NumPieces),
 		metrics:      &metricsCollector{},
 	}
@@ -410,7 +411,10 @@ func (s *Swarm) scheduleAttacks() {
 			}
 			for _, p := range s.peers {
 				if p.freeRider && p.active {
-					s.ledger.ReportCredit(int(p.id), plan.PraiseBytes)
+					// The colluders' fabricated report is an unsigned claim:
+					// the AcceptAll baseline credits it wholesale (Table III's
+					// vulnerability), a verifying ledger would refuse it.
+					_ = s.ledger.Credit(attack.ForgedClaim(int32(p.id), plan.PraiseBytes))
 				}
 			}
 			s.controlAfter(plan.PraiseInterval, tick)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/attack"
+	"repro/internal/attest"
 	"repro/internal/eventsim"
 	"repro/internal/incentive"
 	"repro/internal/piece"
@@ -238,7 +239,10 @@ func (s *Swarm) credit(senderID incentive.PeerID, receiver *peer, pieceIdx int, 
 		receiver.bootstrapAt = now
 		s.emitPeerBootstrap(now, int(receiver.id))
 	}
-	s.ledger.Credit(int(senderID), bytes)
+	// The simulator models the paper's unverified world: crediting is a
+	// bare claim the AcceptAll ledger takes at face value. The live node is
+	// where claims become signed attestations (internal/node, DESIGN §14).
+	_ = s.ledger.Credit(attest.Claim(int32(senderID), int32(receiver.id), int32(pieceIdx), int64(bytes)))
 	receiver.strategy.OnReceived(receiver.view, senderID, bytes)
 
 	if receiver.have.Complete() {

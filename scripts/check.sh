@@ -99,6 +99,35 @@ if [ "$frame_allocs" -gt 1 ]; then
   exit 1
 fi
 
+echo "== attestation adversary gate =="
+# The proof-first ledger's security claims again, explicitly and by name,
+# under the race detector: every forgery class (unsigned claim, re-signed
+# capture, sybil sock-puppet, self-receipt, replay) earns zero verified
+# reputation; a full signed swarm's books balance to the byte; and a
+# man-in-the-middle corrupting every receipt copy in flight is caught on
+# the ack audit path without touching the ledger.
+go test -race -count=1 -run 'TestAdversariesEarnZeroVerifiedReputation|TestReplayedReceiptCreditsOnce' ./internal/attack
+go test -race -count=1 -run 'TestClusterAttestationEndToEnd|TestClusterSurvivesTamperedAcks' ./internal/node
+
+echo "== attestation allocation guard =="
+# Session-scheme receipts ride the in-process cluster hot path (one sign at
+# the receiver, one verify at the ledger, per piece), so both must stay
+# allocation-free; anything nonzero means canonical encoding started
+# escaping to the heap.
+attest_out=$(go test -run=NONE -bench='^BenchmarkAttest(Sign|Verify)Session$' -benchmem ./internal/attest)
+echo "$attest_out"
+for name in BenchmarkAttestSignSession BenchmarkAttestVerifySession; do
+  allocs=$(echo "$attest_out" | awk -v n="^$name" '$0 ~ n {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+  if [ -z "$allocs" ]; then
+    echo "attest guard: could not parse $name output" >&2
+    exit 1
+  fi
+  if [ "$allocs" != "0" ]; then
+    echo "attest guard: $name allocated $allocs/op (must be 0) — the canonical encode path regressed" >&2
+    exit 1
+  fi
+done
+
 echo "== metrics allocation guard =="
 # The sharded metrics core sits on every hot path the node instruments, so
 # a steady-state Counter.Add or Histogram.Observe must be allocation-free.
