@@ -1,7 +1,7 @@
 # Developer entry points. `make check` is the CI gate; `make bench`
 # records the parallel-runner trajectory numbers to BENCH_parallel.json.
 
-.PHONY: check test bench bench-observability bench-scale bench-node bench-metrics bench-discovery bench-attest
+.PHONY: check test bench bench-observability bench-scale bench-node bench-metrics bench-discovery bench-attest bench-trace trace-slowest
 
 check:
 	./scripts/check.sh
@@ -29,3 +29,9 @@ bench-discovery:
 
 bench-attest:
 	./scripts/bench.sh attest
+
+bench-trace:
+	./scripts/bench.sh trace
+
+trace-slowest:
+	./scripts/trace_slowest.sh

@@ -157,6 +157,7 @@ func startSeed(opts seedOptions, stdout io.Writer) (*node.Node, *nodeTelemetry, 
 		SeedMode:   true,
 		Identity:   identity,
 		Discover:   discoverConfig(opts.dht, opts.degree),
+		Tracer:     traceCollector(opts.telemetry),
 	})
 	if err != nil {
 		return nil, nil, err
@@ -287,6 +288,7 @@ func runGet(opts getOptions, stdout io.Writer) error {
 		UploadRate: opts.uploadRate,
 		Identity:   identity,
 		Discover:   discoverConfig(opts.dht, opts.degree),
+		Tracer:     traceCollector(opts.telemetry),
 	})
 	if err != nil {
 		return err

@@ -10,7 +10,23 @@ import (
 	"repro/internal/cli"
 	"repro/internal/metrics"
 	"repro/internal/node"
+	"repro/internal/tracing"
 )
+
+// traceCollector maps the -trace-sample/-trace-out flags onto a trace
+// collector, nil when tracing is off. -trace-out with no explicit sampling
+// rate traces every push: asking for an output file means the user wants
+// spans in it.
+func traceCollector(flags cli.TelemetryFlags) *tracing.Collector {
+	sample := flags.TraceSample
+	if sample <= 0 {
+		if flags.TraceOut == "" {
+			return nil
+		}
+		sample = 1
+	}
+	return tracing.NewCollector(tracing.Config{SampleEvery: sample})
+}
 
 // telemetryDump is the -metrics-out file: the node's final metric
 // snapshot, the sampler time-series collected over the run, and (for the
@@ -79,6 +95,9 @@ func (t *nodeTelemetry) stop(summary any) error {
 	if t.srv != nil {
 		t.srv.Close()
 	}
+	if err := t.writeTrace(); err != nil {
+		return err
+	}
 	if t.flags.MetricsOut == "" {
 		return nil
 	}
@@ -91,6 +110,25 @@ func (t *nodeTelemetry) stop(summary any) error {
 		return err
 	}
 	if err := cli.WriteJSON(f, dump); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace dumps the node's collected spans to -trace-out as a Chrome
+// trace-event file (load it in chrome://tracing or ui.perfetto.dev).
+func (t *nodeTelemetry) writeTrace() error {
+	tr := t.n.Tracer()
+	if t.flags.TraceOut == "" || tr == nil {
+		return nil
+	}
+	spans, _ := tr.Snapshot()
+	f, err := os.Create(t.flags.TraceOut)
+	if err != nil {
+		return err
+	}
+	if err := tracing.WriteChromeTrace(f, spans); err != nil {
 		f.Close()
 		return err
 	}

@@ -101,14 +101,16 @@ func (o *OutputFlags) RegisterJSON(fs *flag.FlagSet) {
 }
 
 // TelemetryFlags bundles the live-node observability flags: -metrics-addr
-// (the per-node HTTP listener serving /metrics, /debug/swarm, and
-// /debug/vars), -dashboard (a live one-line terminal view), and
-// -metrics-out (a final JSON telemetry dump: snapshot plus sampler
-// time-series).
+// (the per-node HTTP listener serving /metrics, /debug/swarm, /debug/dht,
+// /debug/trace, and /debug/vars), -dashboard (a live one-line terminal
+// view), -metrics-out (a final JSON telemetry dump: snapshot plus sampler
+// time-series), and the causal-tracing pair -trace-sample/-trace-out.
 type TelemetryFlags struct {
 	MetricsAddr string
 	Dashboard   bool
 	MetricsOut  string
+	TraceSample int
+	TraceOut    string
 }
 
 // Register declares the telemetry flags on fs with the receiver's current
@@ -120,11 +122,16 @@ func (t *TelemetryFlags) Register(fs *flag.FlagSet) {
 		"render a live telemetry line on stderr while the node runs")
 	fs.StringVar(&t.MetricsOut, "metrics-out", t.MetricsOut,
 		"write a final JSON telemetry dump (metric snapshot + time-series samples) to this file")
+	fs.IntVar(&t.TraceSample, "trace-sample", t.TraceSample,
+		"record a causal trace for one in N pushed pieces (0 disables tracing)")
+	fs.StringVar(&t.TraceOut, "trace-out", t.TraceOut,
+		"write collected trace spans as a Chrome trace-event file on exit (implies -trace-sample 1 when that is unset)")
 }
 
 // Active reports whether any telemetry output was requested.
 func (t *TelemetryFlags) Active() bool {
-	return t.MetricsAddr != "" || t.Dashboard || t.MetricsOut != ""
+	return t.MetricsAddr != "" || t.Dashboard || t.MetricsOut != "" ||
+		t.TraceSample > 0 || t.TraceOut != ""
 }
 
 // WriteJSON renders v to w as indented JSON — the one renderer behind

@@ -137,6 +137,52 @@ func (t *Table) Contacts() []Contact {
 	return out
 }
 
+// BucketLen returns the number of contacts in bucket b, or 0 when b is out
+// of range. It backs the per-bucket occupancy gauges: a healthy table has
+// its low buckets (near distances) full and occupancy thinning toward the
+// high buckets, so a flat or empty profile is a bootstrap or churn symptom.
+func (t *Table) BucketLen(b int) int {
+	if b < 0 || b >= len(t.buckets) {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buckets[b])
+}
+
+// BucketContact is one routed contact plus the last time it was seen alive,
+// as exposed by Buckets for the /debug/dht endpoint.
+type BucketContact struct {
+	Contact  Contact
+	LastSeen time.Time
+}
+
+// BucketInfo is the snapshot of one nonempty k-bucket.
+type BucketInfo struct {
+	Index    int // bucket number: highest set bit of the XOR distance
+	Contacts []BucketContact
+}
+
+// Buckets snapshots every nonempty bucket, least-recently-seen contact
+// first within each — the routing-table health view behind /debug/dht.
+func (t *Table) Buckets() []BucketInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]BucketInfo, 0, 8)
+	for b := range t.buckets {
+		bucket := t.buckets[b]
+		if len(bucket) == 0 {
+			continue
+		}
+		info := BucketInfo{Index: b, Contacts: make([]BucketContact, 0, len(bucket))}
+		for _, e := range bucket {
+			info.Contacts = append(info.Contacts, BucketContact{Contact: e.c, LastSeen: e.seen})
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
 // NeighborCandidates returns up to n contacts to maintain links toward,
 // spanning the distance scales: the most-recently-seen entry of every
 // nonempty bucket from nearest to farthest, then the second entries, and

@@ -9,6 +9,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/metrics"
 	"repro/internal/piece"
+	"repro/internal/tracing"
 	"repro/internal/transport"
 )
 
@@ -101,6 +102,26 @@ func BenchmarkClusterThroughputUnsigned(b *testing.B) {
 		tm := transport.NewMetrics(metrics.NewRegistry())
 		d, p := benchCluster(b, transport.NewMemInstrumented(tm), func(int) string { return "" }, 32,
 			WithoutAttestation())
+		elapsed += d
+		pieces += p
+	}
+	b.ReportMetric(float64(pieces)/elapsed.Seconds(), "pieces/sec")
+}
+
+// BenchmarkClusterThroughputTraced is the mem-32 swarm with causal tracing
+// sampling one push in 32 — a realistic always-on production rate, and the
+// instrumented configuration scripts/bench.sh trace compares against the
+// untraced run on the same machine. The delta is the whole observed cost of
+// tracing: span minting, clock reads in the write loop, wire trace-context
+// extensions, continuation chains, and collector inserts.
+func BenchmarkClusterThroughputTraced(b *testing.B) {
+	var elapsed time.Duration
+	var pieces int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := transport.NewMetrics(metrics.NewRegistry())
+		d, p := benchCluster(b, transport.NewMemInstrumented(tm), func(int) string { return "" }, 32,
+			WithTracing(tracing.Config{SampleEvery: 32, Capacity: 1 << 13}))
 		elapsed += d
 		pieces += p
 	}

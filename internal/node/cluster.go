@@ -3,6 +3,7 @@ package node
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/attest"
 	"repro/internal/piece"
 	"repro/internal/reputation"
+	"repro/internal/tracing"
 	"repro/internal/transport"
 )
 
@@ -70,6 +72,8 @@ type clusterOptions struct {
 	identity         func(id int) *attest.Key
 	attScheme        attest.Scheme
 	unsigned         bool
+	tracing          *tracing.Config
+	logger           *slog.Logger
 }
 
 // ClusterOption customizes StartCluster; options that reject their argument
@@ -186,6 +190,30 @@ func WithAttestScheme(s attest.Scheme) ClusterOption {
 	}
 }
 
+// WithTracing enables causal tracing across the whole swarm: every node
+// shares one collector (exposed as Cluster.Tracer), so a traced piece's
+// spans land in a single ring no matter which nodes touch it and
+// tracing.Traces can reassemble cross-node stories without merging.
+func WithTracing(cfg tracing.Config) ClusterOption {
+	return func(o *clusterOptions) error {
+		o.tracing = &cfg
+		return nil
+	}
+}
+
+// WithLogger gives every node a structured logger (default: discard). The
+// logger is passed raw; each node derives its own child with a "node"
+// attribute, so one handler serializes the whole swarm's events.
+func WithLogger(l *slog.Logger) ClusterOption {
+	return func(o *clusterOptions) error {
+		if l == nil {
+			return fmt.Errorf("node: WithLogger(nil)")
+		}
+		o.logger = l
+		return nil
+	}
+}
+
 // WithoutAttestation runs the cluster on the legacy unsigned protocol:
 // no keys, no directory, a ledger that accepts bare claims — the paper's
 // trust-the-report world, kept available as the experimental baseline.
@@ -216,6 +244,10 @@ type Cluster struct {
 	// cluster). It is sealed once the initial nodes are registered; Join
 	// admits later nodes through the authorized Register path.
 	Directory *attest.Directory
+	// Tracer is the swarm-wide trace collector (nil unless WithTracing was
+	// given). Snapshot it after the run — or serve it live via MetricsMux —
+	// to reassemble cross-node piece stories with tracing.Traces.
+	Tracer *tracing.Collector
 
 	opts     clusterOptions
 	manifest *piece.Manifest
@@ -261,6 +293,9 @@ func StartCluster(manifest *piece.Manifest, content []byte, opts ...ClusterOptio
 		manifest: manifest,
 		content:  content,
 		keys:     make(map[int]*attest.Key),
+	}
+	if o.tracing != nil {
+		c.Tracer = tracing.NewCollector(*o.tracing)
 	}
 	if o.unsigned {
 		c.Ledger = reputation.NewLedger(attest.AcceptAll{})
@@ -342,6 +377,8 @@ func (c *Cluster) startNode(id int) (*Node, error) {
 		AttestScheme:     c.opts.attScheme,
 		Ledger:           c.Ledger,
 		Discover:         disc,
+		Tracer:           c.Tracer,
+		Log:              c.opts.logger,
 	})
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package node
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/tchain"
+	"repro/internal/tracing"
 	"repro/internal/transport"
 )
 
@@ -164,6 +166,7 @@ type discState struct {
 //	discovery_pings_sent_total
 //	discovery_peers_expired_total          links closed by the ping timeout
 //	discovery_rewires_total                links dropped by starvation rewiring
+//	discovery_bucket_occupancy{bucket=N}   contacts per k-bucket (gauges)
 func newDiscState(cfg DiscoverConfig, nodeID int, seed int64, reg *metrics.Registry) *discState {
 	d := &discState{
 		cfg:            cfg.withDefaults(),
@@ -187,6 +190,15 @@ func newDiscState(cfg DiscoverConfig, nodeID int, seed int64, reg *metrics.Regis
 	reg.RegisterGaugeFunc("discovery_table_size", func() int64 {
 		return int64(d.table.Size())
 	})
+	// Per-bucket occupancy: the routing table's health profile. Pull-style
+	// gauges cost nothing between snapshots, so all 64 distance scales are
+	// registered up front.
+	for b := 0; b < 64; b++ {
+		bucket := b
+		reg.RegisterGaugeFunc(fmt.Sprintf(`discovery_bucket_occupancy{bucket="%d"}`, bucket), func() int64 {
+			return int64(d.table.BucketLen(bucket))
+		})
+	}
 	return d
 }
 
@@ -386,6 +398,10 @@ func (n *Node) maintainDegree() {
 		if n.hasUnconnectedCandidate(connected) {
 			d.starveTicks = starveTicksToWiden // keep widened goal, pace rotations
 			d.rewires.Inc()
+			if n.tracer != nil {
+				instant(n.tracer, tracing.SpanDiscoveryRewire, n.cfg.ID, victim.id, -1)
+			}
+			n.log.Info("starvation rewire: dropping neighbor", "peer", victim.id)
 			victim.conn.Close()
 			need++ // the freed slot is dialable this very tick
 		}

@@ -1,11 +1,14 @@
 package node
 
 import (
+	"time"
+
 	"repro/internal/attest"
 	"repro/internal/discovery"
 	"repro/internal/incentive"
 	"repro/internal/protocol"
 	"repro/internal/tchain"
+	"repro/internal/tracing"
 	"repro/internal/transport"
 )
 
@@ -72,6 +75,8 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 		// sealed directory likewise refuses identities it was not told about.
 		if err := n.directory.Observe(theirHello.PeerID, theirHello.PubKey); err != nil {
 			n.metrics.attestTOFURejected.Inc()
+			n.log.Warn("handshake refused: identity conflicts with directory",
+				"peer", peerID, "err", err)
 			return
 		}
 	}
@@ -98,7 +103,7 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 		}
 	}
 
-	r := newRemote(peerID, conn, n.cfg.Store.Manifest().NumPieces(), theirHello.Addr, n.metrics)
+	r := newRemote(peerID, conn, n.cfg.Store.Manifest().NumPieces(), theirHello.Addr, n.metrics, n.tracer, n.cfg.ID)
 	r.lastRecv.Store(n.sinceStartNs())
 	n.mu.Lock()
 	if _, dup := n.peers[peerID]; dup || peerID == n.cfg.ID {
@@ -140,6 +145,7 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 		// the normal teardown; it only skips the peer-map cleanup done above.
 		evicted.conn.Close()
 	}
+	n.log.Debug("peer connected", "peer", peerID, "dialer", dialer)
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -165,6 +171,7 @@ func (n *Node) handleConn(conn transport.Conn, dialer bool) {
 		for _, keyID := range revoked {
 			n.escrow.Revoke(keyID)
 		}
+		n.log.Debug("peer disconnected", "peer", peerID)
 	}()
 
 	for {
@@ -232,7 +239,7 @@ func (n *Node) dispatch(r *remote, msg protocol.Message) bool {
 		n.handleReceipt(r, m)
 
 	case protocol.Attest:
-		n.handleAttest(m)
+		n.handleAttest(r, m)
 
 	case protocol.AttestBatch:
 		n.handleAttestBatch(m)
@@ -276,14 +283,27 @@ func (n *Node) dispatch(r *remote, msg protocol.Message) bool {
 // hand-off (verify, then copy into the store), after which the scratch is
 // free to be reused by the next Recv.
 func (n *Node) handlePiece(r *remote, m protocol.Piece) {
+	h := n.hopStart(m.Trace, r.id, int(m.Index))
 	if err := n.cfg.Store.Put(int(m.Index), m.Data); err != nil {
 		return // forged or duplicate data; Put verified the hash
 	}
+	h.step(tracing.SpanStoreVerify)
+	// Continuation anchored at the verify span: onward uploads of this piece
+	// extend the same trace from here.
+	cont := h.context()
 	// Sign (or, unsigned, claim) the receipt outside n.mu — Ed25519 is two
 	// orders of magnitude slower than anything else under that lock.
 	att := n.signReceipt(int32(r.id), m.Index, len(m.Data))
-	n.creditAttestation(r, att)
+	h.step(tracing.SpanAttestSign)
+	n.creditAttestation(r, att, h)
+	if h != nil && n.logDebug {
+		n.log.Debug("piece verified", "piece", m.Index, "from", r.id,
+			"trace", traceHex(m.Trace.TraceID))
+	}
 	n.mu.Lock()
+	if n.pieceTrace != nil && cont.Traced() {
+		n.pieceTrace[m.Index] = cont
+	}
 	n.noteFirstByteLocked(int(m.Index))
 	// A racing duplicate (Put is idempotent) still credits the ledger as
 	// before, but the byte counters only attribute first deliveries so
@@ -321,6 +341,7 @@ func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
 	if m.Index < 0 || int(m.Index) >= n.cfg.Store.Manifest().NumPieces() {
 		return // malformed index; nothing downstream would accept it
 	}
+	h := n.hopStart(m.Trace, r.id, int(m.Index))
 	// The ciphertext outlives this dispatch (pending-seal escrow, possible
 	// forward), while m.Ciphertext may alias the connection's decode
 	// scratch — copy once here, then share the stable copy everywhere.
@@ -336,7 +357,7 @@ func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
 		n.mu.Lock()
 		origin, connected := n.peers[originID]
 		if !n.cfg.Store.Has(int(m.Index)) {
-			n.pendingSeals[m.KeyID] = pendingSeal{sealed: sealed, index: int(m.Index), originID: originID, originAddr: m.OriginAddr}
+			n.pendingSeals[m.KeyID] = pendingSeal{sealed: sealed, index: int(m.Index), originID: originID, originAddr: m.OriginAddr, tc: h.context()}
 			n.noteFirstByteLocked(int(m.Index))
 		}
 		n.mu.Unlock()
@@ -349,7 +370,7 @@ func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
 			hash := [32]byte(n.cfg.Store.Manifest().Hashes[m.Index])
 			wAtt := n.identity.Attest(attest.SchemeEd25519, m.ForwarderID, m.Index, hash, int64(len(ciphertext)))
 			n.metrics.attestSigned.Inc()
-			receipt = protocol.AttestedReceipt{KeyID: m.KeyID, Att: wAtt}
+			receipt = protocol.AttestedReceipt{KeyID: m.KeyID, Att: wAtt, Trace: h.context()}
 		}
 		if connected {
 			origin.enqueue(receipt)
@@ -367,7 +388,7 @@ func (n *Node) handleSealed(r *remote, m protocol.SealedPiece) {
 		n.mu.Unlock()
 		return // nothing to gain; skip reciprocating for a duplicate
 	}
-	n.pendingSeals[m.KeyID] = pendingSeal{sealed: sealed, index: int(m.Index), originID: originID, originAddr: m.OriginAddr}
+	n.pendingSeals[m.KeyID] = pendingSeal{sealed: sealed, index: int(m.Index), originID: originID, originAddr: m.OriginAddr, tc: h.context()}
 	n.noteFirstByteLocked(int(m.Index))
 	n.mu.Unlock()
 
@@ -389,7 +410,9 @@ func (n *Node) reciprocate(r *remote, m protocol.SealedPiece, ciphertext []byte)
 	if directIdx >= 0 {
 		data, err := n.cfg.Store.GetRef(directIdx)
 		if err == nil {
-			n.sendPiece(r, directIdx, data, m.KeyID)
+			// A traced seal's repayment extends the seal's trace, so the
+			// reciprocation round-trip shows up in one causal story.
+			n.sendPiece(r, directIdx, data, m.KeyID, n.continueUpload(m.Trace, directIdx, r.id))
 			return
 		}
 	}
@@ -449,6 +472,9 @@ func (n *Node) handleKey(m protocol.Key) {
 	if !ok {
 		return
 	}
+	// Resume the trace the seal arrived under: the decrypt+verify and the
+	// credit belong to the seal's causal story, not the key frame's.
+	h := n.hopResume(pending.tc, pending.originID, pending.index)
 	var key tchain.Key
 	copy(key[:], m.Key[:])
 	plaintext, err := tchain.Open(pending.sealed, key)
@@ -458,12 +484,18 @@ func (n *Node) handleKey(m protocol.Key) {
 	if err := n.cfg.Store.Put(pending.index, plaintext); err != nil {
 		return // wrong key or corrupt ciphertext: hash check failed
 	}
+	h.step(tracing.SpanStoreVerify)
+	cont := h.context()
 	att := n.signReceipt(int32(pending.originID), int32(pending.index), len(plaintext))
+	h.step(tracing.SpanAttestSign)
 	n.mu.Lock()
 	origin := n.peers[pending.originID]
 	n.mu.Unlock()
-	n.creditAttestation(origin, att)
+	n.creditAttestation(origin, att, h)
 	n.mu.Lock()
+	if n.pieceTrace != nil && cont.Traced() {
+		n.pieceTrace[pending.index] = cont
+	}
 	if n.myBits.Has(pending.index) {
 		n.metrics.noteDuplicate(len(plaintext))
 	} else {
@@ -501,19 +533,25 @@ func (n *Node) signReceipt(sender, index int32, size int) attest.Attestation {
 
 // creditAttestation submits a receipt to the reputation ledger, counts the
 // outcome, and — when the receipt is signed — enqueues the sender's copy on
-// to: the proof it can present to anyone holding the directory.
-func (n *Node) creditAttestation(to *remote, att attest.Attestation) {
+// to: the proof it can present to anyone holding the directory. h, when
+// non-nil, closes a ledger.credit span over the credit and rides the ack
+// frame back to the uploader (who records its arrival as attest.ack).
+func (n *Node) creditAttestation(to *remote, att attest.Attestation, h *hopTrace) {
 	if err := n.ledger.Credit(att); err != nil {
 		n.metrics.attestRejected(err).Inc()
+		if n.logDebug {
+			n.log.Debug("attestation rejected", "sender", att.Sender, "piece", att.Index, "err", err)
+		}
 	} else {
 		n.metrics.attestCredited.Inc()
 	}
+	h.step(tracing.SpanLedgerCredit)
 	if att.Scheme == attest.SchemeNone {
 		return
 	}
 	n.metrics.attestSigned.Inc()
 	if to != nil {
-		to.enqueueAck(att)
+		to.enqueueAck(att, h.context())
 	}
 }
 
@@ -522,7 +560,16 @@ func (n *Node) creditAttestation(to *remote, att attest.Attestation) {
 // receiver's side; here the copy is checked statelessly and scored in
 // metrics — a tampered or mis-addressed copy is counted and dropped, which
 // is what the tampering-transport test observes.
-func (n *Node) handleAttest(m protocol.Attest) {
+func (n *Node) handleAttest(r *remote, m protocol.Attest) {
+	if n.tracer != nil && m.Trace.Traced() {
+		// The receipt copy for a traced delivery closes the loop: record its
+		// arrival under the receiver's ledger.credit span.
+		n.tracer.Record(tracing.Span{
+			TraceID: m.Trace.TraceID, SpanID: n.tracer.NewID(), ParentID: m.Trace.SpanID,
+			Name: tracing.SpanAttestAck, Node: n.cfg.ID, Peer: r.id, Piece: int(m.Att.Index),
+			Start: time.Now().UnixNano(),
+		})
+	}
 	n.checkAck(m.Att)
 }
 

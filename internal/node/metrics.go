@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/attest"
 	"repro/internal/metrics"
+	"repro/internal/tracing"
 )
 
 // nodeMetrics bundles the node's instrumentation: typed handles into one
@@ -30,6 +31,8 @@ import (
 //	node_span_want_to_verified_ns       the full piece-acquisition span
 //	node_pieces_held / node_neighbors / node_sealed_pending /
 //	node_complete / node_outbox_depth   pull-style gauges
+//	node_stop_drain_frames_total        frames flushed during Stop's drain window
+//	node_stop_drain_dropped_total       frames still queued when Stop closed the connections
 //
 // Attestation series (present on every node; they only move when signing
 // or verification actually happens):
@@ -51,6 +54,9 @@ type nodeMetrics struct {
 	backpressure   *metrics.Counter
 	piecesVerified *metrics.Counter
 	duplicateBytes *metrics.Counter
+
+	stopDrainFrames  *metrics.Counter
+	stopDrainDropped *metrics.Counter
 
 	attestSigned           *metrics.Counter
 	attestCredited         *metrics.Counter
@@ -96,6 +102,8 @@ func newNodeMetrics(reg *metrics.Registry, n *Node) *nodeMetrics {
 		backpressure:          reg.Counter("node_backpressure_refusals_total"),
 		piecesVerified:        reg.Counter("node_pieces_verified_total"),
 		duplicateBytes:        reg.Counter("node_duplicate_piece_bytes_total"),
+		stopDrainFrames:       reg.Counter("node_stop_drain_frames_total"),
+		stopDrainDropped:      reg.Counter("node_stop_drain_dropped_total"),
 		uploadPieceBytes:      reg.Histogram("node_upload_piece_bytes"),
 		downloadPieceBytes:    reg.Histogram("node_download_piece_bytes"),
 		spanWantFirstByte:     reg.Histogram("node_span_want_to_first_byte_ns"),
@@ -274,6 +282,22 @@ func (n *Node) noteVerifiedLocked(index int) {
 	}
 	if w := n.wantSince[index]; w != 0 {
 		n.metrics.spanWantVerified.Observe(now - w)
+		// The always-on tail net: a piece whose want->verified span blew
+		// the slow threshold records a piece.slow span regardless of
+		// sampling, tagged with the piece's trace when one is live so the
+		// slow outlier and its causal story meet in the collector. SlowNs
+		// is nil-safe, so the untraced path pays a nil check only.
+		if slow := n.tracer.SlowNs(); slow > 0 && now-w > slow {
+			var traceID uint64
+			if n.pieceTrace != nil {
+				traceID = n.pieceTrace[index].TraceID
+			}
+			n.tracer.Record(tracing.Span{
+				TraceID: traceID, SpanID: n.tracer.NewID(),
+				Name: tracing.SpanPieceSlow, Node: n.cfg.ID, Peer: -1, Piece: index,
+				Start: n.start.Add(time.Duration(w)).UnixNano(), Dur: now - w,
+			})
+		}
 	}
 }
 

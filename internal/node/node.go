@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/reputation"
 	"repro/internal/stats"
 	"repro/internal/tchain"
+	"repro/internal/tracing"
 	"repro/internal/transport"
 )
 
@@ -100,6 +102,16 @@ type Config struct {
 	// gossip membership, see DiscoverConfig); nil keeps the node purely
 	// bootstrap-wired, exactly the pre-discovery behaviour.
 	Discover *DiscoverConfig
+	// Tracer enables causal tracing of the live data path (see
+	// internal/tracing and trace.go). Cluster nodes share one collector so
+	// cross-node spans land in a single ring; nil disables tracing
+	// entirely, leaving the hot paths untouched.
+	Tracer *tracing.Collector
+	// Log receives the node's structured events (peer churn, attestation
+	// refusals, shutdown drains) with trace/span IDs attached where a
+	// trace is live. Nil discards everything — the default, and the only
+	// mode the hot paths are benchmarked in.
+	Log *slog.Logger
 	// Seed drives the node's random choices; 0 derives one from ID.
 	Seed int64
 }
@@ -125,8 +137,9 @@ const maxQueuedData = 16
 
 // stopFlushTimeout bounds how long Stop waits, in total across all peers,
 // for queued outbound frames to reach the wire before connections are
-// closed under the writers.
-const stopFlushTimeout = 2 * time.Second
+// closed under the writers. A variable so the shutdown-accounting test can
+// shrink the window.
+var stopFlushTimeout = 2 * time.Second
 
 // remote is one connected neighbor. Outbound messages go through a
 // per-peer queue drained by a dedicated writer goroutine, so the read
@@ -156,6 +169,16 @@ type remote struct {
 	writing   bool               // a drained batch is on its way to the wire
 	outClosed bool
 
+	// traced carries the span bookkeeping for traced frames currently in
+	// the outbox (see trace.go); it is swapped out alongside the batch so
+	// writeLoop can record outbox.wait and wire.send once the drain lands.
+	// choked marks a backpressure refusal whose recovery (the queue
+	// draining back below the bound) should emit an unchoke instant. All
+	// three stay nil/false when tracing is off.
+	traced      []tracedFrame
+	tracedSpare []tracedFrame
+	choked      bool
+
 	// lastRecv and lastPing are sinceStartNs timestamps for discovery's
 	// failure detector (maintained only when discovery is on): the last
 	// inbound frame on this link and the last keepalive ping we sent.
@@ -163,11 +186,14 @@ type remote struct {
 	lastPing atomic.Int64
 
 	nm *nodeMetrics // owning node's instrumentation
+
+	tr     *tracing.Collector // nil when tracing is off
+	nodeID int                // owning node's ID, for span attribution
 }
 
 // newRemote wires the outbound queue.
-func newRemote(id int, conn transport.Conn, numPieces int, addr string, nm *nodeMetrics) *remote {
-	r := &remote{id: id, conn: conn, have: piece.NewBitfield(numPieces), addr: addr, nm: nm}
+func newRemote(id int, conn transport.Conn, numPieces int, addr string, nm *nodeMetrics, tr *tracing.Collector, nodeID int) *remote {
+	r := &remote{id: id, conn: conn, have: piece.NewBitfield(numPieces), addr: addr, nm: nm, tr: tr, nodeID: nodeID}
 	r.outCond = sync.NewCond(&r.outMu)
 	return r
 }
@@ -190,8 +216,8 @@ func (r *remote) enqueue(m protocol.Message) {
 // acks up either way), while it silently stranded receipts on links with
 // no other outbound traffic — a downloader never Have-broadcasts to a
 // complete seed, so the seed's proof copies only flushed at close.
-func (r *remote) enqueueAck(att attest.Attestation) {
-	r.enqueue(protocol.Attest{Att: att})
+func (r *remote) enqueueAck(att attest.Attestation, tc tracing.Context) {
+	r.enqueue(protocol.Attest{Att: att, Trace: tc})
 }
 
 // enqueueData appends a bulk payload frame, reporting whether it was
@@ -204,12 +230,65 @@ func (r *remote) enqueueData(m protocol.Message) bool {
 	if r.outClosed || r.outData >= maxQueuedData {
 		if !r.outClosed {
 			r.nm.backpressure.Inc()
+			r.noteChokedLocked()
 		}
 		return false
 	}
 	r.outData++
 	r.outbox = append(r.outbox, m)
 	r.outCond.Signal()
+	return true
+}
+
+// noteChokedLocked emits a choke instant on the first backpressure refusal
+// of a saturated stretch (outMu held). Refusals are off the accept fast
+// path, so the tracing check costs nothing when the queue is healthy; with
+// tracing off it is a nil compare.
+func (r *remote) noteChokedLocked() {
+	if r.tr == nil || r.choked {
+		return
+	}
+	r.choked = true
+	instant(r.tr, tracing.SpanChoke, r.nodeID, r.id, -1)
+}
+
+// enqueueTraced is enqueue for a traced control frame (a repayment piece):
+// never refused, never dropped, with the request.queued span recorded on
+// acceptance and the writer bookkeeping attached.
+func (r *remote) enqueueTraced(m protocol.Message, ut *uploadTrace) {
+	enqNs := time.Now().UnixNano()
+	r.outMu.Lock()
+	if r.outClosed {
+		r.outMu.Unlock()
+		return
+	}
+	r.outbox = append(r.outbox, m)
+	r.traced = append(r.traced, ut.frame(enqNs))
+	r.outCond.Signal()
+	r.outMu.Unlock()
+	r.tr.Record(ut.queuedSpan(r.nodeID, enqNs))
+}
+
+// enqueueDataTraced is enqueueData for a traced bulk frame: same
+// backpressure contract, plus the request.queued span and the writer
+// bookkeeping on acceptance.
+func (r *remote) enqueueDataTraced(m protocol.Message, ut *uploadTrace) bool {
+	enqNs := time.Now().UnixNano()
+	r.outMu.Lock()
+	if r.outClosed || r.outData >= maxQueuedData {
+		if !r.outClosed {
+			r.nm.backpressure.Inc()
+			r.noteChokedLocked()
+		}
+		r.outMu.Unlock()
+		return false
+	}
+	r.outData++
+	r.outbox = append(r.outbox, m)
+	r.traced = append(r.traced, ut.frame(enqNs))
+	r.outCond.Signal()
+	r.outMu.Unlock()
+	r.tr.Record(ut.queuedSpan(r.nodeID, enqNs))
 	return true
 }
 
@@ -259,10 +338,19 @@ func (r *remote) writeLoop() {
 		}
 		batch := r.outbox
 		r.outbox = r.spare[:0]
+		traced := r.traced
+		r.traced = r.tracedSpare[:0]
 		nData := r.outData
 		r.writing = true
 		r.outMu.Unlock()
 
+		// The clock is read only when the drain carries traced frames, so
+		// untraced operation (tracing off, or nothing sampled) never pays
+		// for a timestamp here.
+		var drainNs int64
+		if len(traced) > 0 {
+			drainNs = time.Now().UnixNano()
+		}
 		var err error
 		if batcher != nil {
 			err = batcher.SendBatch(batch)
@@ -279,13 +367,40 @@ func (r *remote) writeLoop() {
 			// beyond the bookkeeping writeLoop already does.
 			r.nm.framesBulk.Add(int64(nData))
 			r.nm.framesControl.Add(int64(len(batch) - nData))
+			if len(traced) > 0 {
+				doneNs := time.Now().UnixNano()
+				for _, tf := range traced {
+					// outbox.wait: accepted by the queue → this drain began.
+					r.tr.Record(tracing.Span{
+						TraceID: tf.traceID, SpanID: tf.wait, ParentID: tf.queued,
+						Name: tracing.SpanOutboxWait, Node: r.nodeID, Peer: tf.peer, Piece: tf.piece,
+						Start: tf.enqNs, Dur: drainNs - tf.enqNs,
+					})
+					// wire.send: the whole drain's encode+flush window — frames
+					// share one batched syscall, so they share the span bounds.
+					r.tr.Record(tracing.Span{
+						TraceID: tf.traceID, SpanID: tf.send, ParentID: tf.wait,
+						Name: tracing.SpanWireSend, Node: r.nodeID, Peer: tf.peer, Piece: tf.piece,
+						Start: drainNs, Dur: doneNs - drainNs,
+					})
+				}
+			}
 		}
 		clear(batch) // drop payload references before recycling the slice
+		unchoked := false
 		r.outMu.Lock()
 		r.spare = batch[:0]
+		r.tracedSpare = traced[:0]
 		r.outData -= nData
 		r.writing = false
+		if r.choked && r.outData < maxQueuedData {
+			r.choked = false
+			unchoked = true
+		}
 		r.outMu.Unlock()
+		if unchoked {
+			instant(r.tr, tracing.SpanUnchoke, r.nodeID, r.id, -1)
+		}
 		if err != nil {
 			r.closeOutbox()
 			return
@@ -293,12 +408,16 @@ func (r *remote) writeLoop() {
 	}
 }
 
-// pendingSeal is a sealed piece waiting for its key.
+// pendingSeal is a sealed piece waiting for its key. tc is the trace
+// continuation context the seal arrived under (zero = untraced): when the
+// key finally lands, handleKey resumes the trace there, so the decrypt and
+// verify appear in the same causal story as the seal's wire hop.
 type pendingSeal struct {
 	sealed     *tchain.Sealed
 	index      int
 	originID   int
 	originAddr string
+	tc         tracing.Context
 }
 
 // Stats is a snapshot of a node's counters, assembled from the metrics
@@ -363,6 +482,19 @@ type Node struct {
 
 	metrics *nodeMetrics // never nil after New
 	disc    *discState   // nil unless Config.Discover is set
+
+	// tracer is the causal-trace collector (nil = tracing off, the
+	// zero-overhead default); log is never nil (a discard logger stands in
+	// when Config.Log is nil) and logDebug caches its debug-level Enabled
+	// answer so hot-path Debug sites can skip argument evaluation entirely.
+	// pieceTrace maps piece index -> continuation context (under mu): a
+	// piece that arrived on a traced frame hands its trace to this node's
+	// next onward upload of it, which is what stitches multi-hop stories
+	// together. Allocated only when tracing is on.
+	tracer     *tracing.Collector
+	log        *slog.Logger
+	logDebug   bool
+	pieceTrace []tracing.Context
 
 	listener transport.Listener
 	done     chan struct{}
@@ -445,6 +577,19 @@ func New(cfg Config) (*Node, error) {
 		firstByteAt:  make([]int64, cfg.Store.Manifest().NumPieces()),
 		done:         make(chan struct{}),
 		completeCh:   make(chan struct{}),
+		tracer:       cfg.Tracer,
+		log:          cfg.Log,
+	}
+	if n.log == nil {
+		n.log = slog.New(slog.DiscardHandler)
+	}
+	n.log = n.log.With("node", cfg.ID)
+	// Cache the debug-level decision: slog evaluates call arguments before
+	// the handler's Enabled check, so per-piece Debug sites must be guarded
+	// or they allocate (traceHex, attr boxing) even into a discard handler.
+	n.logDebug = n.log.Enabled(context.Background(), slog.LevelDebug)
+	if n.tracer != nil {
+		n.pieceTrace = make([]tracing.Context, cfg.Store.Manifest().NumPieces())
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -531,12 +676,31 @@ func (n *Node) Stop() error {
 		// seeder keeps of its uploads) would be dropped on the floor. The
 		// deadline is shared across peers so a wedged link cannot stall
 		// shutdown.
+		queuedFrames := func() int64 {
+			var q int64
+			for _, r := range remotes {
+				r.outMu.Lock()
+				q += int64(len(r.outbox))
+				r.outMu.Unlock()
+			}
+			return q
+		}
+		initial := queuedFrames()
 		deadline := time.Now().Add(stopFlushTimeout)
 		for _, r := range remotes {
 			for !r.flushed() && time.Now().Before(deadline) {
 				time.Sleep(200 * time.Microsecond)
 			}
 		}
+		// Shutdown drain accounting: what the window flushed versus what the
+		// connection teardown is about to drop (receipt copies, in
+		// particular — the proof a seeder keeps of its uploads).
+		remaining := queuedFrames()
+		n.metrics.stopDrainFrames.Add(max(initial-remaining, 0))
+		n.metrics.stopDrainDropped.Add(remaining)
+		n.log.Info("node stopped",
+			"drained_frames", max(initial-remaining, 0),
+			"dropped_frames", remaining)
 		n.mu.Lock()
 		for conn := range n.conns {
 			conn.Close()

@@ -147,6 +147,13 @@ func (n *Node) tryUpload() bool {
 		return false
 	}
 	n.markSentLocked(r.id, idx)
+	// Trace decision while mu still guards pieceTrace: continue the trace
+	// this piece arrived under, or let the sampler mint a fresh one. Nil
+	// means untraced — the send path then runs the pre-tracing code exactly.
+	var ut *uploadTrace
+	if n.tracer != nil {
+		ut = n.uploadTraceLocked(idx, r.id)
+	}
 	n.mu.Unlock()
 
 	data, err := n.cfg.Store.GetRef(idx)
@@ -154,9 +161,9 @@ func (n *Node) tryUpload() bool {
 		return false
 	}
 	if n.cfg.Algorithm == algo.TChain && !n.cfg.SeedMode {
-		return n.sendSealed(r, idx, data)
+		return n.sendSealed(r, idx, data, ut)
 	}
-	return n.sendPiece(r, idx, data, protocol.NoRepay)
+	return n.sendPiece(r, idx, data, protocol.NoRepay, ut)
 }
 
 // pickPieceLocked chooses a uniformly random piece the receiver needs,
@@ -228,10 +235,23 @@ func (n *Node) markSentLocked(peerID, idx int) {
 // the peer's bounded bulk queue; repayment pieces travel the control path —
 // dropping one would strand the counterpart's escrowed key forever, so
 // they are never refused. Accounting only happens for accepted frames.
-func (n *Node) sendPiece(r *remote, idx int, data []byte, repaysKeyID uint64) bool {
+// ut, when non-nil, traces the push (see trace.go); the frame then carries
+// the trace context to the receiver.
+func (n *Node) sendPiece(r *remote, idx int, data []byte, repaysKeyID uint64, ut *uploadTrace) bool {
 	msg := protocol.Piece{Index: int32(idx), RepaysKeyID: repaysKeyID, Data: data}
+	if ut != nil {
+		msg.Trace = ut.tc
+	}
 	if repaysKeyID != protocol.NoRepay {
-		r.enqueue(msg)
+		if ut != nil {
+			r.enqueueTraced(msg, ut)
+		} else {
+			r.enqueue(msg)
+		}
+	} else if ut != nil {
+		if !r.enqueueDataTraced(msg, ut) {
+			return false
+		}
 	} else if !r.enqueueData(msg) {
 		return false
 	}
@@ -244,8 +264,8 @@ func (n *Node) sendPiece(r *remote, idx int, data []byte, repaysKeyID uint64) bo
 
 // sendSealed pushes an encrypted piece and records the reciprocation
 // demand; the key stays in escrow until the receiver (or a witness)
-// confirms.
-func (n *Node) sendSealed(r *remote, idx int, data []byte) bool {
+// confirms. ut, when non-nil, traces the push.
+func (n *Node) sendSealed(r *remote, idx int, data []byte, ut *uploadTrace) bool {
 	sealed, err := n.escrow.Seal(data)
 	if err != nil {
 		return false
@@ -265,7 +285,16 @@ func (n *Node) sendSealed(r *remote, idx int, data []byte) bool {
 		OriginID:   int32(n.cfg.ID),
 		OriginAddr: n.Addr(),
 	}
-	if !r.enqueueData(msg) {
+	if ut != nil {
+		msg.Trace = ut.tc
+	}
+	accepted := false
+	if ut != nil {
+		accepted = r.enqueueDataTraced(msg, ut)
+	} else {
+		accepted = r.enqueueData(msg)
+	}
+	if !accepted {
 		// Queue full: unwind the seal as if it never happened, so the
 		// escrow and demand ledgers do not accumulate unsent obligations.
 		n.recip.Take(sealed.KeyID)

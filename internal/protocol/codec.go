@@ -5,7 +5,45 @@ import (
 	"fmt"
 
 	"repro/internal/attest"
+	"repro/internal/tracing"
 )
+
+// Trace-context frame extension. Data-path frames (Piece, SealedPiece,
+// Attest, AttestedReceipt) may carry a trailing 17-byte block — one magic
+// byte, then the 8-byte trace ID and 8-byte causing-span ID — after their
+// base payload. The block is appended only for traced frames, so the
+// untraced wire format is byte-identical to the pre-extension format, and
+// decoders that predate the extension reject nothing new (they never see
+// it). Decoders that know the extension recognize exactly this trailing
+// shape; any other trailing bytes remain malformed.
+const (
+	traceMagic    = 0x54 // 'T'
+	traceExtWidth = 1 + 8 + 8
+)
+
+// traceContext appends the trace-context extension for a traced context
+// and nothing for an untraced one.
+func (w *writer) traceContext(c tracing.Context) {
+	if !c.Traced() {
+		return
+	}
+	w.u8(traceMagic)
+	w.u64(c.TraceID)
+	w.u64(c.SpanID)
+}
+
+// traceContext consumes a trailing trace-context extension if and only if
+// the remaining payload is exactly one: absent means untraced, and
+// malformed trailers are left for done() to reject.
+func (r *reader) traceContext() (c tracing.Context) {
+	if r.err != nil || len(r.buf) != traceExtWidth || r.buf[0] != traceMagic {
+		return
+	}
+	r.u8()
+	c.TraceID = r.u64()
+	c.SpanID = r.u64()
+	return
+}
 
 // writer appends big-endian primitives to a caller-provided buffer. It is
 // allocation-free apart from the append growth of the buffer itself, which
@@ -174,6 +212,7 @@ func appendPayload(dst []byte, m Message) ([]byte, error) {
 		w.i32(msg.Index)
 		w.u64(msg.RepaysKeyID)
 		w.bytes(msg.Data)
+		w.traceContext(msg.Trace)
 	case SealedPiece:
 		w.i32(msg.Index)
 		w.u64(msg.KeyID)
@@ -183,6 +222,7 @@ func appendPayload(dst []byte, m Message) ([]byte, error) {
 		w.str(msg.OriginAddr)
 		w.boolean(msg.Forwarded)
 		w.i32(msg.ForwarderID)
+		w.traceContext(msg.Trace)
 	case Key:
 		w.u64(msg.KeyID)
 		w.i32(msg.Index)
@@ -212,9 +252,11 @@ func appendPayload(dst []byte, m Message) ([]byte, error) {
 		w.u8(msg.TTL)
 	case Attest:
 		w.attestation(&msg.Att)
+		w.traceContext(msg.Trace)
 	case AttestedReceipt:
 		w.u64(msg.KeyID)
 		w.attestation(&msg.Att)
+		w.traceContext(msg.Trace)
 	case AttestBatch:
 		w.u32(uint32(len(msg.Atts)))
 		for i := range msg.Atts {
@@ -247,7 +289,7 @@ func unmarshalPayload(t Type, payload []byte, zeroCopy bool) (Message, error) {
 	case TypeHave:
 		m = Have{Index: r.i32()}
 	case TypePiece:
-		m = Piece{Index: r.i32(), RepaysKeyID: r.u64(), Data: r.bytes()}
+		m = Piece{Index: r.i32(), RepaysKeyID: r.u64(), Data: r.bytes(), Trace: r.traceContext()}
 	case TypeSealedPiece:
 		msg := SealedPiece{Index: r.i32(), KeyID: r.u64()}
 		copy(msg.Nonce[:], r.take(len(msg.Nonce)))
@@ -256,6 +298,7 @@ func unmarshalPayload(t Type, payload []byte, zeroCopy bool) (Message, error) {
 		msg.OriginAddr = r.str()
 		msg.Forwarded = r.boolean()
 		msg.ForwarderID = r.i32()
+		msg.Trace = r.traceContext()
 		m = msg
 	case TypeKey:
 		msg := Key{KeyID: r.u64(), Index: r.i32()}
@@ -288,9 +331,9 @@ func unmarshalPayload(t Type, payload []byte, zeroCopy bool) (Message, error) {
 	case TypeAnnounce:
 		m = Announce{ID: r.i32(), Addr: r.str(), Seq: r.u32(), TTL: r.u8()}
 	case TypeAttest:
-		m = Attest{Att: r.attestation()}
+		m = Attest{Att: r.attestation(), Trace: r.traceContext()}
 	case TypeAttestedReceipt:
-		m = AttestedReceipt{KeyID: r.u64(), Att: r.attestation()}
+		m = AttestedReceipt{KeyID: r.u64(), Att: r.attestation(), Trace: r.traceContext()}
 	case TypeAttestBatch:
 		msg := AttestBatch{}
 		count := r.u32()

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/attest"
+	"repro/internal/tracing"
 )
 
 // FuzzDecode feeds raw byte streams to both decode paths. Invariants:
@@ -20,6 +21,25 @@ func FuzzDecode(f *testing.F) {
 		Bitfield{NumPieces: 12, Bits: []byte{0xff, 0x0f}},
 		Have{Index: 42},
 		Piece{Index: 3, RepaysKeyID: NoRepay, Data: []byte("payload")},
+		// The trace-context frame extension: a trailing 17-byte block on
+		// data-path frames.
+		Piece{Index: 3, RepaysKeyID: NoRepay, Data: []byte("payload"),
+			Trace: tracing.Context{TraceID: 0xab54a98ceb1f0ad2, SpanID: 0x1122334455667788}},
+		SealedPiece{
+			Index: 10, KeyID: 124,
+			Nonce:      [16]byte{4, 5, 6},
+			Ciphertext: []byte{7, 7},
+			OriginID:   4, OriginAddr: "mem://a",
+			Trace: tracing.Context{TraceID: 2, SpanID: 3},
+		},
+		Attest{Att: attest.Attestation{
+			Sender: 3, Receiver: 4, Index: 11,
+			Scheme: attest.SchemeSession,
+		}, Trace: tracing.Context{TraceID: 9, SpanID: 10}},
+		AttestedReceipt{KeyID: 78, Att: attest.Attestation{
+			Sender: 5, Receiver: 6,
+			Scheme: attest.SchemeSession,
+		}, Trace: tracing.Context{TraceID: 11, SpanID: 12}},
 		SealedPiece{
 			Index: 9, KeyID: 123,
 			Nonce:      [16]byte{1, 2, 3},
@@ -61,6 +81,16 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, byte(TypeBye)})
 	f.Add(append([]byte{0, 0, 0, 8, byte(TypeHave)}, make([]byte, 8)...))
 	f.Add([]byte{0, 0, 0, 2, byte(TypeHello), 0x01, 0x02})
+	// A Piece with 17 trailing bytes that are NOT the trace extension (wrong
+	// magic) and one with a truncated extension (16 bytes) — both malformed.
+	badTrail := append([]byte{0, 0, 0, 33, byte(TypePiece)},
+		0, 0, 0, 1, // index
+		0, 0, 0, 0, 0, 0, 0, 0, // repays
+		0, 0, 0, 0) // empty data
+	f.Add(append(append([]byte{}, badTrail...), 0x55, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2))
+	short := append([]byte{}, badTrail...)
+	short[3] = 32 // 16 trailing bytes: magic + trace ID + truncated span ID
+	f.Add(append(short, traceMagic, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 3))
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		oneShot, errOne := Decode(bytes.NewReader(raw))

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/attest"
+	"repro/internal/tracing"
 )
 
 // MaxFrameSize bounds a frame payload (16 MiB): large enough for any
@@ -123,6 +124,10 @@ type Piece struct {
 	Index       int32
 	RepaysKeyID uint64 // NoRepay when this is an ordinary upload
 	Data        []byte
+	// Trace is the optional causal trace context (see the trace-context
+	// frame extension in codec.go). The zero Context is untraced and adds
+	// no wire bytes.
+	Trace tracing.Context
 }
 
 // NoRepay is the RepaysKeyID value for ordinary (non-reciprocation) pieces.
@@ -143,6 +148,8 @@ type SealedPiece struct {
 	Forwarded bool
 	// ForwarderID is the relaying peer for forwarded seals.
 	ForwarderID int32
+	// Trace is the optional causal trace context; zero means untraced.
+	Trace tracing.Context
 }
 
 // Key releases the decryption key for an earlier SealedPiece.
@@ -212,6 +219,8 @@ type Announce struct {
 // frame is the sender's copy.
 type Attest struct {
 	Att attest.Attestation
+	// Trace is the optional causal trace context; zero means untraced.
+	Trace tracing.Context
 }
 
 // AttestBatch carries several coalesced Attest receipts in one frame. A
@@ -231,6 +240,8 @@ type AttestBatch struct {
 type AttestedReceipt struct {
 	KeyID uint64
 	Att   attest.Attestation
+	// Trace is the optional causal trace context; zero means untraced.
+	Trace tracing.Context
 }
 
 // MsgType returns TypeHello.

@@ -1,0 +1,103 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/attest"
+	"repro/internal/tracing"
+)
+
+// TestTraceContextRoundTrip pins the trace-context frame extension: traced
+// frames carry the context through both decode paths; untraced frames are
+// byte-identical to the pre-extension encoding.
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := tracing.Context{TraceID: 0xdeadbeefcafe, SpanID: 42}
+	msgs := []Message{
+		Piece{Index: 3, RepaysKeyID: NoRepay, Data: []byte("payload"), Trace: tc},
+		SealedPiece{Index: 9, KeyID: 123, Nonce: [16]byte{1}, Ciphertext: []byte{9},
+			OriginID: 4, OriginAddr: "mem://a", Trace: tc},
+		Attest{Att: attest.Attestation{Sender: 1, Receiver: 2, Scheme: attest.SchemeSession}, Trace: tc},
+		AttestedReceipt{KeyID: 7, Att: attest.Attestation{Sender: 1, Receiver: 2}, Trace: tc},
+	}
+	for _, m := range msgs {
+		frame, err := AppendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		got, err := Decode(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%T: decode: %v", m, err)
+		}
+		var gotTC tracing.Context
+		switch g := got.(type) {
+		case Piece:
+			gotTC = g.Trace
+		case SealedPiece:
+			gotTC = g.Trace
+		case Attest:
+			gotTC = g.Trace
+		case AttestedReceipt:
+			gotTC = g.Trace
+		}
+		if gotTC != tc {
+			t.Fatalf("%T: trace context %+v, want %+v", m, gotTC, tc)
+		}
+	}
+}
+
+// TestUntracedFrameBytesUnchanged is the interop guarantee: a frame without
+// a trace context encodes to exactly the base payload, with no trailing
+// extension bytes an old peer would reject.
+func TestUntracedFrameBytesUnchanged(t *testing.T) {
+	traced, err := AppendFrame(nil, Piece{Index: 3, Data: []byte("xyz"),
+		Trace: tracing.Context{TraceID: 1, SpanID: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := AppendFrame(nil, Piece{Index: 3, Data: []byte("xyz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain)+traceExtWidth {
+		t.Fatalf("traced frame is %d bytes, want plain %d + extension %d",
+			len(traced), len(plain), traceExtWidth)
+	}
+	// Base payload: index (4) + repays (8) + data length (4) + data (3).
+	if wantPayload := 19; len(plain) != headerSize+wantPayload {
+		t.Fatalf("plain frame is %d bytes, want %d (extension bytes leaked in)",
+			len(plain), headerSize+wantPayload)
+	}
+	got, err := Decode(bytes.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Piece).Trace.Traced() {
+		t.Fatal("plain frame decoded as traced")
+	}
+}
+
+// TestTraceContextMalformedTrailers pins the strictness of the extension:
+// trailing bytes that are not exactly one well-formed trace block stay
+// malformed.
+func TestTraceContextMalformedTrailers(t *testing.T) {
+	base, err := AppendFrame(nil, Piece{Index: 1, Data: []byte("d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow := func(trailer []byte) []byte {
+		f := append(append([]byte{}, base...), trailer...)
+		f[3] += byte(len(trailer)) // patch the payload length (fits in one byte here)
+		return f
+	}
+	cases := map[string][]byte{
+		"wrong magic":         grow([]byte{0x55, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2}),
+		"truncated extension": grow([]byte{traceMagic, 0, 0, 0, 0, 0, 0, 0, 1}),
+		"extra byte after":    grow([]byte{traceMagic, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0xff}),
+	}
+	for name, frame := range cases {
+		if _, err := Decode(bytes.NewReader(frame)); err == nil {
+			t.Fatalf("%s: decoded successfully, want malformed", name)
+		}
+	}
+}

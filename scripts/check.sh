@@ -146,4 +146,22 @@ for name in BenchmarkCounterAdd BenchmarkHistogramObserve; do
   fi
 done
 
+echo "== tracing overhead guard =="
+# The per-peer outbox is the path every live frame crosses. With causal
+# tracing compiled in but not sampling, one bulk-frame enqueue plus a
+# writeLoop-shaped drain must stay at exactly 0 allocs/op — the proof that
+# the trace hooks (uploadTrace minting, traced-frame bookkeeping, clock
+# reads) cost nothing until a push is actually sampled.
+trace_out=$(go test -run=NONE -bench='^BenchmarkOutboxUntraced$' -benchtime=10000x -benchmem ./internal/node)
+echo "$trace_out"
+trace_allocs=$(echo "$trace_out" | awk '/^BenchmarkOutboxUntraced/ {for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}')
+if [ -z "$trace_allocs" ]; then
+  echo "tracing guard: could not parse benchmark output" >&2
+  exit 1
+fi
+if [ "$trace_allocs" != "0" ]; then
+  echo "tracing guard: untraced outbox path allocated $trace_allocs/op (must be 0) — a trace hook leaked onto the hot path" >&2
+  exit 1
+fi
+
 echo "check: OK"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# trace_slowest.sh — explain the slowest pieces in a live swarm. Runs an
+# in-process swarm (default 32 nodes) with causal tracing on every push,
+# prints the K slowest piece traces as cross-node span trees (where did
+# the time go: queueing, the wire, verification, crediting?), and writes
+# the full span set as a Chrome trace-event file loadable in
+# chrome://tracing or ui.perfetto.dev.
+#
+#   scripts/trace_slowest.sh
+#   NODES=64 K=5 OUT=slow.json scripts/trace_slowest.sh
+#
+# Environment knobs: NODES (32), PIECES (48), SAMPLE (1 = trace every
+# push), K (3), OUT (trace.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./examples/traceswarm \
+  -nodes "${NODES:-32}" \
+  -pieces "${PIECES:-48}" \
+  -sample "${SAMPLE:-1}" \
+  -k "${K:-3}" \
+  -out "${OUT:-trace.json}"
